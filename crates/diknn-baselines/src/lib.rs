@@ -1,0 +1,25 @@
+//! Baseline KNN protocols from the DIKNN paper's evaluation (§5):
+//!
+//! * [`Kpt`] — the spanning-tree approach of [29, 30], with either its
+//!   original conservative boundary or the paper's fair "KPT+KNNB" variant.
+//! * [`PeerTree`] — the decentralized R-tree / clusterhead hierarchy of
+//!   \[7\], configured as in §5.1 (5×5 grid of stationary clusterheads with
+//!   periodic membership notifications).
+//! * [`Flood`] — the naive infrastructure-free flood the paper rules out
+//!   in §3.3 (every in-boundary node answers along its own route).
+//! * [`Centralized`] — the centralized-index branch of the Figure 1
+//!   taxonomy: a base station R-tree refreshed by periodic position
+//!   reports from every node.
+//!
+//! All three implement [`diknn_core::KnnProtocol`], so the workload harness
+//! measures them exactly like DIKNN.
+
+mod centralized;
+mod flood;
+mod kpt;
+mod peertree;
+
+pub use centralized::{CentralMsg, Centralized, CentralizedConfig};
+pub use flood::{Flood, FloodConfig, FloodMsg};
+pub use kpt::{Kpt, KptBoundary, KptConfig, KptMsg};
+pub use peertree::{PeerTree, PeerTreeConfig, PtMsg};

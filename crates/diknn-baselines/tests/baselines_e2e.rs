@@ -1,0 +1,311 @@
+//! End-to-end runs of the baseline protocols: they must answer queries with
+//! reasonable accuracy on static networks and exhibit the qualitative
+//! weaknesses the paper attributes to them.
+
+use std::sync::Arc;
+
+use diknn_baselines::{Flood, FloodConfig, Kpt, KptBoundary, KptConfig, PeerTree, PeerTreeConfig};
+use diknn_core::{KnnProtocol, QueryRequest};
+use diknn_geom::{Point, Rect};
+use diknn_mobility::{placement, RandomWaypoint, RwpConfig, StaticMobility};
+use diknn_sim::{NodeId, Protocol, SharedMobility, SimConfig, SimDuration, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const FIELD: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 115.0,
+    max_y: 115.0,
+};
+
+fn static_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    placement::uniform(FIELD, n, &mut rng)
+}
+
+fn to_static(points: &[Point]) -> Vec<SharedMobility> {
+    points
+        .iter()
+        .map(|&p| Arc::new(StaticMobility::new(p)) as SharedMobility)
+        .collect()
+}
+
+fn exact_knn(positions: &[Point], q: Point, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..positions.len()).collect();
+    idx.sort_by(|&a, &b| {
+        positions[a]
+            .dist(q)
+            .partial_cmp(&positions[b].dist(q))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+fn accuracy(answer: &[NodeId], truth: &[usize]) -> f64 {
+    answer
+        .iter()
+        .filter(|n| truth.contains(&n.index()))
+        .count() as f64
+        / truth.len() as f64
+}
+
+fn sim_config(seconds: f64) -> SimConfig {
+    SimConfig {
+        time_limit: SimDuration::from_secs_f64(seconds),
+        ..SimConfig::default()
+    }
+}
+
+fn run_protocol<P: Protocol>(
+    nodes: Vec<SharedMobility>,
+    protocol: P,
+    seed: u64,
+    seconds: f64,
+) -> Simulator<P> {
+    let mut sim = Simulator::new(sim_config(seconds), nodes, protocol, seed);
+    sim.warm_neighbor_tables();
+    sim.run();
+    sim
+}
+
+#[test]
+fn kpt_static_answers_accurately() {
+    let pts = static_points(200, 7);
+    let q = Point::new(60.0, 55.0);
+    let req = QueryRequest {
+        at: 0.5,
+        sink: NodeId(0),
+        q,
+        k: 10,
+    };
+    let sim = run_protocol(
+        to_static(&pts),
+        Kpt::new(KptConfig::default(), vec![req]),
+        7,
+        30.0,
+    );
+    let o = &sim.protocol().outcomes()[0];
+    assert!(o.completed_at.is_some(), "KPT query never completed: {o:?}");
+    let truth = exact_knn(&pts, q, 10);
+    let acc = accuracy(&o.answer, &truth);
+    assert!(acc >= 0.8, "KPT static accuracy {acc}");
+}
+
+#[test]
+fn kpt_conservative_boundary_floods_more_than_knnb() {
+    let pts = static_points(200, 9);
+    let q = Point::new(57.0, 57.0);
+    let mk_req = || QueryRequest {
+        at: 0.5,
+        sink: NodeId(0),
+        q,
+        k: 20,
+    };
+    let knnb_sim = run_protocol(
+        to_static(&pts),
+        Kpt::new(KptConfig::default(), vec![mk_req()]),
+        9,
+        30.0,
+    );
+    let cons_sim = run_protocol(
+        to_static(&pts),
+        Kpt::new(
+            KptConfig {
+                boundary: KptBoundary::Conservative {
+                    mean_hop_distance: 15.0,
+                },
+                ..KptConfig::default()
+            },
+            vec![mk_req()],
+        ),
+        9,
+        30.0,
+    );
+    let e_knnb = knnb_sim.ctx().total_protocol_energy_j();
+    let e_cons = cons_sim.ctx().total_protocol_energy_j();
+    assert!(
+        e_cons > 1.5 * e_knnb,
+        "conservative boundary should flood: {e_cons} vs {e_knnb}"
+    );
+    let r_knnb = knnb_sim.protocol().outcomes()[0].boundary_radius;
+    let r_cons = cons_sim.protocol().outcomes()[0].boundary_radius;
+    assert!(r_cons > 2.0 * r_knnb, "radius {r_cons} vs {r_knnb}");
+}
+
+#[test]
+fn peertree_static_answers() {
+    let pts = static_points(200, 13);
+    let cfg = PeerTreeConfig::default();
+    let mut nodes = to_static(&pts);
+    for hp in PeerTree::clusterhead_positions(FIELD, cfg.grid) {
+        nodes.push(Arc::new(StaticMobility::new(hp)) as SharedMobility);
+    }
+    let q = Point::new(60.0, 55.0);
+    let req = QueryRequest {
+        at: 6.0, // give the index time to build
+        sink: NodeId(0),
+        q,
+        k: 10,
+    };
+    let sim = run_protocol(nodes, PeerTree::new(cfg, FIELD, 200, vec![req]), 13, 30.0);
+    let o = &sim.protocol().outcomes()[0];
+    assert!(
+        o.completed_at.is_some(),
+        "Peer-tree query never completed: {o:?}"
+    );
+    let truth = exact_knn(&pts, q, 10);
+    let acc = accuracy(&o.answer, &truth);
+    assert!(acc >= 0.6, "Peer-tree static accuracy {acc}");
+    // Clusterheads must never appear in answers.
+    assert!(o.answer.iter().all(|n| n.index() < 200));
+}
+
+#[test]
+fn peertree_accuracy_collapses_under_high_mobility() {
+    let run = |speed: f64| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let pts = placement::uniform(FIELD, 200, &mut rng);
+        let cfg = PeerTreeConfig::default();
+        let mut nodes: Vec<SharedMobility> = Vec::new();
+        let mut oracle: Vec<SharedMobility> = Vec::new();
+        let mut rng2 = SmallRng::seed_from_u64(18);
+        for &p in &pts {
+            if speed > 0.0 {
+                let m = RandomWaypoint::new(p, &RwpConfig::new(FIELD, speed, 60.0), &mut rng2);
+                nodes.push(Arc::new(m.clone()) as SharedMobility);
+                oracle.push(Arc::new(m) as SharedMobility);
+            } else {
+                nodes.push(Arc::new(StaticMobility::new(p)) as SharedMobility);
+                oracle.push(Arc::new(StaticMobility::new(p)) as SharedMobility);
+            }
+        }
+        for hp in PeerTree::clusterhead_positions(FIELD, cfg.grid) {
+            nodes.push(Arc::new(StaticMobility::new(hp)) as SharedMobility);
+        }
+        let queries: Vec<QueryRequest> = (0..3)
+            .map(|i| QueryRequest {
+                at: 6.0 + 6.0 * i as f64,
+                sink: NodeId(i as u32),
+                q: Point::new(40.0 + 15.0 * i as f64, 60.0),
+                k: 10,
+            })
+            .collect();
+        let sim = run_protocol(
+            nodes,
+            PeerTree::new(cfg, FIELD, 200, queries.clone()),
+            17,
+            40.0,
+        );
+        let mut total = 0.0;
+        for (o, req) in sim.protocol().outcomes().iter().zip(&queries) {
+            let t = o
+                .completed_at
+                .map(|t| t.as_secs_f64())
+                .unwrap_or(req.at + 20.0);
+            let positions: Vec<Point> = oracle.iter().map(|m| m.position_at(t)).collect();
+            let truth = exact_knn(&positions, req.q, req.k);
+            total += accuracy(&o.answer, &truth);
+        }
+        total / 3.0
+    };
+    let acc_static = run(0.0);
+    let acc_fast = run(25.0);
+    assert!(
+        acc_fast < acc_static,
+        "mobility should hurt Peer-tree: static {acc_static} vs fast {acc_fast}"
+    );
+}
+
+#[test]
+fn flood_answers_but_burns_energy() {
+    // The paper's argument against naive flooding is the "excessive number
+    // of independent routing paths from sensor nodes to s": it bites when
+    // k is large and the sink is far from the query point, so compare at
+    // k = 60 with q across the field from the sink.
+    let pts = static_points(200, 21);
+    let q = Point::new(100.0, 100.0);
+    let req = QueryRequest {
+        at: 0.5,
+        sink: NodeId(0),
+        q,
+        k: 60,
+    };
+    let flood_sim = run_protocol(
+        to_static(&pts),
+        Flood::new(FloodConfig::default(), vec![req]),
+        21,
+        30.0,
+    );
+    let o = &flood_sim.protocol().outcomes()[0];
+    assert!(o.completed_at.is_some(), "flood query never completed");
+    let truth = exact_knn(&pts, q, 60);
+    let acc = accuracy(&o.answer, &truth);
+    assert!(acc >= 0.7, "flood accuracy {acc}");
+    // Compare energy with DIKNN on the same scenario: the naive flood
+    // should cost clearly more.
+    let diknn_sim = run_protocol(
+        to_static(&pts),
+        diknn_core::Diknn::new(diknn_core::DiknnConfig::default(), vec![req]),
+        21,
+        30.0,
+    );
+    let e_flood = flood_sim.ctx().total_protocol_energy_j();
+    let e_diknn = diknn_sim.ctx().total_protocol_energy_j();
+    assert!(
+        e_flood > e_diknn,
+        "flood {e_flood} J should exceed DIKNN {e_diknn} J"
+    );
+}
+
+#[test]
+fn kpt_latency_grows_with_k() {
+    let pts = static_points(200, 25);
+    let run_k = |k: usize| -> f64 {
+        let req = QueryRequest {
+            at: 0.5,
+            sink: NodeId(0),
+            q: Point::new(57.0, 57.0),
+            k,
+        };
+        let sim = run_protocol(
+            to_static(&pts),
+            Kpt::new(KptConfig::default(), vec![req]),
+            25,
+            30.0,
+        );
+        sim.protocol().outcomes()[0]
+            .latency()
+            .unwrap_or(f64::INFINITY)
+    };
+    let lat_small = run_k(10);
+    let lat_large = run_k(80);
+    assert!(
+        lat_large > lat_small,
+        "KPT latency must grow with k: {lat_small} vs {lat_large}"
+    );
+}
+
+#[test]
+fn baseline_runs_are_deterministic() {
+    let pts = static_points(150, 29);
+    let run = || {
+        let req = QueryRequest {
+            at: 0.5,
+            sink: NodeId(0),
+            q: Point::new(60.0, 60.0),
+            k: 15,
+        };
+        let sim = run_protocol(
+            to_static(&pts),
+            Kpt::new(KptConfig::default(), vec![req]),
+            29,
+            30.0,
+        );
+        let o = &sim.protocol().outcomes()[0];
+        (o.answer.clone(), o.completed_at)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the algorithmic building blocks: the KNNB
+//! estimator (the paper stresses it is linear-time), itinerary geometry,
+//! GPSR next-hop planning, and the R-tree substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use diknn_core::itinerary::{sub_itinerary, ItinerarySpec};
+use diknn_core::{knnb, HopRecord};
+use diknn_geom::{Point, Rect};
+use diknn_routing::{gabriel_neighbors, plan_next_hop, GpsrHeader};
+use diknn_rtree::RTree;
+use diknn_sim::{Neighbor, NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn hop_list(hops: usize) -> Vec<HopRecord> {
+    (0..hops)
+        .map(|i| HopRecord {
+            loc: Point::new(i as f64 * 15.0, 0.0),
+            enc: 5,
+        })
+        .collect()
+}
+
+fn bench_knnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knnb");
+    for hops in [4usize, 16, 64, 256] {
+        let list = hop_list(hops);
+        let q = Point::new(hops as f64 * 15.0 + 5.0, 0.0);
+        group.bench_with_input(BenchmarkId::new("estimate", hops), &hops, |b, _| {
+            b.iter(|| knnb(black_box(&list), black_box(q), 20.0, 40))
+        });
+    }
+    group.finish();
+}
+
+fn bench_itinerary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("itinerary");
+    for radius in [30.0f64, 60.0, 120.0] {
+        let spec = ItinerarySpec::new(Point::new(0.0, 0.0), radius, 8, 17.32);
+        group.bench_with_input(
+            BenchmarkId::new("sub_itinerary", radius as u64),
+            &spec,
+            |b, spec| b.iter(|| sub_itinerary(black_box(spec), 3, true)),
+        );
+        let poly = sub_itinerary(&spec, 3, true);
+        group.bench_with_input(
+            BenchmarkId::new("project_from", radius as u64),
+            &poly,
+            |b, poly| {
+                b.iter(|| poly.project_from(black_box(Point::new(10.0, 20.0)), poly.length() / 3.0))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn neighbors(n: usize) -> Vec<Neighbor> {
+    let mut rng = SmallRng::seed_from_u64(5);
+    diknn_mobility::placement::uniform(Rect::new(-20.0, -20.0, 20.0, 20.0), n, &mut rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Neighbor {
+            id: NodeId(i as u32 + 1),
+            position: p,
+            speed: 0.0,
+            heard_at: SimTime::ZERO,
+        })
+        .collect()
+}
+
+fn bench_gpsr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpsr");
+    for n in [10usize, 20, 40] {
+        let nbs = neighbors(n);
+        let header = GpsrHeader::new(Point::new(100.0, 100.0));
+        group.bench_with_input(BenchmarkId::new("plan_next_hop", n), &nbs, |b, nbs| {
+            b.iter(|| {
+                plan_next_hop(
+                    NodeId(0),
+                    Point::new(0.0, 0.0),
+                    black_box(&header),
+                    nbs,
+                    None,
+                    &[],
+                    20.0,
+                )
+            })
+        });
+        let refs: Vec<&Neighbor> = nbs.iter().collect();
+        group.bench_with_input(BenchmarkId::new("gabriel", n), &refs, |b, refs| {
+            b.iter(|| gabriel_neighbors(black_box(Point::new(0.0, 0.0)), refs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    let mut rng = SmallRng::seed_from_u64(9);
+    let pts =
+        diknn_mobility::placement::uniform(Rect::new(0.0, 0.0, 115.0, 115.0), 200, &mut rng);
+    group.bench_function("bulk_load_200", |b| {
+        b.iter(|| {
+            RTree::bulk_load_points(
+                black_box(&pts).iter().copied().enumerate().map(|(i, p)| (p, i)),
+            )
+        })
+    });
+    let tree = RTree::bulk_load_points(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+    group.bench_function("knn_40_of_200", |b| {
+        b.iter(|| tree.knn(black_box(Point::new(57.0, 57.0)), 40))
+    });
+    group.bench_function("insert_200", |b| {
+        b.iter(|| {
+            let mut t = RTree::new();
+            for (i, &p) in pts.iter().enumerate() {
+                t.insert_point(p, i);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_knnb, bench_itinerary, bench_gpsr, bench_rtree
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark of full query processing: one complete simulated
+//! KNN query per protocol (simulation wall-clock cost, not network cost —
+//! the network-cost experiments live in the `fig8`/`fig9` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use diknn_baselines::{KptConfig, PeerTreeConfig};
+use diknn_core::DiknnConfig;
+use diknn_workloads::{Experiment, ProtocolKind, ScenarioConfig, WorkloadConfig};
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 150,
+        duration: 15.0,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload(k: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        k,
+        first_at: 2.0,
+        last_at: 2.5, // exactly one query
+        ..WorkloadConfig::default()
+    }
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_query_sim");
+    group.sample_size(10);
+    for k in [10usize, 40] {
+        for (name, proto) in [
+            ("diknn", ProtocolKind::Diknn(DiknnConfig::default())),
+            ("kpt", ProtocolKind::Kpt(KptConfig::default())),
+            ("peertree", ProtocolKind::PeerTree(PeerTreeConfig::default())),
+        ] {
+            let exp = Experiment::new(proto, scenario(), workload(k));
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &exp,
+                |b, exp| b.iter(|| black_box(exp.run_once(7))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_query);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §4.3 mobility assurance ablation: sweep the assurance gain `g` at high
+//! mobility. Larger g extends the boundary by `g·(te − ts)·µ` before the
+//! last Q-node reports, buying accuracy for energy; `g = 0` disables the
+//! mechanism. The paper's default is g = 0.1.
+
+use diknn_bench::{default_workload, print_csv_header, print_row, run_cell};
+use diknn_core::DiknnConfig;
+use diknn_workloads::{ProtocolKind, ScenarioConfig, WorkloadConfig};
+
+fn main() {
+    println!(
+        "Assurance-gain ablation (k = 40, µmax = 25 m/s, runs per cell: {})\n",
+        diknn_bench::runs()
+    );
+    print_csv_header();
+    for g in [0.0, 0.1, 0.3, 0.6, 1.0] {
+        let cfg = DiknnConfig {
+            assurance_gain: g,
+            ..DiknnConfig::default()
+        };
+        let agg = run_cell(
+            ProtocolKind::Diknn(cfg),
+            ScenarioConfig {
+                max_speed: 25.0,
+                ..diknn_bench::default_scenario()
+            },
+            WorkloadConfig {
+                k: 40,
+                ..default_workload()
+            },
+        );
+        print_row("ablation_assurance", "g", g, "DIKNN", &agg);
+    }
+}

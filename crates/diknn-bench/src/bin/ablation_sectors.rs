@@ -1,0 +1,34 @@
+//! §3.3: "Such a cone-shape itinerary structure is highly adaptive to
+//! various degrees of parallelism."
+//!
+//! Sweeps the sector count S from 1 (single itinerary, the \[31\]-style
+//! baseline) to 16. More sectors ⇒ more parallel traversal ⇒ lower latency,
+//! at the cost of more result-return paths (energy) and more concurrent
+//! channel contention.
+
+use diknn_bench::{default_scenario, default_workload, print_csv_header, print_row, run_cell};
+use diknn_core::DiknnConfig;
+use diknn_workloads::{ProtocolKind, WorkloadConfig};
+
+fn main() {
+    println!(
+        "Sector-count ablation (k = 40, µmax = 10 m/s, runs per cell: {})\n",
+        diknn_bench::runs()
+    );
+    print_csv_header();
+    for sectors in [1usize, 2, 4, 8, 16] {
+        let cfg = DiknnConfig {
+            sectors,
+            ..DiknnConfig::default()
+        };
+        let agg = run_cell(
+            ProtocolKind::Diknn(cfg),
+            default_scenario(),
+            WorkloadConfig {
+                k: 40,
+                ..default_workload()
+            },
+        );
+        print_row("ablation_sectors", "S", sectors as f64, "DIKNN", &agg);
+    }
+}

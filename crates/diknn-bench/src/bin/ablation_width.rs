@@ -1,0 +1,70 @@
+//! §3.3 claim: `w = √3·r/2` "yields full coverage with minimal itinerary
+//! length, a good balance on query accuracy and energy efficiency".
+//!
+//! Part 1 (geometry, exact): for a range of widths, the total conceptual
+//! itinerary length and the worst-case distance from any point of the disc
+//! to the itinerary (coverage holes appear once that distance approaches
+//! the radio range).
+//!
+//! Part 2 (system): full simulations at selected widths — narrower
+//! itineraries cost latency/energy, wider ones cost accuracy.
+
+use diknn_core::itinerary::{coverage_worst_distance, total_length};
+use diknn_core::{DiknnConfig, ItinerarySpec};
+use diknn_geom::Point;
+use diknn_workloads::{ProtocolKind, WorkloadConfig};
+
+fn main() {
+    let r = 20.0;
+    let radius = 55.0;
+    println!("Itinerary width ablation (r = {r} m, boundary R = {radius} m, S = 8)\n");
+    println!(
+        "{:>10} {:>16} {:>22} {:>10}",
+        "w (x r)", "itinerary (m)", "worst gap (m)", "covered?"
+    );
+    println!("csv,width_geom,w_factor,length_m,worst_gap_m,covered");
+    let recommended = 3.0_f64.sqrt() / 2.0;
+    for factor in [0.25, 0.5, 0.75, recommended, 1.0, 1.25, 1.5, 2.0] {
+        let spec = ItinerarySpec::new(Point::new(0.0, 0.0), radius, 8, factor * r);
+        let len = total_length(&spec);
+        let worst = coverage_worst_distance(&spec, 3000);
+        let covered = worst <= r;
+        let marker = if (factor - recommended).abs() < 1e-9 {
+            "  <- paper's w = sqrt(3)r/2"
+        } else {
+            ""
+        };
+        println!(
+            "{factor:>10.3} {len:>16.0} {worst:>22.2} {covered:>10}{marker}"
+        );
+        println!("csv,width_geom,{factor:.4},{len:.2},{worst:.4},{covered}");
+    }
+
+    println!("\nFull-system sweep (DIKNN, k = 40, static network):");
+    println!("csv,width_sys,w_factor,latency,energy,pre,post");
+    for factor in [0.5, recommended, 1.3] {
+        let cfg = DiknnConfig {
+            width_factor: factor,
+            ..DiknnConfig::default()
+        };
+        let agg = diknn_bench::run_cell(
+            ProtocolKind::Diknn(cfg),
+            diknn_workloads::ScenarioConfig {
+                max_speed: 0.0,
+                ..diknn_bench::default_scenario()
+            },
+            WorkloadConfig {
+                k: 40,
+                ..diknn_bench::default_workload()
+            },
+        );
+        println!(
+            "  w = {factor:.3} r: latency {:.2} s, energy {:.2} J, pre {:.3}, post {:.3}",
+            agg.latency_s.mean, agg.energy_j.mean, agg.pre_accuracy.mean, agg.post_accuracy.mean
+        );
+        println!(
+            "csv,width_sys,{factor:.4},{:.4},{:.4},{:.4},{:.4}",
+            agg.latency_s.mean, agg.energy_j.mean, agg.pre_accuracy.mean, agg.post_accuracy.mean
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! §4.2 claim: KNNB boundary radii are "generally 1/√(kπ) of the previous
+//! work KPT under the same level of accuracy".
+//!
+//! Runs both estimators over synthetic routing-phase hop lists at the
+//! paper's default density and prints, per k: the KNNB radius, the KPT
+//! conservative radius (k × MHD, MHD = 15 m), their ratio, and the paper's
+//! predicted ratio 1/√(kπ). Also cross-checks the radius the full protocol
+//! actually produces in simulation.
+
+use diknn_core::{knnb, kpt_conservative_radius, Diknn, DiknnConfig, HopRecord, KnnProtocol, QueryRequest};
+use diknn_geom::Point;
+use diknn_sim::{NodeId, Simulator};
+use diknn_workloads::ScenarioConfig;
+
+fn synthetic_list(q: Point, hops: usize, density: f64, r: f64) -> Vec<HopRecord> {
+    let step = 15.0;
+    (0..hops)
+        .map(|i| {
+            let remaining = (hops - i) as f64;
+            HopRecord {
+                loc: Point::new(q.x - remaining * step, q.y),
+                enc: (density * r * step).round() as u32,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let r = 20.0;
+    let mhd = 15.0;
+    let density = 200.0 / (115.0 * 115.0);
+    let q = Point::new(100.0, 57.0);
+    let list = synthetic_list(q, 6, density, r);
+
+    println!("Boundary comparison (paper §4.2): KNNB vs conservative KPT (MHD = {mhd} m)\n");
+    println!(
+        "{:>4} {:>12} {:>12} {:>10} {:>14}",
+        "k", "KNNB R (m)", "KPT R (m)", "ratio", "paper 1/sqrt(k*pi)"
+    );
+    println!("csv,boundary,k,knnb_r,kpt_r,ratio,paper_ratio");
+    for k in [5usize, 10, 20, 40, 60, 80, 100] {
+        let ours = knnb(&list, q, r, k).radius;
+        let theirs = kpt_conservative_radius(k, mhd);
+        let ratio = ours / theirs;
+        let paper = 1.0 / (k as f64 * std::f64::consts::PI).sqrt();
+        println!("{k:>4} {ours:>12.1} {theirs:>12.1} {ratio:>10.4} {paper:>14.4}");
+        println!("csv,boundary,{k},{ours:.4},{theirs:.4},{ratio:.6},{paper:.6}");
+    }
+
+    // Cross-check against the radius the full simulated protocol produces.
+    println!("\nSimulated KNNB radii (full protocol, one run):");
+    let scenario = ScenarioConfig {
+        max_speed: 0.0,
+        duration: 60.0,
+        ..ScenarioConfig::default()
+    };
+    let requests: Vec<QueryRequest> = [20usize, 60, 100]
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| QueryRequest {
+            at: 1.0 + i as f64 * 15.0,
+            sink: NodeId(0),
+            q: Point::new(60.0, 60.0),
+            k,
+        })
+        .collect();
+    let plans = scenario.build(diknn_bench::base_seed());
+    let mut sim = Simulator::new(
+        scenario.sim_config(),
+        plans,
+        Diknn::new(DiknnConfig::default(), requests),
+        diknn_bench::base_seed(),
+    );
+    sim.warm_neighbor_tables();
+    sim.run();
+    for o in sim.protocol().outcomes() {
+        let optimal = (o.k as f64 / (std::f64::consts::PI * density)).sqrt();
+        println!(
+            "  k={:<4} simulated R = {:>6.1} m (optimal for exactly k: {:>6.1} m, \
+             conservative KPT: {:>6.1} m)",
+            o.k,
+            o.boundary_radius,
+            optimal,
+            kpt_conservative_radius(o.k, mhd)
+        );
+    }
+}

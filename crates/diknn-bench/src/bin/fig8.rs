@@ -1,0 +1,43 @@
+//! Figure 8 (a–d): scalability in k.
+//!
+//! Varies k from 20 to 100 at µmax = 10 m/s and prints, for DIKNN,
+//! KPT+KNNB and Peer-tree: (a) query latency, (b) energy consumption,
+//! (c) post-accuracy, (d) pre-accuracy.
+//!
+//! Expected shapes (paper §5.3): DIKNN lowest latency/energy with the
+//! flattest growth; KPT latency/energy grow faster and its energy
+//! overtakes everyone near k = 100 (tree collisions); Peer-tree pays its
+//! clusterhead hierarchy everywhere; DIKNN keeps the highest accuracy.
+
+use diknn_baselines::{KptConfig, PeerTreeConfig};
+use diknn_bench::{default_scenario, default_workload, print_csv_header, print_row, run_cell};
+use diknn_core::DiknnConfig;
+use diknn_workloads::{ProtocolKind, WorkloadConfig};
+
+fn main() {
+    println!(
+        "Figure 8: impact of k (runs per cell: {}, {} s simulated)\n",
+        diknn_bench::runs(),
+        diknn_bench::duration()
+    );
+    print_csv_header();
+    for k in [20usize, 40, 60, 80, 100] {
+        for proto in [
+            ProtocolKind::Diknn(DiknnConfig::default()),
+            ProtocolKind::Kpt(KptConfig::default()),
+            ProtocolKind::PeerTree(PeerTreeConfig::default()),
+        ] {
+            let name = proto.name();
+            let agg = run_cell(
+                proto,
+                default_scenario(),
+                WorkloadConfig {
+                    k,
+                    ..default_workload()
+                },
+            );
+            print_row("fig8", "k", k as f64, name, &agg);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 9 (a–d): impact of node mobility.
+//!
+//! Varies µmax from 5 to 30 m/s at k = 40 and prints latency, energy and
+//! pre-/post-accuracy for the three protocols.
+//!
+//! Expected shapes (paper §5.4): DIKNN stays flat in latency and energy
+//! and keeps high accuracy; KPT degrades with speed (tree maintenance,
+//! stranded subtrees); Peer-tree's accuracy collapses (stale clusterhead
+//! tables) and its maintenance energy grows.
+
+use diknn_baselines::{KptConfig, PeerTreeConfig};
+use diknn_bench::{default_scenario, default_workload, print_csv_header, print_row, run_cell};
+use diknn_core::DiknnConfig;
+use diknn_workloads::{ProtocolKind, ScenarioConfig, WorkloadConfig};
+
+fn main() {
+    println!(
+        "Figure 9: impact of mobility (k = 40, runs per cell: {})\n",
+        diknn_bench::runs()
+    );
+    print_csv_header();
+    for mob in [5.0f64, 10.0, 15.0, 20.0, 25.0, 30.0] {
+        for proto in [
+            ProtocolKind::Diknn(DiknnConfig::default()),
+            ProtocolKind::Kpt(KptConfig::default()),
+            ProtocolKind::PeerTree(PeerTreeConfig::default()),
+        ] {
+            let name = proto.name();
+            let agg = run_cell(
+                proto,
+                ScenarioConfig {
+                    max_speed: mob,
+                    ..default_scenario()
+                },
+                WorkloadConfig {
+                    k: 40,
+                    ..default_workload()
+                },
+            );
+            print_row("fig9", "mobility", mob, name, &agg);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,127 @@
+//! DIKNN protocol parameters (defaults = the paper's settings table, §5.1).
+
+/// How a Q-node collects responses from the D-nodes that heard its probe
+/// (§3.3 "data collection scheme" and footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionScheme {
+    /// Contention-based: each D-node delays its reply by a timer
+    /// proportional to its angle α from the probe's reference line
+    /// (`timer = (α/2π)·i·m`), desynchronising replies.
+    Contention,
+    /// Token-ring: the Q-node polls each candidate D-node in turn —
+    /// collision-free but one extra poll frame per D-node.
+    TokenRing,
+    /// The paper's combined scheme: a contention round first, then explicit
+    /// polls for neighbours that stayed silent.
+    Combined,
+}
+
+/// Protocol configuration carried by [`crate::Diknn`].
+#[derive(Debug, Clone)]
+pub struct DiknnConfig {
+    /// Number of sectors `S` (default 8).
+    pub sectors: usize,
+    /// Itinerary width as a fraction of the radio range; the default is the
+    /// paper's `w = √3·r/2`.
+    pub width_factor: f64,
+    /// Data-collection time unit `m` in seconds (default 0.018 s): how long
+    /// the Q-node budgets per expected replier.
+    pub collection_unit: f64,
+    /// Upper bound on repliers assumed when sizing the contention window
+    /// (the window is `collection_unit × contention_slots`).
+    pub contention_slots: f64,
+    /// Mobility assurance gain `g ∈ [0, 1]` (§4.3; default 0.1).
+    pub assurance_gain: f64,
+    /// Enable rendezvous-based dynamic boundary adjustment (§4.3).
+    pub rendezvous: bool,
+    /// Early-stop margin: a sector may truncate its traversal once the
+    /// estimated number of explored nodes reaches `margin × k`.
+    pub early_stop_margin: f64,
+    /// Extension target: sectors keep growing the boundary until the
+    /// estimated explored total reaches `extend_target × k` (KNNB aims at
+    /// *exactly* k expected nodes, so without headroom roughly half the
+    /// true KNNs near the rim would be missed). Must be below
+    /// `early_stop_margin`.
+    pub extend_target: f64,
+    /// Boundary-extension cap: `R` may grow to at most `cap × R₀` through
+    /// rendezvous under-count extension plus mobility assurance.
+    pub max_radius_growth: f64,
+    /// Per-node query response payload (10 bytes in the paper).
+    pub response_bytes: usize,
+    /// Fixed per-message overhead assumed for protocol bookkeeping fields
+    /// (ids, radii, counters) when sizing packets.
+    pub base_msg_bytes: usize,
+    /// Data collection scheme.
+    pub collection: CollectionScheme,
+    /// Give up on a query at the sink after this many seconds without all
+    /// sector results (straggler sectors are simply not merged).
+    pub sink_timeout: f64,
+}
+
+impl Default for DiknnConfig {
+    fn default() -> Self {
+        DiknnConfig {
+            sectors: 8,
+            width_factor: 3.0_f64.sqrt() / 2.0,
+            collection_unit: 0.018,
+            contention_slots: 8.0,
+            assurance_gain: 0.1,
+            rendezvous: true,
+            early_stop_margin: 1.25,
+            extend_target: 1.15,
+            max_radius_growth: 2.0,
+            response_bytes: 10,
+            base_msg_bytes: 24,
+            collection: CollectionScheme::Combined,
+            sink_timeout: 20.0,
+        }
+    }
+}
+
+impl DiknnConfig {
+    pub fn validate(&self) {
+        assert!(self.sectors >= 1, "need at least one sector");
+        assert!(
+            self.width_factor > 0.0 && self.width_factor <= 2.0,
+            "width factor out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.assurance_gain),
+            "assurance gain must be in [0, 1]"
+        );
+        assert!(self.collection_unit > 0.0);
+        assert!(self.max_radius_growth >= 1.0);
+        assert!(self.early_stop_margin >= 1.0);
+        assert!(
+            self.extend_target >= 1.0 && self.extend_target <= self.early_stop_margin,
+            "extend target must be in [1, early_stop_margin]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DiknnConfig::default();
+        assert_eq!(c.sectors, 8);
+        assert!((c.width_factor - 0.866_025_403_784_438_6).abs() < 1e-12);
+        assert!((c.collection_unit - 0.018).abs() < 1e-12);
+        assert!((c.assurance_gain - 0.1).abs() < 1e-12);
+        assert!(c.rendezvous);
+        assert_eq!(c.response_bytes, 10);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "assurance gain")]
+    fn rejects_bad_gain() {
+        DiknnConfig {
+            assurance_gain: 1.5,
+            ..DiknnConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,372 @@
+//! Concurrent itinerary geometry (paper §3.3, Figure 4).
+//!
+//! The KNN boundary — a circle of radius `R` around the query point `q` —
+//! is partitioned into `S` equal sectors. Each sector is traversed by a
+//! **sub-itinerary** made of three segment kinds:
+//!
+//! * the *init-segment*: a straight run along the sector bisector of length
+//!   `l_init = min(w / (2·sin(π/S)), R)` — up to that distance the whole
+//!   sector width is within `w/2` of the bisector, so a straight line
+//!   covers it;
+//! * *peri-segments*: arcs of concentric circles around `q`, spaced `w`
+//!   apart (radii `l_init + (j−½)·w`), each ending `w/2` short of the
+//!   sector borders;
+//! * *adj-segments*: the `w`-long radial connectors along alternating
+//!   borders that join consecutive arcs into a zigzag.
+//!
+//! Inverting the arc direction in every other sector (the `reversed` flag)
+//! makes the adj-segments of neighbouring sub-itineraries meet face to
+//! face, forming the *rendezvous* areas used for dynamic boundary
+//! adjustment (§4.3, Figure 6).
+//!
+//! Itineraries are **conceptual**: nothing is installed in the network.
+//! Every Q-node recomputes the polyline deterministically from the compact
+//! [`ItinerarySpec`] carried in the query message. The geometry is monotone
+//! in `R`: enlarging the radius only *appends* waypoints (the mobility-
+//! assurance expansion of §4.3 relies on this).
+
+use diknn_geom::{angle, Point, Polyline, TAU};
+
+/// Compact description of a query's itinerary structure; travels inside
+/// query messages (a few bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItinerarySpec {
+    /// Query point (centre of the KNN boundary).
+    pub q: Point,
+    /// Boundary radius `R`.
+    pub radius: f64,
+    /// Number of sectors `S` (≥ 1).
+    pub sectors: usize,
+    /// Itinerary width `w`; full coverage requires `w ≤ √3·r/2`.
+    pub width: f64,
+    /// Angle of sector 0's starting border.
+    pub origin: f64,
+}
+
+impl ItinerarySpec {
+    pub fn new(q: Point, radius: f64, sectors: usize, width: f64) -> Self {
+        assert!(sectors >= 1, "need at least one sector");
+        assert!(width > 0.0, "itinerary width must be positive");
+        assert!(radius >= 0.0, "negative radius");
+        ItinerarySpec {
+            q,
+            radius,
+            sectors,
+            width,
+            origin: 0.0,
+        }
+    }
+
+    /// The init-segment length `l_init` (paper formula).
+    pub fn init_len(&self) -> f64 {
+        if self.sectors == 1 {
+            // Degenerate single-sector case: a ring itinerary starting at
+            // the first arc.
+            return (self.width / 2.0).min(self.radius);
+        }
+        let s = (std::f64::consts::PI / self.sectors as f64).sin();
+        (self.width / (2.0 * s)).min(self.radius)
+    }
+
+    /// Radii of the peri-segment arcs for boundary radius `radius`.
+    pub fn arc_radii(&self) -> Vec<f64> {
+        let linit = self.init_len();
+        let mut radii = Vec::new();
+        let mut j = 1usize;
+        loop {
+            let rho = linit + (j as f64 - 0.5) * self.width;
+            // Include arcs until the previous one already covers R.
+            if rho >= self.radius + self.width / 2.0 {
+                break;
+            }
+            radii.push(rho);
+            j += 1;
+            if j > 10_000 {
+                unreachable!("arc generation runaway");
+            }
+        }
+        radii
+    }
+
+    /// The paper's recommended width for radio range `r`: `w = √3·r/2`,
+    /// the largest width that still guarantees full coverage.
+    pub fn recommended_width(radio_range: f64) -> f64 {
+        3.0_f64.sqrt() * radio_range / 2.0
+    }
+}
+
+/// The sub-itinerary polyline for `sector` (0-based). `reversed` inverts
+/// the peri-segment direction — set it on odd sectors so adjacent
+/// sub-itineraries form rendezvous areas.
+pub fn sub_itinerary(spec: &ItinerarySpec, sector: usize, reversed: bool) -> Polyline {
+    assert!(sector < spec.sectors, "sector index out of range");
+    let span = TAU / spec.sectors as f64;
+    let start = angle::normalize(spec.origin + sector as f64 * span);
+    let bisector = angle::normalize(start + span / 2.0);
+    let linit = spec.init_len();
+
+    let mut pts: Vec<Point> = vec![spec.q];
+    if linit > 0.0 {
+        pts.push(spec.q.polar_offset(bisector, linit));
+    }
+
+    if spec.sectors == 1 {
+        // Degenerate single-sector itinerary: concentric full rings joined
+        // at the bisector (the Figure 3(b) style single traversal).
+        for rho in spec.arc_radii() {
+            push_arc(&mut pts, spec.q, rho, bisector, TAU, !reversed, spec.width);
+        }
+        return Polyline::new(pts);
+    }
+
+    // Zigzag over the arcs. `side = 0` is the starting border, `side = 1`
+    // the ending border; `reversed` swaps which side each arc begins on.
+    for (j, rho) in spec.arc_radii().into_iter().enumerate() {
+        let phi = arc_inset(spec, rho, span);
+        let a0 = angle::normalize(start + phi);
+        let a1 = angle::normalize(start + span - phi);
+        let sweep = angle::ccw_sweep(a0, a1);
+        // Arc j starts on side (j + reversed) mod 2 and ends on the other.
+        let begin_on_start_border = (j % 2 == 0) != reversed;
+        let (from, ccw) = if begin_on_start_border {
+            (a0, true)
+        } else {
+            (a1, false)
+        };
+        push_arc(&mut pts, spec.q, rho, from, sweep, ccw, spec.width);
+    }
+    Polyline::new(pts)
+}
+
+/// Angular inset keeping the arc endpoints `w/2` away from the borders
+/// (clamped so tiny arcs never invert).
+fn arc_inset(spec: &ItinerarySpec, rho: f64, span: f64) -> f64 {
+    if spec.sectors == 1 {
+        return 0.0; // full rings, no borders
+    }
+    let ratio = (spec.width / 2.0 / rho).min(1.0);
+    ratio.asin().min(span * 0.45)
+}
+
+/// Append an arc of radius `rho` around `c` starting at angle `from`,
+/// sweeping `sweep` radians counter-clockwise if `ccw` (clockwise
+/// otherwise), discretised so the chord sagitta stays below 2% of the
+/// itinerary width.
+fn push_arc(pts: &mut Vec<Point>, c: Point, rho: f64, from: f64, sweep: f64, ccw: bool, width: f64) {
+    // Angular step bounded by the sagitta tolerance.
+    let tol = 0.02 * width;
+    let max_step = if tol >= rho {
+        sweep.max(0.1)
+    } else {
+        2.0 * (1.0 - tol / rho).acos()
+    };
+    let steps = (sweep / max_step).ceil().max(1.0) as usize;
+    for i in 0..=steps {
+        let frac = i as f64 / steps as f64;
+        let theta = if ccw {
+            from + sweep * frac
+        } else {
+            from - sweep * frac
+        };
+        pts.push(c.polar_offset(theta, rho));
+    }
+}
+
+/// Total conceptual itinerary length over all sectors — the paper's
+/// `l_init + l_peri + l_adj` accounting, used by the width ablation.
+pub fn total_length(spec: &ItinerarySpec) -> f64 {
+    (0..spec.sectors)
+        .map(|s| sub_itinerary(spec, s, s % 2 == 1).length())
+        .sum()
+}
+
+/// Check whether every sampled point of the disc (radius `R` around `q`) is
+/// within `slack` of some sub-itinerary. Returns the worst observed
+/// distance. Used by coverage tests and the width ablation.
+pub fn coverage_worst_distance(spec: &ItinerarySpec, samples: usize) -> f64 {
+    let polylines: Vec<Polyline> = (0..spec.sectors)
+        .map(|s| sub_itinerary(spec, s, s % 2 == 1))
+        .collect();
+    let mut worst = 0.0f64;
+    // Deterministic low-discrepancy-ish sampling over the disc.
+    for i in 0..samples {
+        let frac = (i as f64 + 0.5) / samples as f64;
+        let rho = spec.radius * frac.sqrt();
+        let theta = TAU * ((i as f64 * 0.618_033_988_749_895) % 1.0);
+        let p = spec.q.polar_offset(theta, rho);
+        let d = polylines
+            .iter()
+            .map(|pl| pl.dist_to_point(p))
+            .fold(f64::INFINITY, f64::min);
+        worst = worst.max(d);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(radius: f64, sectors: usize) -> ItinerarySpec {
+        let w = ItinerarySpec::recommended_width(20.0); // √3·20/2 ≈ 17.32
+        ItinerarySpec::new(Point::new(57.0, 57.0), radius, sectors, w)
+    }
+
+    #[test]
+    fn init_len_matches_paper_formula() {
+        let s = spec(50.0, 8);
+        let expected = s.width / (2.0 * (std::f64::consts::PI / 8.0).sin());
+        assert!((s.init_len() - expected).abs() < 1e-12);
+        // Capped at R when R is small.
+        let small = spec(5.0, 8);
+        assert_eq!(small.init_len(), 5.0);
+    }
+
+    #[test]
+    fn recommended_width_is_sqrt3_r_over_2() {
+        assert!((ItinerarySpec::recommended_width(20.0) - 17.320_508_075_688_77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_radii_are_spaced_w_and_cover_r() {
+        let s = spec(60.0, 8);
+        let radii = s.arc_radii();
+        assert!(!radii.is_empty());
+        for w in radii.windows(2) {
+            assert!((w[1] - w[0] - s.width).abs() < 1e-9);
+        }
+        // Outermost arc covers the rim.
+        assert!(radii.last().unwrap() + s.width / 2.0 >= s.radius);
+        // First arc starts just past the init segment.
+        assert!((radii[0] - (s.init_len() + 0.5 * s.width)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growing_radius_only_appends_waypoints() {
+        let small = spec(40.0, 8);
+        let large = ItinerarySpec {
+            radius: 70.0,
+            ..small
+        };
+        for sector in 0..8 {
+            for reversed in [false, true] {
+                let a = sub_itinerary(&small, sector, reversed);
+                let b = sub_itinerary(&large, sector, reversed);
+                assert!(b.length() > a.length());
+                // Prefix property: the shorter polyline's waypoints open
+                // the longer one.
+                for (pa, pb) in a.waypoints().iter().zip(b.waypoints()) {
+                    assert!(pa.dist(*pb) < 1e-9, "waypoint prefix mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_itinerary_stays_inside_its_sector_with_margin() {
+        let s = spec(55.0, 8);
+        for sector in 0..8 {
+            let sect = diknn_geom::Sector::partition(s.q, s.radius + s.width, 8, s.origin)
+                [sector];
+            let poly = sub_itinerary(&s, sector, sector % 2 == 1);
+            for p in poly.waypoints() {
+                // Waypoints may stick out radially by w/2 (outermost arc)
+                // but never angularly into another sector.
+                if s.q.dist(*p) > 1e-9 {
+                    assert!(
+                        sect.contains(*p),
+                        "sector {sector}: waypoint {p:?} escaped its sector"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_at_recommended_width() {
+        // Interior points lie within w/2 of a sub-itinerary; the worst case
+        // sits on a sector border midway between two arcs where no
+        // adj-segment runs, at distance w/√2. With the recommended
+        // w = √3·r/2 that is ≈ 0.61·r — every node still hears a probe,
+        // which is the coverage the paper's argument needs.
+        let r = 20.0;
+        for sectors in [1usize, 4, 8, 16] {
+            let s = spec(55.0, sectors);
+            let worst = coverage_worst_distance(&s, 2000);
+            let bound = s.width / 2.0_f64.sqrt() + 0.05 * s.width;
+            assert!(
+                worst <= bound,
+                "S={sectors}: worst distance {worst} exceeds w/√2 bound {bound}"
+            );
+            assert!(
+                worst <= 0.75 * r,
+                "S={sectors}: worst distance {worst} too close to the radio range"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_fails_for_oversized_width() {
+        // Double the recommended width leaves gaps: some points of the disc
+        // are farther than w/2+slack... actually farther than the radio
+        // range r itself, which is the real failure criterion: a node there
+        // never hears a probe.
+        let mut s = spec(55.0, 8);
+        s.width = 3.0 * 20.0; // 3r: spacing 60 m with probes reaching 20 m
+        let worst = coverage_worst_distance(&s, 2000);
+        assert!(
+            worst > 20.0,
+            "expected coverage holes beyond the radio range, worst = {worst}"
+        );
+    }
+
+    #[test]
+    fn single_sector_is_ring_itinerary() {
+        let s = spec(40.0, 1);
+        let poly = sub_itinerary(&s, 0, false);
+        assert!(poly.length() > 2.0 * std::f64::consts::PI * 20.0);
+        let worst = coverage_worst_distance(&s, 1500);
+        assert!(worst <= s.width / 2.0 + 0.05 * s.width, "worst {worst}");
+    }
+
+    #[test]
+    fn reversed_flag_flips_first_arc_direction() {
+        let s = spec(50.0, 8);
+        let fwd = sub_itinerary(&s, 0, false);
+        let rev = sub_itinerary(&s, 0, true);
+        assert!((fwd.length() - rev.length()).abs() < 1e-6);
+        // After the init segment the two part ways.
+        let after_init = s.init_len() + s.width;
+        let pf = fwd.point_at(after_init);
+        let pr = rev.point_at(after_init);
+        assert!(pf.dist(pr) > s.width / 4.0, "reversal had no effect");
+    }
+
+    #[test]
+    fn total_length_scales_superlinearly_with_radius() {
+        let short = total_length(&spec(30.0, 8));
+        let long = total_length(&spec(60.0, 8));
+        // Area doubles 4×; itinerary length should grow clearly
+        // superlinearly (~quadratically).
+        assert!(long > 2.5 * short, "short={short} long={long}");
+    }
+
+    #[test]
+    fn narrower_width_means_longer_itinerary() {
+        let base = spec(50.0, 8);
+        let narrow = ItinerarySpec {
+            width: base.width / 2.0,
+            ..base
+        };
+        assert!(total_length(&narrow) > 1.5 * total_length(&base));
+    }
+
+    #[test]
+    fn tiny_radius_is_init_only() {
+        let s = spec(3.0, 8);
+        let poly = sub_itinerary(&s, 2, false);
+        // Just q -> bisector point.
+        assert!(poly.length() <= 3.0 + 1e-9);
+        assert!(!s.arc_radii().is_empty() || poly.length() > 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! DIKNN wire messages.
+//!
+//! Payload *sizes* drive airtime and energy in the simulator; the structs
+//! here carry whatever Rust data the protocol logic needs, and
+//! [`DiknnMsg::wire_bytes`] reports what the field would cost on air
+//! (positions as 2×4 B, ids/counters 2–4 B, per-candidate responses 10 B).
+
+use crate::candidates::CandidateSet;
+use crate::config::DiknnConfig;
+use crate::knnb::HopRecord;
+use crate::token::SectorToken;
+use diknn_geom::Point;
+use diknn_routing::GpsrHeader;
+use diknn_sim::{NodeId, SimTime};
+
+/// Immutable query description established at issue time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    pub qid: u32,
+    /// Node that issued the query and expects the result.
+    pub sink: NodeId,
+    /// Sink position at issue time (results are routed back here).
+    pub sink_pos: Point,
+    /// Query point.
+    pub q: Point,
+    /// Requested number of nearest neighbours.
+    pub k: u32,
+    pub issued_at: SimTime,
+}
+
+/// Routing-phase message: the query travelling sink → home node, gathering
+/// the KNNB information list `L` hop by hop (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMsg {
+    pub spec: QuerySpec,
+    pub gpsr: GpsrHeader,
+    pub list: Vec<HopRecord>,
+}
+
+/// Probe broadcast by a Q-node to solicit D-node responses (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeMsg {
+    pub qid: u32,
+    pub sector: u8,
+    pub qnode: NodeId,
+    pub qnode_pos: Point,
+    pub q: Point,
+    /// Current boundary radius: only nodes inside reply.
+    pub radius: f64,
+    /// Reference line for the contention timers.
+    pub ref_angle: f64,
+    /// Contention window length in seconds (0 ⇒ poll-only probe: D-nodes
+    /// stay silent and wait to be polled).
+    pub window: f64,
+    /// Piggybacked per-sector explored counts. Probe discs of adjacent
+    /// sub-itineraries overlap near the borders, so the counts hop between
+    /// sectors through shared D-nodes — the rendezvous exchange of §4.3
+    /// riding on existing traffic.
+    pub counts: Vec<(u8, u32)>,
+}
+
+/// A D-node's response to a probe or poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMsg {
+    pub qid: u32,
+    /// Sector of the collection this reply answers (BOOTSTRAP for the home
+    /// node's initial collection).
+    pub sector: u8,
+    pub responder: NodeId,
+    pub position: Point,
+    pub speed: f64,
+    /// Rendezvous statistics this node has overheard: `(sector, explored)`.
+    pub cached_counts: Vec<(u8, u32)>,
+}
+
+/// Explicit poll (token-ring / combined collection schemes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PollMsg {
+    pub qid: u32,
+    pub sector: u8,
+    pub qnode: NodeId,
+    pub q: Point,
+    pub radius: f64,
+}
+
+/// Rendezvous broadcast at sector borders: per-sector explored counts
+/// (§4.3, Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RendezvousMsg {
+    pub qid: u32,
+    pub counts: Vec<(u8, u32)>,
+}
+
+/// A sector's final partial result travelling back to the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultMsg {
+    pub spec: QuerySpec,
+    pub sector: u8,
+    pub gpsr: GpsrHeader,
+    pub candidates: CandidateSet,
+    pub explored: u32,
+    /// Final boundary radius this sector used (after adjustments).
+    pub final_radius: f64,
+    /// Hops taken by the token along the itinerary.
+    pub itinerary_hops: u32,
+}
+
+/// All DIKNN frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiknnMsg {
+    Query(QueryMsg),
+    Token(Box<SectorToken>),
+    Probe(ProbeMsg),
+    Reply(ReplyMsg),
+    Poll(PollMsg),
+    Rendezvous(RendezvousMsg),
+    Result(ResultMsg),
+}
+
+impl DiknnMsg {
+    /// Approximate on-air payload size in bytes.
+    pub fn wire_bytes(&self, cfg: &DiknnConfig) -> usize {
+        let base = cfg.base_msg_bytes;
+        match self {
+            // loc (8) + enc (2) per hop record.
+            DiknnMsg::Query(m) => base + 10 * m.list.len(),
+            DiknnMsg::Token(t) => {
+                base + t.candidates.wire_bytes(cfg.response_bytes) + 5 * t.sector_counts.len()
+            }
+            DiknnMsg::Probe(m) => base + 16 + 5 * m.counts.len(),
+            DiknnMsg::Reply(m) => base + cfg.response_bytes + 5 * m.cached_counts.len(),
+            DiknnMsg::Poll(_) => base,
+            DiknnMsg::Rendezvous(m) => base + 5 * m.counts.len(),
+            DiknnMsg::Result(m) => base + m.candidates.wire_bytes(cfg.response_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itinerary::ItinerarySpec;
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            qid: 1,
+            sink: NodeId(0),
+            sink_pos: Point::ORIGIN,
+            q: Point::new(50.0, 50.0),
+            k: 10,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn query_size_grows_with_hop_list() {
+        let cfg = DiknnConfig::default();
+        let mut m = QueryMsg {
+            spec: spec(),
+            gpsr: GpsrHeader::new(Point::new(50.0, 50.0)),
+            list: Vec::new(),
+        };
+        let empty = DiknnMsg::Query(m.clone()).wire_bytes(&cfg);
+        m.list.push(HopRecord {
+            loc: Point::ORIGIN,
+            enc: 5,
+        });
+        let one = DiknnMsg::Query(m).wire_bytes(&cfg);
+        assert_eq!(one - empty, 10);
+    }
+
+    #[test]
+    fn result_size_grows_with_candidates() {
+        let cfg = DiknnConfig::default();
+        let mut cands = CandidateSet::new(10);
+        let mk = |c: &CandidateSet| {
+            DiknnMsg::Result(ResultMsg {
+                spec: spec(),
+                sector: 0,
+                gpsr: GpsrHeader::new(Point::ORIGIN),
+                candidates: c.clone(),
+                explored: 0,
+                final_radius: 30.0,
+                itinerary_hops: 0,
+            })
+            .wire_bytes(&cfg)
+        };
+        let empty = mk(&cands);
+        cands.insert(crate::candidates::Candidate {
+            id: NodeId(3),
+            position: Point::ORIGIN,
+            dist: 1.0,
+        });
+        assert_eq!(mk(&cands) - empty, cfg.response_bytes);
+    }
+
+    #[test]
+    fn token_size_includes_state() {
+        let cfg = DiknnConfig::default();
+        let t = SectorToken::new(
+            spec(),
+            0,
+            ItinerarySpec::new(Point::new(50.0, 50.0), 30.0, 8, 17.0),
+            SimTime::ZERO,
+        );
+        let sz = DiknnMsg::Token(Box::new(t)).wire_bytes(&cfg);
+        assert!(sz >= cfg.base_msg_bytes);
+    }
+}

@@ -1,0 +1,89 @@
+//! Query outcomes: what a KNN protocol reports per query, consumed by the
+//! workload harness to compute latency, energy and accuracy. Shared by the
+//! baselines crate so every protocol is measured identically.
+
+use diknn_geom::Point;
+use diknn_sim::{NodeId, SimTime};
+
+/// A KNN query to be issued during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// Issue time in seconds.
+    pub at: f64,
+    /// Issuing (sink) node.
+    pub sink: NodeId,
+    /// Query point.
+    pub q: Point,
+    /// Number of nearest neighbours requested.
+    pub k: usize,
+}
+
+/// Per-query result record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    pub qid: u32,
+    pub sink: NodeId,
+    pub q: Point,
+    pub k: usize,
+    pub issued_at: SimTime,
+    /// When the sink finalised the answer (None: nothing ever came back).
+    pub completed_at: Option<SimTime>,
+    /// Node ids returned as the KNN answer (≤ k).
+    pub answer: Vec<NodeId>,
+    /// Search boundary radius initially estimated (KNNB for DIKNN/KPT,
+    /// irrelevant 0.0 for Peer-tree).
+    pub boundary_radius: f64,
+    /// Largest boundary radius actually used after dynamic adjustment.
+    pub final_radius: f64,
+    /// Hops of the sink→home routing phase.
+    pub routing_hops: u32,
+    /// Partial results expected (sectors for DIKNN, subtrees for KPT, 1 for
+    /// Peer-tree).
+    pub parts_expected: u32,
+    /// Partial results actually merged before completion/timeout.
+    pub parts_returned: u32,
+    /// Total distinct nodes that reported data for this query.
+    pub explored_nodes: u32,
+}
+
+impl QueryOutcome {
+    /// Latency in seconds, if the query completed.
+    pub fn latency(&self) -> Option<f64> {
+        self.completed_at
+            .map(|t| (t - self.issued_at).as_secs_f64())
+    }
+}
+
+/// Implemented by every KNN protocol in this reproduction so the workload
+/// harness can drive them uniformly.
+pub trait KnnProtocol: diknn_sim::Protocol {
+    /// Outcomes of all queries issued so far (finished or not).
+    fn outcomes(&self) -> &[QueryOutcome];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_requires_completion() {
+        let mut o = QueryOutcome {
+            qid: 1,
+            sink: NodeId(0),
+            q: Point::ORIGIN,
+            k: 5,
+            issued_at: SimTime::from_secs_f64(2.0),
+            completed_at: None,
+            answer: vec![],
+            boundary_radius: 10.0,
+            final_radius: 10.0,
+            routing_hops: 3,
+            parts_expected: 8,
+            parts_returned: 0,
+            explored_nodes: 0,
+        };
+        assert_eq!(o.latency(), None);
+        o.completed_at = Some(SimTime::from_secs_f64(2.5));
+        assert!((o.latency().unwrap() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1031 @@
+//! The DIKNN protocol: three execution phases over the simulator.
+//!
+//! 1. **Routing phase** (§4.1): the query is geo-routed (GPSR) from the
+//!    sink toward the query point `q`, appending `(loc_i, enc_i)` hop
+//!    records to the list `L`.
+//! 2. **KNN boundary estimation** (§4.2): the home node runs the linear
+//!    [`crate::knnb::knnb`] algorithm over `L` to fix the boundary radius.
+//! 3. **Query dissemination** (§3.3): the home node performs one bootstrap
+//!    data collection, then launches one [`SectorToken`] per sector. Each
+//!    token hops Q-node to Q-node along its conceptual sub-itinerary,
+//!    collecting D-node responses (contention / token-ring / combined
+//!    schemes), exchanging rendezvous statistics at sector borders, and
+//!    finally routing its partial result back to the sink, which merges the
+//!    `S` partials into the final KNN answer.
+//!
+//! One [`Diknn`] instance drives *all* nodes; per-node protocol state is
+//! kept in maps keyed by `(query, node)`.
+
+use std::collections::HashMap;
+
+use diknn_geom::{angle, Point, Polyline};
+use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
+use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::candidates::{Candidate, CandidateSet};
+use crate::config::{CollectionScheme, DiknnConfig};
+use crate::itinerary::{sub_itinerary, ItinerarySpec};
+use crate::knnb::{knnb, HopRecord};
+use crate::messages::*;
+use crate::outcome::{KnnProtocol, QueryOutcome, QueryRequest};
+use crate::token::{ExtendReason, SectorToken, TokenDecision};
+
+/// Timer kinds (high byte of the timer key).
+const K_ISSUE: u8 = 1;
+const K_COLLECT: u8 = 2;
+const K_REPLY: u8 = 3;
+const K_SINK_TIMEOUT: u8 = 4;
+
+/// Bootstrap collection pseudo-sector (the home node collects for all
+/// sectors at once before splitting).
+const BOOTSTRAP: u8 = u8::MAX;
+
+/// Safety cap on Q-node hops per sector token.
+const MAX_TOKEN_HOPS: u32 = 400;
+
+/// Neighbour snapshot filtered by the link-reliability predictor
+/// ([`diknn_routing::reliable_neighbors`]): avoids unicasting to entries
+/// that have likely drifted out of range.
+fn reliable(ctx: &mut Ctx<DiknnMsg>, at: NodeId) -> Vec<diknn_sim::Neighbor> {
+    let raw = ctx.neighbors(at);
+    diknn_routing::reliable_neighbors(
+        ctx.position(at),
+        ctx.speed(at),
+        ctx.now(),
+        &raw,
+        ctx.config().radio_range,
+    )
+}
+
+fn key(kind: u8, qid: u32, aux: u32) -> u64 {
+    ((kind as u64) << 56) | ((qid as u64) << 24) | (aux as u64 & 0xFF_FFFF)
+}
+
+fn key_kind(k: u64) -> u8 {
+    (k >> 56) as u8
+}
+
+fn key_qid(k: u64) -> u32 {
+    ((k >> 24) & 0xFFFF_FFFF) as u32
+}
+
+fn key_aux(k: u64) -> u32 {
+    (k & 0xFF_FFFF) as u32
+}
+
+/// An active data collection at a Q-node.
+struct Collecting {
+    node: NodeId,
+    token: SectorToken,
+    /// Nodes heard during this collection (for poll follow-up).
+    heard: Vec<NodeId>,
+    /// The poll round has been performed.
+    polled: bool,
+    /// Bootstrap collections keep replies here to split per sector later.
+    bootstrap_replies: Vec<Candidate>,
+    bootstrap_speeds: Vec<f64>,
+}
+
+/// A reply a D-node has scheduled but not yet sent.
+struct PendingReply {
+    to: NodeId,
+    sector: u8,
+}
+
+struct SinkState {
+    expected: u32,
+    merged: CandidateSet,
+    returned: u32,
+    explored: u32,
+    max_final_radius: f64,
+    last_merge_at: SimTime,
+    done: bool,
+}
+
+/// The DIKNN protocol instance (drives all nodes of a run).
+pub struct Diknn {
+    cfg: DiknnConfig,
+    requests: Vec<QueryRequest>,
+    outcomes: Vec<QueryOutcome>,
+    sinks: HashMap<u32, SinkState>,
+    collecting: HashMap<(u32, u8), Collecting>,
+    pending_replies: HashMap<(u32, u32), PendingReply>,
+    /// `(qid, node)` → sector the node responded to.
+    responded: HashMap<(u32, u32), u8>,
+    rdv_cache: HashMap<(u32, u32), Vec<(u8, u32)>>,
+    token_excludes: HashMap<(u32, u8), Vec<NodeId>>,
+    query_excludes: HashMap<u32, Vec<NodeId>>,
+    result_excludes: HashMap<(u32, u8), Vec<NodeId>>,
+    radio_range: f64,
+    /// Frames sent per message kind: [query, token, probe, reply, poll,
+    /// rendezvous, result]. Diagnostics for benches and tests.
+    pub tx_by_kind: [u64; 7],
+    /// Q-node traversal trace, populated for diagnostics and the Figure 7
+    /// visualisation.
+    pub token_trace: Vec<TokenHop>,
+    /// Routing-phase trace: (qid, hop position) per forward. Diagnostics.
+    pub route_trace: Vec<(u32, Point)>,
+}
+
+/// One Q-node-to-Q-node hop of an itinerary traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenHop {
+    pub qid: u32,
+    pub sector: u8,
+    pub hop: u32,
+    /// Position of the Q-node that forwarded the token.
+    pub from: Point,
+    /// Position of the chosen next Q-node (as believed at selection time).
+    pub to: Point,
+    /// Itinerary arc-length progress after this hop.
+    pub frontier: f64,
+    /// Sector boundary radius at this hop (grows on extension).
+    pub radius: f64,
+}
+
+impl Diknn {
+    pub fn new(cfg: DiknnConfig, requests: Vec<QueryRequest>) -> Self {
+        cfg.validate();
+        Diknn {
+            cfg,
+            requests,
+            outcomes: Vec::new(),
+            sinks: HashMap::new(),
+            collecting: HashMap::new(),
+            pending_replies: HashMap::new(),
+            responded: HashMap::new(),
+            rdv_cache: HashMap::new(),
+            token_excludes: HashMap::new(),
+            query_excludes: HashMap::new(),
+            result_excludes: HashMap::new(),
+            radio_range: 0.0,
+            tx_by_kind: [0; 7],
+            token_trace: Vec::new(),
+            route_trace: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &DiknnConfig {
+        &self.cfg
+    }
+
+    fn width(&self) -> f64 {
+        self.cfg.width_factor * self.radio_range
+    }
+
+    /// Deterministic per-query sector origin (decorrelates queries).
+    fn origin_for(qid: u32) -> f64 {
+        angle::normalize(qid as f64 * 2.399_963_229_728_653) // golden angle
+    }
+
+    fn kind_index(msg: &DiknnMsg) -> usize {
+        match msg {
+            DiknnMsg::Query(_) => 0,
+            DiknnMsg::Token(_) => 1,
+            DiknnMsg::Probe(_) => 2,
+            DiknnMsg::Reply(_) => 3,
+            DiknnMsg::Poll(_) => 4,
+            DiknnMsg::Rendezvous(_) => 5,
+            DiknnMsg::Result(_) => 6,
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<DiknnMsg>, from: NodeId, to: NodeId, msg: DiknnMsg) {
+        self.tx_by_kind[Self::kind_index(&msg)] += 1;
+        let bytes = msg.wire_bytes(&self.cfg);
+        ctx.unicast(from, to, bytes, msg);
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<DiknnMsg>, from: NodeId, msg: DiknnMsg) {
+        self.tx_by_kind[Self::kind_index(&msg)] += 1;
+        let bytes = msg.wire_bytes(&self.cfg);
+        ctx.broadcast(from, bytes, msg);
+    }
+
+    // ---------- phase 1: routing --------------------------------------
+
+    fn issue_query(&mut self, ctx: &mut Ctx<DiknnMsg>, req_idx: usize) {
+        let req = self.requests[req_idx];
+        let qid = self.outcomes.len() as u32;
+        let spec = QuerySpec {
+            qid,
+            sink: req.sink,
+            sink_pos: ctx.position(req.sink),
+            q: req.q,
+            k: req.k.max(1) as u32,
+            issued_at: ctx.now(),
+        };
+        self.outcomes.push(QueryOutcome {
+            qid,
+            sink: req.sink,
+            q: req.q,
+            k: req.k,
+            issued_at: ctx.now(),
+            completed_at: None,
+            answer: Vec::new(),
+            boundary_radius: 0.0,
+            final_radius: 0.0,
+            routing_hops: 0,
+            parts_expected: self.cfg.sectors as u32,
+            parts_returned: 0,
+            explored_nodes: 0,
+        });
+        self.sinks.insert(
+            qid,
+            SinkState {
+                expected: self.cfg.sectors as u32,
+                merged: CandidateSet::new(spec.k as usize),
+                returned: 0,
+                explored: 0,
+                max_final_radius: 0.0,
+                last_merge_at: ctx.now(),
+                done: false,
+            },
+        );
+        ctx.set_timer(
+            req.sink,
+            SimDuration::from_secs_f64(self.cfg.sink_timeout),
+            key(K_SINK_TIMEOUT, qid, 0),
+        );
+        let msg = QueryMsg {
+            spec,
+            gpsr: GpsrHeader::new(req.q),
+            list: Vec::new(),
+        };
+        self.handle_query_arrival(ctx, req.sink, msg, None);
+    }
+
+    /// Count neighbours newly encountered relative to the previous hop:
+    /// those farther than `r` from the previous hop's location (§4.1).
+    fn encounter_count(&self, neighbors: &[diknn_sim::Neighbor], prev: Option<Point>) -> u32 {
+        match prev {
+            None => neighbors.len() as u32,
+            Some(p) => neighbors
+                .iter()
+                .filter(|n| n.position.dist(p) > self.radio_range)
+                .count() as u32,
+        }
+    }
+
+    /// A node (sink or intermediate) has the query: append its hop record
+    /// and either forward it or, as home node, start dissemination.
+    fn handle_query_arrival(
+        &mut self,
+        ctx: &mut Ctx<DiknnMsg>,
+        at: NodeId,
+        mut msg: QueryMsg,
+        from: Option<NodeId>,
+    ) {
+        self.query_excludes.remove(&msg.spec.qid);
+        let neighbors = reliable(ctx, at);
+        let prev_loc = msg.list.last().map(|h| h.loc);
+        msg.list.push(HopRecord {
+            loc: ctx.position(at),
+            enc: self.encounter_count(&neighbors, prev_loc),
+        });
+        self.forward_query(ctx, at, msg, from);
+    }
+
+    fn forward_query(
+        &mut self,
+        ctx: &mut Ctx<DiknnMsg>,
+        at: NodeId,
+        msg: QueryMsg,
+        from: Option<NodeId>,
+    ) {
+        let neighbors = reliable(ctx, at);
+        let exclude = self
+            .query_excludes
+            .get(&msg.spec.qid)
+            .cloned()
+            .unwrap_or_default();
+        let prev_pos = from.map(|f| (f, ctx.position(f)));
+        // A local minimum within 1.5 radio ranges of q is accepted as the
+        // home node: the paper's home node is merely the node closest to q,
+        // and probing a small void with a perimeter walk can circle the
+        // whole outer face for no accuracy gain.
+        match plan_next_hop(
+            at,
+            ctx.position(at),
+            &msg.gpsr,
+            &neighbors,
+            prev_pos,
+            &exclude,
+            1.5 * self.radio_range,
+        ) {
+            RouteStep::Forward { next, header } => {
+                self.route_trace.push((msg.spec.qid, ctx.position(at)));
+                let fwd = QueryMsg {
+                    gpsr: header,
+                    ..msg
+                };
+                self.send(ctx, at, next, DiknnMsg::Query(fwd));
+            }
+            RouteStep::Arrived | RouteStep::NoRoute => {
+                // This node is the home node (or the best we can do).
+                self.begin_dissemination(ctx, at, msg);
+            }
+        }
+    }
+
+    // ---------- phase 2 + 3: boundary estimation & dissemination -------
+
+    fn begin_dissemination(&mut self, ctx: &mut Ctx<DiknnMsg>, home: NodeId, msg: QueryMsg) {
+        let spec = msg.spec;
+        let boundary = knnb(&msg.list, spec.q, self.radio_range, spec.k as usize);
+        let field = ctx.config().field;
+        let max_r = (field.width().powi(2) + field.height().powi(2)).sqrt();
+        let radius = boundary.radius.clamp(self.radio_range * 0.5, max_r);
+        if let Some(o) = self.outcomes.get_mut(spec.qid as usize) {
+            o.boundary_radius = radius;
+            o.final_radius = radius;
+            o.routing_hops = msg.list.len().saturating_sub(1) as u32;
+        }
+        let itin = ItinerarySpec {
+            origin: Self::origin_for(spec.qid),
+            ..ItinerarySpec::new(spec.q, radius, self.cfg.sectors, self.width())
+        };
+        // Bootstrap collection: one probe covering the home neighbourhood,
+        // split per sector afterwards.
+        let token = SectorToken::new(spec, BOOTSTRAP, itin, ctx.now());
+        self.start_collection(ctx, home, token);
+    }
+
+    /// Begin data collection at Q-node `at` holding `token`.
+    fn start_collection(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: SectorToken) {
+        let window = match self.cfg.collection {
+            CollectionScheme::TokenRing => 0.0,
+            _ => self.cfg.collection_unit * self.cfg.contention_slots,
+        };
+        let probe = ProbeMsg {
+            qid: token.spec.qid,
+            sector: token.sector,
+            qnode: at,
+            qnode_pos: ctx.position(at),
+            q: token.spec.q,
+            radius: token.itin.radius,
+            ref_angle: angle::normalize(Self::origin_for(token.spec.qid)),
+            window,
+            counts: if token.sector == BOOTSTRAP {
+                Vec::new()
+            } else {
+                token.advertised_counts()
+            },
+        };
+        self.broadcast(ctx, at, DiknnMsg::Probe(probe));
+        let qid = token.spec.qid;
+        let sector = token.sector;
+        self.collecting.insert(
+            (qid, sector),
+            Collecting {
+                node: at,
+                token,
+                heard: Vec::new(),
+                polled: false,
+                bootstrap_replies: Vec::new(),
+                bootstrap_speeds: Vec::new(),
+            },
+        );
+        // Collection window plus slack for the last reply's airtime.
+        let wait = window + self.cfg.collection_unit;
+        ctx.set_timer(
+            at,
+            SimDuration::from_secs_f64(wait),
+            key(K_COLLECT, qid, sector as u32),
+        );
+    }
+
+    /// The collection window (or poll round) of `(qid, sector)` ended.
+    fn collection_done(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32, sector: u8) {
+        let Some(mut coll) = self.collecting.remove(&(qid, sector)) else {
+            return;
+        };
+        let at = coll.node;
+        // Combined / token-ring: poll neighbours inside the boundary that
+        // have not replied yet, then wait one more round.
+        if !coll.polled && self.cfg.collection != CollectionScheme::Contention {
+            let neighbors = reliable(ctx, at);
+            let q = coll.token.spec.q;
+            let radius = coll.token.itin.radius;
+            // Poll in-boundary neighbours we have not heard that either
+            // never responded, or responded to *this* sector (meaning their
+            // reply was lost to a collision and only a directed poll can
+            // recover the data). Nodes that answered another sector are
+            // left alone.
+            let targets: Vec<NodeId> = neighbors
+                .iter()
+                .filter(|n| n.position.dist(q) <= radius)
+                .filter(|n| !coll.heard.contains(&n.id))
+                .filter(|n| {
+                    self.responded
+                        .get(&(qid, n.id.0))
+                        .is_none_or(|&s| s == sector)
+                })
+                .map(|n| n.id)
+                .collect();
+            if !targets.is_empty() {
+                for &t in &targets {
+                    let poll = PollMsg {
+                        qid,
+                        sector,
+                        qnode: at,
+                        q,
+                        radius,
+                    };
+                    self.send(ctx, at, t, DiknnMsg::Poll(poll));
+                }
+                coll.polled = true;
+                let wait = self.cfg.collection_unit * (targets.len() as f64 + 1.0);
+                self.collecting.insert((qid, sector), coll);
+                ctx.set_timer(
+                    at,
+                    SimDuration::from_secs_f64(wait),
+                    key(K_COLLECT, qid, sector as u32),
+                );
+                return;
+            }
+        }
+        if sector == BOOTSTRAP {
+            self.split_bootstrap(ctx, at, coll);
+        } else {
+            self.advance_token(ctx, at, coll.token);
+        }
+    }
+
+    /// Split the home node's bootstrap collection into the `S` sector
+    /// tokens and launch each sub-itinerary.
+    fn split_bootstrap(&mut self, ctx: &mut Ctx<DiknnMsg>, home: NodeId, coll: Collecting) {
+        let base = coll.token;
+        let spec = base.spec;
+        let s = self.cfg.sectors;
+        let mut tokens: Vec<SectorToken> = (0..s)
+            .map(|i| {
+                let mut t = SectorToken::new(spec, i as u8, base.itin, base.started_at);
+                t.merge_counts(&base.sector_counts);
+                t
+            })
+            .collect();
+        for (cand, speed) in coll
+            .bootstrap_replies
+            .iter()
+            .zip(coll.bootstrap_speeds.iter())
+        {
+            let theta = spec.q.angle_to(cand.position);
+            let idx = angle::sector_index(theta, base.itin.origin, s);
+            let t = &mut tokens[idx];
+            t.candidates.insert(*cand);
+            t.explored += 1;
+            t.max_speed = t.max_speed.max(*speed);
+        }
+        for token in tokens {
+            self.advance_token(ctx, home, token);
+        }
+    }
+
+    /// Core traversal step: decide, then pick and forward to the next
+    /// Q-node (or finish the sector).
+    fn advance_token(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, mut token: SectorToken) {
+        let qid = token.spec.qid;
+        let sector = token.sector;
+        if token.hops >= MAX_TOKEN_HOPS {
+            return self.finish_sector(ctx, at, token);
+        }
+        let mut poly = self.polyline_for(&token);
+        // Decision loop: handle end-of-itinerary extensions.
+        loop {
+            let at_end = token.frontier >= poly.length() - 1e-6;
+            match token.decide(&self.cfg, ctx.now(), at_end) {
+                TokenDecision::Continue => break,
+                TokenDecision::FinishEarly | TokenDecision::Finish => {
+                    return self.finish_sector(ctx, at, token);
+                }
+                TokenDecision::Extend(r, reason) => {
+                    match reason {
+                        ExtendReason::Assurance => token.assured = true,
+                        ExtendReason::UnderCount => {
+                            token.explored_at_extend = Some(token.explored)
+                        }
+                    }
+                    token.itin.radius = r;
+                    poly = self.polyline_for(&token);
+                }
+            }
+        }
+
+        // Rendezvous broadcast when passing near a sector border (§4.3).
+        self.maybe_rendezvous(ctx, at, &mut token);
+
+        let my_pos = ctx.position(at);
+        let neighbors = reliable(ctx, at);
+        let exclude = self
+            .token_excludes
+            .get(&(qid, sector))
+            .cloned()
+            .unwrap_or_default();
+        let step = self.radio_range * 0.6;
+        let w = token.itin.width;
+
+        // An active void detour (perimeter forwarding mode) continues until
+        // the target comes within radio reach.
+        if let Some((detour_arclen, header)) = token.detour {
+            let target = poly.point_at(detour_arclen);
+            if my_pos.dist(target) <= self.radio_range {
+                // Crossed the void: resume the itinerary from the target.
+                token.frontier = token.frontier.max(detour_arclen);
+                token.detour = None;
+            } else {
+                match plan_next_hop(at, my_pos, &header, &neighbors, None, &exclude, 0.0) {
+                    RouteStep::Forward { next, header } => {
+                        token.detour = Some((detour_arclen, header));
+                        token.hops += 1;
+                        self.token_trace.push(TokenHop {
+                            qid: token.spec.qid,
+                            sector: token.sector,
+                            hop: token.hops,
+                            from: my_pos,
+                            to: poly.point_at(detour_arclen),
+                            frontier: token.frontier,
+                            radius: token.itin.radius,
+                        });
+                        self.send(ctx, at, next, DiknnMsg::Token(Box::new(token)));
+                        return;
+                    }
+                    RouteStep::Arrived | RouteStep::NoRoute => {
+                        // Even perimeter forwarding cannot reach the target
+                        // region (isolated segment, the Figure 7 accuracy
+                        // loss). Skip past it or finish.
+                        token.detour = None;
+                        if detour_arclen >= poly.length() - 1e-6 {
+                            return self.finish_sector(ctx, at, token);
+                        }
+                        token.frontier = token.frontier.max(detour_arclen);
+                        return self.advance_token(ctx, at, token);
+                    }
+                }
+            }
+        }
+
+        let mut target_arclen = token.frontier + step;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 200 {
+                return self.finish_sector(ctx, at, token);
+            }
+            let end_reached = target_arclen >= poly.length();
+            let ta = target_arclen.min(poly.length());
+            let target = poly.point_at(ta);
+            let my_d = my_pos.dist(target);
+
+            // Choose the neighbour closest to the target that makes real
+            // progress toward it.
+            let next = neighbors
+                .iter()
+                .filter(|n| !exclude.contains(&n.id))
+                .filter(|n| n.position.dist(target) < my_d - 0.5)
+                .min_by(|a, b| {
+                    a.position
+                        .dist(target)
+                        .partial_cmp(&b.position.dist(target))
+                        .expect("finite distance")
+                        .then(a.id.cmp(&b.id))
+                });
+
+            if let Some(n) = next {
+                // Record any targets skipped while probing ahead, so the
+                // next Q-node does not restart at a target already proven
+                // unreachable here (which would ping-pong the token).
+                token.frontier = token.frontier.max(ta - step);
+                // Advance further: fully when the chosen Q-node sits on the
+                // itinerary, conservatively while detouring around a void.
+                let proj = poly.project_from(n.position, token.frontier);
+                if proj.dist <= w {
+                    token.frontier = token.frontier.max(proj.arclen);
+                } else if my_d <= self.radio_range {
+                    token.frontier = token.frontier.max(ta);
+                }
+                token.hops += 1;
+                self.token_trace.push(TokenHop {
+                    qid: token.spec.qid,
+                    sector: token.sector,
+                    hop: token.hops,
+                    from: my_pos,
+                    to: n.position,
+                    frontier: token.frontier,
+                    radius: token.itin.radius,
+                });
+                self.send(ctx, at, n.id, DiknnMsg::Token(Box::new(token)));
+                return;
+            }
+
+            if my_d <= self.radio_range {
+                // Nobody better but the target is inside my own radio disc:
+                // my probe already covered it; skip ahead.
+                token.frontier = ta;
+                if end_reached {
+                    // Reached the end standing here: re-run the decision.
+                    return self.advance_token(ctx, at, token);
+                }
+                target_arclen = token.frontier + step;
+                continue;
+            }
+
+            // Itinerary void: probe farther along, bounded; then switch to
+            // perimeter forwarding mode (geo-route the token around the
+            // vacancy toward the far target, §5.2). Targets outside the
+            // field hold no nodes — skip them instead of detouring.
+            target_arclen += step;
+            if target_arclen - token.frontier > 3.0 * self.radio_range || end_reached {
+                if ctx.config().field.contains(target) {
+                    token.detour = Some((ta, diknn_routing::GpsrHeader::with_ttl(target, 24)));
+                    return self.advance_token(ctx, at, token);
+                }
+                if end_reached {
+                    return self.finish_sector(ctx, at, token);
+                }
+                // Skip the out-of-field stretch and keep probing.
+                token.frontier = token.frontier.max(ta);
+                target_arclen = token.frontier + step;
+            }
+        }
+    }
+
+    fn polyline_for(&self, token: &SectorToken) -> Polyline {
+        if token.sector == BOOTSTRAP {
+            return Polyline::new([token.spec.q]);
+        }
+        sub_itinerary(&token.itin, token.sector as usize, token.reversed())
+    }
+
+    fn maybe_rendezvous(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: &mut SectorToken) {
+        if !self.cfg.rendezvous || token.sector == BOOTSTRAP {
+            return;
+        }
+        if token.frontier - token.last_rendezvous < token.itin.width {
+            return;
+        }
+        let sectors =
+            diknn_geom::Sector::partition(token.spec.q, token.itin.radius, self.cfg.sectors, token.itin.origin);
+        let sect = &sectors[token.sector as usize];
+        let pos = ctx.position(at);
+        if sect.dist_to_border(pos) <= token.itin.width {
+            let msg = RendezvousMsg {
+                qid: token.spec.qid,
+                counts: token.advertised_counts(),
+            };
+            self.broadcast(ctx, at, DiknnMsg::Rendezvous(msg));
+            token.last_rendezvous = token.frontier;
+        }
+    }
+
+    fn finish_sector(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: SectorToken) {
+        let result = ResultMsg {
+            spec: token.spec,
+            sector: token.sector,
+            gpsr: GpsrHeader::new(token.spec.sink_pos),
+            candidates: token.candidates.clone(),
+            explored: token.explored,
+            final_radius: token.itin.radius,
+            itinerary_hops: token.hops,
+        };
+        self.route_result(ctx, at, result, None);
+    }
+
+    // ---------- result return ----------------------------------------
+
+    fn route_result(
+        &mut self,
+        ctx: &mut Ctx<DiknnMsg>,
+        at: NodeId,
+        msg: ResultMsg,
+        from: Option<NodeId>,
+    ) {
+        if at == msg.spec.sink {
+            return self.sink_merge(ctx, at, msg);
+        }
+        let neighbors = reliable(ctx, at);
+        // If the sink is a direct neighbour, short-circuit.
+        if neighbors.iter().any(|n| n.id == msg.spec.sink) {
+            let sink = msg.spec.sink;
+            return self.send(ctx, at, sink, DiknnMsg::Result(msg));
+        }
+        let exclude = self
+            .result_excludes
+            .get(&(msg.spec.qid, msg.sector))
+            .cloned()
+            .unwrap_or_default();
+        let prev_pos = from.map(|f| (f, ctx.position(f)));
+        match plan_next_hop(
+            at,
+            ctx.position(at),
+            &msg.gpsr,
+            &neighbors,
+            prev_pos,
+            &exclude,
+            self.radio_range,
+        ) {
+            RouteStep::Forward { next, header } => {
+                let fwd = ResultMsg {
+                    gpsr: header,
+                    ..msg
+                };
+                self.send(ctx, at, next, DiknnMsg::Result(fwd));
+            }
+            RouteStep::Arrived | RouteStep::NoRoute => {
+                // Routed to the sink's last known position but the sink is
+                // not in the local table (it moved, or its beacon was
+                // missed). Last resort: transmit to it directly — the MAC
+                // retries deliver it if it is still within radio reach.
+                let sink = msg.spec.sink;
+                self.send(ctx, at, sink, DiknnMsg::Result(msg));
+            }
+        }
+    }
+
+    fn sink_merge(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, msg: ResultMsg) {
+        debug_assert_eq!(at, msg.spec.sink);
+        let qid = msg.spec.qid;
+        let Some(state) = self.sinks.get_mut(&qid) else {
+            return;
+        };
+        if state.done {
+            return;
+        }
+        state.merged.merge(&msg.candidates);
+        state.returned += 1;
+        state.explored += msg.explored;
+        state.max_final_radius = state.max_final_radius.max(msg.final_radius);
+        state.last_merge_at = ctx.now();
+        if state.returned >= state.expected {
+            self.finalize(ctx.now(), qid, false);
+        }
+    }
+
+    /// Complete a query: all parts arrived, or the sink timeout fired.
+    fn finalize(&mut self, now: SimTime, qid: u32, timed_out: bool) {
+        let Some(state) = self.sinks.get_mut(&qid) else {
+            return;
+        };
+        if state.done {
+            return;
+        }
+        state.done = true;
+        let outcome = &mut self.outcomes[qid as usize];
+        outcome.parts_returned = state.returned;
+        outcome.explored_nodes = state.explored;
+        outcome.final_radius = state.max_final_radius.max(outcome.boundary_radius);
+        outcome.answer = state.merged.ids();
+        outcome.answer.truncate(outcome.k);
+        if state.returned > 0 {
+            // Completion moment: when the last merged partial arrived (the
+            // timeout itself is bookkeeping, not protocol traffic).
+            outcome.completed_at = Some(if timed_out { state.last_merge_at } else { now });
+        }
+    }
+}
+
+impl Protocol for Diknn {
+    type Msg = DiknnMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<DiknnMsg>) {
+        self.radio_range = ctx.config().radio_range;
+        for (i, req) in self.requests.clone().into_iter().enumerate() {
+            assert!(
+                req.sink.index() < ctx.node_count(),
+                "request sink out of range"
+            );
+            ctx.set_timer(
+                req.sink,
+                SimDuration::from_secs_f64(req.at),
+                key(K_ISSUE, 0, i as u32),
+            );
+        }
+    }
+
+    fn on_timer(&mut self, at: NodeId, timer_key: u64, ctx: &mut Ctx<DiknnMsg>) {
+        match key_kind(timer_key) {
+            K_ISSUE => self.issue_query(ctx, key_aux(timer_key) as usize),
+            K_COLLECT => {
+                self.collection_done(ctx, key_qid(timer_key), key_aux(timer_key) as u8)
+            }
+            K_REPLY => {
+                let qid = key_qid(timer_key);
+                if let Some(pending) = self.pending_replies.remove(&(qid, at.0)) {
+                    let cached = self
+                        .rdv_cache
+                        .get(&(qid, at.0))
+                        .cloned()
+                        .unwrap_or_default();
+                    let reply = ReplyMsg {
+                        qid,
+                        sector: pending.sector,
+                        responder: at,
+                        position: ctx.position(at),
+                        speed: ctx.speed(at),
+                        cached_counts: cached,
+                    };
+                    self.send(ctx, at, pending.to, DiknnMsg::Reply(reply));
+                }
+            }
+            K_SINK_TIMEOUT => {
+                let now = ctx.now();
+                self.finalize(now, key_qid(timer_key), true);
+            }
+            _ => unreachable!("unknown timer kind"),
+        }
+    }
+
+    fn on_message(&mut self, at: NodeId, from: NodeId, msg: &DiknnMsg, ctx: &mut Ctx<DiknnMsg>) {
+        match msg {
+            DiknnMsg::Query(m) => {
+                self.handle_query_arrival(ctx, at, m.clone(), Some(from));
+            }
+            DiknnMsg::Token(t) => {
+                self.token_excludes.remove(&(t.spec.qid, t.sector));
+                self.start_collection(ctx, at, (**t).clone());
+            }
+            DiknnMsg::Probe(p) => {
+                // Cache the piggybacked sector counts regardless of whether
+                // we reply: this is how rendezvous information crosses
+                // sector borders.
+                if !p.counts.is_empty() {
+                    let entry = self.rdv_cache.entry((p.qid, at.0)).or_default();
+                    for &(sct, c) in &p.counts {
+                        match entry.iter_mut().find(|(s2, _)| *s2 == sct) {
+                            Some((_, c2)) => *c2 = (*c2).max(c),
+                            None => entry.push((sct, c)),
+                        }
+                    }
+                }
+                if p.window <= 0.0 {
+                    return; // poll-only probe: stay silent
+                }
+                let my_pos = ctx.position(at);
+                if my_pos.dist(p.q) > p.radius {
+                    return;
+                }
+                if self.responded.contains_key(&(p.qid, at.0)) {
+                    return; // one response per query per node
+                }
+                self.responded.insert((p.qid, at.0), p.sector);
+                // Contention timer ordered by the angle α from the probe's
+                // reference line (§3.3).
+                let alpha = angle::ccw_sweep(p.ref_angle, p.qnode_pos.angle_to(my_pos));
+                let jitter: f64 = ctx.rng().gen_range(0.0..self.cfg.collection_unit * 0.25);
+                let delay = p.window * (alpha / diknn_geom::TAU) + jitter;
+                self.pending_replies.insert(
+                    (p.qid, at.0),
+                    PendingReply {
+                        to: p.qnode,
+                        sector: p.sector,
+                    },
+                );
+                ctx.set_timer(
+                    at,
+                    SimDuration::from_secs_f64(delay),
+                    key(K_REPLY, p.qid, 0),
+                );
+            }
+            DiknnMsg::Poll(p) => {
+                let my_pos = ctx.position(at);
+                if my_pos.dist(p.q) > p.radius {
+                    return;
+                }
+                // A directed poll from the sector we responded to means
+                // that reply was lost — answer again. Polls from other
+                // sectors are not answered twice.
+                match self.responded.get(&(p.qid, at.0)) {
+                    Some(&s) if s != p.sector => return,
+                    _ => {}
+                }
+                self.responded.insert((p.qid, at.0), p.sector);
+                // Cancel any still-pending contention reply to avoid
+                // answering twice.
+                self.pending_replies.remove(&(p.qid, at.0));
+                let cached = self
+                    .rdv_cache
+                    .get(&(p.qid, at.0))
+                    .cloned()
+                    .unwrap_or_default();
+                let reply = ReplyMsg {
+                    qid: p.qid,
+                    sector: p.sector,
+                    responder: at,
+                    position: my_pos,
+                    speed: ctx.speed(at),
+                    cached_counts: cached,
+                };
+                self.send(ctx, at, p.qnode, DiknnMsg::Reply(reply));
+            }
+            DiknnMsg::Reply(r) => {
+                let ckey = (r.qid, r.sector);
+                let Some(coll) = self.collecting.get_mut(&ckey) else {
+                    return; // late reply, Q-node moved on
+                };
+                if coll.node != at {
+                    return; // reply raced a token handoff
+                }
+                let cand = Candidate {
+                    id: r.responder,
+                    position: r.position,
+                    dist: r.position.dist(coll.token.spec.q),
+                };
+                if !coll.heard.contains(&r.responder) {
+                    coll.heard.push(r.responder);
+                    if ckey.1 == BOOTSTRAP {
+                        coll.bootstrap_replies.push(cand);
+                        coll.bootstrap_speeds.push(r.speed);
+                    } else {
+                        coll.token.explored += 1;
+                    }
+                }
+                if ckey.1 != BOOTSTRAP {
+                    coll.token.candidates.insert(cand);
+                    coll.token.max_speed = coll.token.max_speed.max(r.speed);
+                    coll.token.merge_counts(&r.cached_counts);
+                } else {
+                    coll.token.merge_counts(&r.cached_counts);
+                }
+            }
+            DiknnMsg::Rendezvous(m) => {
+                let entry = self.rdv_cache.entry((m.qid, at.0)).or_default();
+                for &(s, c) in &m.counts {
+                    match entry.iter_mut().find(|(s2, _)| *s2 == s) {
+                        Some((_, c2)) => *c2 = (*c2).max(c),
+                        None => entry.push((s, c)),
+                    }
+                }
+            }
+            DiknnMsg::Result(m) => {
+                self.result_excludes.remove(&(m.spec.qid, m.sector));
+                if at == m.spec.sink {
+                    self.sink_merge(ctx, at, m.clone());
+                } else {
+                    self.route_result(ctx, at, m.clone(), Some(from));
+                }
+            }
+        }
+    }
+
+    fn on_send_failed(&mut self, at: NodeId, to: NodeId, msg: &DiknnMsg, ctx: &mut Ctx<DiknnMsg>) {
+        match msg {
+            DiknnMsg::Query(m) => {
+                self.query_excludes.entry(m.spec.qid).or_default().push(to);
+                self.forward_query(ctx, at, m.clone(), None);
+            }
+            DiknnMsg::Token(t) => {
+                let k = (t.spec.qid, t.sector);
+                let excl = self.token_excludes.entry(k).or_default();
+                excl.push(to);
+                if excl.len() > 16 {
+                    // Too many dead neighbours: give up on this sector here.
+                    self.token_excludes.remove(&k);
+                    return self.finish_sector(ctx, at, (**t).clone());
+                }
+                self.advance_token(ctx, at, (**t).clone());
+            }
+            DiknnMsg::Result(m) => {
+                let k = (m.spec.qid, m.sector);
+                let excl = self.result_excludes.entry(k).or_default();
+                excl.push(to);
+                if excl.len() > 16 {
+                    self.result_excludes.remove(&k);
+                    return; // partial result lost
+                }
+                self.route_result(ctx, at, m.clone(), None);
+            }
+            // Lost replies/polls are data loss the protocol tolerates.
+            DiknnMsg::Reply(_) | DiknnMsg::Poll(_) => {}
+            DiknnMsg::Probe(_) | DiknnMsg::Rendezvous(_) => {}
+        }
+    }
+}
+
+impl KnnProtocol for Diknn {
+    fn outcomes(&self) -> &[QueryOutcome] {
+        &self.outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_key_round_trips() {
+        let k = key(K_COLLECT, 0xDEAD_BEEF, 0x12_3456);
+        assert_eq!(key_kind(k), K_COLLECT);
+        assert_eq!(key_qid(k), 0xDEAD_BEEF);
+        assert_eq!(key_aux(k), 0x12_3456);
+    }
+
+    #[test]
+    fn origin_is_deterministic_and_spread() {
+        let a = Diknn::origin_for(1);
+        let b = Diknn::origin_for(1);
+        let c = Diknn::origin_for(2);
+        assert_eq!(a, b);
+        assert!(diknn_geom::angle::diff(a, c) > 0.1);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end continuous KNN monitoring: periodic rounds complete, deltas
+//! are consistent, and churn scales with mobility.
+
+use std::sync::Arc;
+
+use diknn_core::{ContinuousKnn, DiknnConfig, KnnProtocol, MonitorRequest};
+use diknn_geom::{Point, Rect};
+use diknn_mobility::{placement, RandomWaypoint, RwpConfig, StaticMobility};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const FIELD: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 115.0,
+    max_y: 115.0,
+};
+
+fn network(speed: f64, seed: u64) -> Vec<SharedMobility> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    placement::uniform(FIELD, 180, &mut rng)
+        .into_iter()
+        .map(|p| {
+            if speed > 0.0 {
+                Arc::new(RandomWaypoint::new(
+                    p,
+                    &RwpConfig::new(FIELD, speed, 90.0),
+                    &mut rng,
+                )) as SharedMobility
+            } else {
+                Arc::new(StaticMobility::new(p)) as SharedMobility
+            }
+        })
+        .collect()
+}
+
+fn run_monitor(speed: f64, seed: u64) -> (usize, usize, f64) {
+    let monitor = MonitorRequest {
+        start_at: 2.0,
+        period: 8.0,
+        rounds: 5,
+        sink: NodeId(0),
+        q: Point::new(57.0, 57.0),
+        k: 10,
+    };
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(60.0),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(
+        cfg,
+        network(speed, seed),
+        ContinuousKnn::new(DiknnConfig::default(), vec![monitor]),
+        seed,
+    );
+    sim.warm_neighbor_tables();
+    sim.run();
+    let completed = sim
+        .protocol()
+        .outcomes()
+        .iter()
+        .filter(|o| o.completed_at.is_some())
+        .count();
+    let proto = sim.protocol_mut();
+    let rounds = proto.deltas().len();
+    let churn = proto.mean_churn();
+    (completed, rounds, churn)
+}
+
+#[test]
+fn all_rounds_complete_and_deltas_cover_them() {
+    let (completed, rounds, _) = run_monitor(10.0, 5);
+    assert_eq!(rounds, 5);
+    assert!(completed >= 4, "only {completed}/5 rounds completed");
+}
+
+#[test]
+fn static_network_has_near_zero_churn() {
+    let (_, _, churn) = run_monitor(0.0, 7);
+    assert!(
+        churn < 0.25,
+        "static churn should be small (protocol noise only): {churn}"
+    );
+}
+
+#[test]
+fn churn_grows_with_mobility() {
+    let (_, _, slow) = run_monitor(0.0, 9);
+    let (_, _, fast) = run_monitor(25.0, 9);
+    assert!(
+        fast > slow + 0.1,
+        "churn must rise with speed: static {slow} vs fast {fast}"
+    );
+    // At 25 m/s over 8 s the set rotates substantially but not fully.
+    assert!(fast > 0.2 && fast <= 2.0, "implausible churn {fast}");
+}
+
+#[test]
+fn first_round_delta_is_the_full_answer() {
+    let monitor = MonitorRequest {
+        start_at: 1.0,
+        period: 10.0,
+        rounds: 2,
+        sink: NodeId(3),
+        q: Point::new(40.0, 70.0),
+        k: 8,
+    };
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(30.0),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(
+        cfg,
+        network(5.0, 11),
+        ContinuousKnn::new(DiknnConfig::default(), vec![monitor]),
+        11,
+    );
+    sim.warm_neighbor_tables();
+    sim.run();
+    let proto = sim.protocol_mut();
+    let deltas = proto.deltas().to_vec();
+    let first = &deltas[0];
+    assert_eq!(first.round, 0);
+    assert!(first.left.is_empty());
+    assert_eq!(first.joined, first.answer);
+    // Second round: joined/left must be consistent with the answers.
+    let second = &deltas[1];
+    for n in &second.joined {
+        assert!(second.answer.contains(n));
+        assert!(!first.answer.contains(n));
+    }
+    for n in &second.left {
+        assert!(first.answer.contains(n));
+        assert!(!second.answer.contains(n));
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end window (range) queries over the simulator.
+
+use std::sync::Arc;
+
+use diknn_core::{WindowQuery, WindowRequest};
+use diknn_geom::{Point, Rect};
+use diknn_mobility::{placement, StaticMobility};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn static_network(n: usize, seed: u64) -> (Vec<SharedMobility>, Vec<Point>) {
+    let field = Rect::new(0.0, 0.0, 115.0, 115.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts = placement::uniform(field, n, &mut rng);
+    let mob = pts
+        .iter()
+        .map(|&p| Arc::new(StaticMobility::new(p)) as SharedMobility)
+        .collect();
+    (mob, pts)
+}
+
+fn run_window(
+    window: Rect,
+    seed: u64,
+) -> (Vec<NodeId>, Vec<Point>, Option<f64>) {
+    let (mob, pts) = static_network(200, seed);
+    let req = WindowRequest {
+        at: 0.5,
+        sink: NodeId(0),
+        window,
+    };
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(30.0),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(cfg, mob, WindowQuery::new(vec![req]), seed);
+    sim.warm_neighbor_tables();
+    sim.run();
+    let o = &sim.protocol().outcomes()[0];
+    (
+        o.members.iter().map(|c| c.id).collect(),
+        pts,
+        o.completed_at
+            .map(|t| (t - o.issued_at).as_secs_f64()),
+    )
+}
+
+#[test]
+fn window_query_finds_most_members() {
+    let window = Rect::new(30.0, 30.0, 85.0, 80.0);
+    let (got, pts, latency) = run_window(window, 7);
+    assert!(latency.is_some(), "window query never completed");
+    let truth: Vec<usize> = (0..pts.len()).filter(|&i| window.contains(pts[i])).collect();
+    assert!(!truth.is_empty());
+    let hits = got.iter().filter(|n| truth.contains(&n.index())).count();
+    let recall = hits as f64 / truth.len() as f64;
+    assert!(recall >= 0.85, "window recall {recall:.2} ({hits}/{})", truth.len());
+    // No false positives far outside the window (staleness tolerance 1 m
+    // on a static network = none).
+    for n in &got {
+        assert!(
+            window.contains(pts[n.index()]),
+            "node {n} reported but outside the window"
+        );
+    }
+}
+
+#[test]
+fn small_window_works() {
+    let window = Rect::new(50.0, 50.0, 70.0, 65.0);
+    let (got, pts, latency) = run_window(window, 11);
+    assert!(latency.is_some());
+    let truth = (0..pts.len()).filter(|&i| window.contains(pts[i])).count();
+    assert!(got.len() + 2 >= truth, "{} of {truth} members", got.len());
+}
+
+#[test]
+fn window_latency_scales_with_area() {
+    let (_, _, small) = run_window(Rect::new(40.0, 40.0, 70.0, 70.0), 13);
+    let (_, _, large) = run_window(Rect::new(10.0, 10.0, 105.0, 105.0), 13);
+    let (s, l) = (small.unwrap(), large.unwrap());
+    assert!(l > s, "sweep of a 9x area should take longer: {s:.2} vs {l:.2}");
+}
+
+#[test]
+fn window_query_deterministic() {
+    let w = Rect::new(25.0, 35.0, 80.0, 75.0);
+    let a = run_window(w, 21);
+    let b = run_window(w, 21);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.2, b.2);
+}

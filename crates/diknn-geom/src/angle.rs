@@ -1,0 +1,103 @@
+//! Angle arithmetic on the circle `[0, 2π)`.
+//!
+//! Sector membership, rendezvous placement and itinerary arcs all reason about
+//! angles around the query point, so the conventions live in one place:
+//! angles are radians, normalised into `[0, 2π)`, and "between" is always
+//! measured counter-clockwise.
+
+use crate::TAU;
+
+/// Normalise an angle into `[0, 2π)`.
+#[inline]
+pub fn normalize(theta: f64) -> f64 {
+    let r = theta.rem_euclid(TAU);
+    // rem_euclid can return TAU itself for inputs within a ULP below 0.
+    if r >= TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Counter-clockwise sweep from `from` to `to`, in `[0, 2π)`.
+#[inline]
+pub fn ccw_sweep(from: f64, to: f64) -> f64 {
+    normalize(to - from)
+}
+
+/// Smallest absolute difference between two angles, in `[0, π]`.
+#[inline]
+pub fn diff(a: f64, b: f64) -> f64 {
+    let d = normalize(a - b);
+    d.min(TAU - d)
+}
+
+/// Whether `theta` lies in the counter-clockwise interval from `start`
+/// spanning `span` radians. The start edge is inclusive; for a full-circle
+/// span every angle is inside.
+#[inline]
+pub fn in_ccw_interval(theta: f64, start: f64, span: f64) -> bool {
+    if span >= TAU {
+        return true;
+    }
+    ccw_sweep(start, theta) <= span
+}
+
+/// Index of the sector containing `theta` when the circle is divided into
+/// `sectors` equal cones with sector 0 starting at `start`.
+///
+/// Returns a value in `0..sectors`. `sectors` must be non-zero.
+#[inline]
+pub fn sector_index(theta: f64, start: f64, sectors: usize) -> usize {
+    debug_assert!(sectors > 0);
+    let span = TAU / sectors as f64;
+    let idx = (ccw_sweep(start, theta) / span) as usize;
+    idx.min(sectors - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn normalize_wraps_both_directions() {
+        assert!((normalize(-PI / 2.0) - 1.5 * PI).abs() < 1e-12);
+        assert!((normalize(2.5 * TAU) - 0.5 * TAU).abs() < 1e-9);
+        assert_eq!(normalize(0.0), 0.0);
+        assert!(normalize(-1e-18) < TAU);
+    }
+
+    #[test]
+    fn diff_is_symmetric_and_bounded() {
+        assert!((diff(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+        assert!((diff(PI, 0.0) - PI).abs() < 1e-12);
+        assert!((diff(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_membership() {
+        assert!(in_ccw_interval(0.5, 0.0, 1.0));
+        assert!(!in_ccw_interval(1.5, 0.0, 1.0));
+        // Interval crossing zero.
+        assert!(in_ccw_interval(0.1, TAU - 0.5, 1.0));
+        assert!(in_ccw_interval(TAU - 0.2, TAU - 0.5, 1.0));
+        assert!(!in_ccw_interval(PI, TAU - 0.5, 1.0));
+        // Full circle.
+        assert!(in_ccw_interval(3.0, 1.0, TAU));
+    }
+
+    #[test]
+    fn sector_indexing_partitions_circle() {
+        let s = 8;
+        for i in 0..s {
+            let mid = (i as f64 + 0.5) * TAU / s as f64;
+            assert_eq!(sector_index(mid, 0.0, s), i);
+        }
+        // Boundary angle belongs to the starting sector.
+        assert_eq!(sector_index(0.0, 0.0, s), 0);
+        // Rotated partition origin.
+        assert_eq!(sector_index(0.1, 0.05, 4), 0);
+        assert_eq!(sector_index(0.04, 0.05, 4), 3);
+    }
+}

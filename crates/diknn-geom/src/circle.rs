@@ -1,0 +1,81 @@
+use crate::{Point, Rect};
+
+/// A circle: DIKNN's KNN search boundary is a circle centred at the query
+/// point, and radio coverage is a disc around each node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative circle radius");
+        Circle { center, radius }
+    }
+
+    /// Whether `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Axis-aligned bounding box of the circle.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::new(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+    }
+
+    /// Whether this circle and `other` overlap (closed discs).
+    #[inline]
+    pub fn intersects(&self, other: &Circle) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist_sq(other.center) <= r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains(Point::new(1.0, 1.0)));
+        assert!(c.contains(Point::new(3.0, 1.0)));
+        assert!(!c.contains(Point::new(3.1, 1.0)));
+    }
+
+    #[test]
+    fn area_matches_formula() {
+        let c = Circle::new(Point::ORIGIN, 3.0);
+        assert!((c.area() - 9.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_rect_encloses() {
+        let c = Circle::new(Point::new(5.0, -2.0), 1.5);
+        let r = c.bounding_rect();
+        assert_eq!(r, Rect::new(3.5, -3.5, 6.5, -0.5));
+    }
+
+    #[test]
+    fn intersection_by_center_distance() {
+        let a = Circle::new(Point::ORIGIN, 1.0);
+        let b = Circle::new(Point::new(2.0, 0.0), 1.0);
+        let c = Circle::new(Point::new(2.1, 0.0), 1.0);
+        assert!(a.intersects(&b)); // tangent counts
+        assert!(!a.intersects(&c));
+    }
+}

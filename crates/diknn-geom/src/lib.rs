@@ -1,0 +1,49 @@
+//! 2D geometry primitives used throughout the DIKNN reproduction.
+//!
+//! Everything in the system — radio ranges, GPSR faces, R-tree rectangles,
+//! itinerary arcs — bottoms out in the small set of types defined here:
+//!
+//! * [`Point`] / [`Vec2`] — positions and displacements in metres.
+//! * [`Rect`] — axis-aligned rectangles (MBRs for the R-tree, field bounds).
+//! * [`Circle`] — search boundaries.
+//! * [`Sector`] — the cone-shaped areas DIKNN partitions its boundary into.
+//! * [`Segment`] — line segments with point-distance and projection.
+//! * [`Polyline`] — arc-length parameterised paths; itineraries are polylines.
+//! * [`angle`] — helpers for working with angles in `[0, 2π)`.
+//!
+//! All coordinates are `f64` metres; all angles are radians.
+
+pub mod angle;
+mod circle;
+mod point;
+mod polyline;
+mod rect;
+mod sector;
+mod segment;
+
+pub use circle::Circle;
+pub use point::{Point, Vec2};
+pub use polyline::Polyline;
+pub use rect::Rect;
+pub use sector::Sector;
+pub use segment::Segment;
+
+/// 2π, the full turn, used pervasively by sector math.
+pub const TAU: f64 = std::f64::consts::TAU;
+
+/// Comparison slack for geometric predicates, in metres.
+///
+/// Field sizes in the paper are on the order of 100 m and radio ranges 20 m,
+/// so a nanometre of slack is far below anything physically meaningful while
+/// absorbing `f64` rounding in chained transforms.
+pub const EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_two_pi() {
+        assert!((TAU - 2.0 * std::f64::consts::PI).abs() < EPS);
+    }
+}

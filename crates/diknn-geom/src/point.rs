@@ -1,0 +1,284 @@
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement in the plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparing.
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Linear interpolation: `t = 0` is `self`, `t = 1` is `other`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Angle of the direction from `self` toward `other`, in `[0, 2π)`.
+    #[inline]
+    pub fn angle_to(self, other: Point) -> f64 {
+        crate::angle::normalize((other - self).angle())
+    }
+
+    /// The point at `dist` metres from `self` in direction `theta` (radians).
+    #[inline]
+    pub fn polar_offset(self, theta: f64, dist: f64) -> Point {
+        Point::new(self.x + dist * theta.cos(), self.y + dist * theta.sin())
+    }
+
+    /// Both coordinates are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector in direction `theta` (radians).
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Vec2::new(theta.cos(), theta.sin())
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Direction of this vector in radians, in `(-π, π]` (`atan2` range).
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z-component of the 3D cross product).
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The same direction with unit length. Returns `Vec2::ZERO` for the zero
+    /// vector rather than NaN, which keeps downstream math total.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        if n <= f64::MIN_POSITIVE {
+            Vec2::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Rotate counter-clockwise by `theta` radians.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Perpendicular vector (counter-clockwise 90° rotation).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EPS;
+
+    #[test]
+    fn dist_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(b) - 5.0).abs() < EPS);
+        assert!((b.dist(a) - 5.0).abs() < EPS);
+        assert!((a.dist_sq(b) - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, 10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn polar_offset_round_trip() {
+        let p = Point::new(2.0, -1.0);
+        for i in 0..16 {
+            let theta = i as f64 * crate::TAU / 16.0;
+            let q = p.polar_offset(theta, 7.5);
+            assert!((p.dist(q) - 7.5).abs() < 1e-9);
+            assert!(crate::angle::diff(p.angle_to(q), crate::angle::normalize(theta)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(1.0, 0.0);
+        let w = Vec2::new(0.0, 2.0);
+        assert!((v.dot(w)).abs() < EPS);
+        assert!((v.cross(w) - 2.0).abs() < EPS);
+        assert!((w.cross(v) + 2.0).abs() < EPS);
+        assert_eq!(v.perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(3.0, 4.0);
+        let r = v.rotated(1.234);
+        assert!((r.norm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+        let v = Vec2::new(0.0, -3.0).normalized();
+        assert!((v.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn angle_to_quadrants() {
+        let o = Point::ORIGIN;
+        assert!((o.angle_to(Point::new(1.0, 0.0)) - 0.0).abs() < EPS);
+        assert!((o.angle_to(Point::new(0.0, 1.0)) - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!((o.angle_to(Point::new(-1.0, 0.0)) - std::f64::consts::PI).abs() < EPS);
+        assert!(
+            (o.angle_to(Point::new(0.0, -1.0)) - 3.0 * std::f64::consts::FRAC_PI_2).abs() < EPS
+        );
+    }
+}

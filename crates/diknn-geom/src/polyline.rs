@@ -1,0 +1,272 @@
+use crate::{Point, Segment};
+
+/// A path through a sequence of waypoints, parameterised by arc length.
+///
+/// DIKNN itineraries (init/peri/adj segments, with arcs discretised into
+/// short chords) are represented as polylines. Q-node selection projects the
+/// current node onto the polyline and advances the traversal frontier by arc
+/// length, so projection and `point_at` are the workhorse operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline {
+    points: Vec<Point>,
+    /// Cumulative arc length up to each waypoint; `cum[0] == 0`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Build from waypoints. Consecutive duplicate points are dropped so
+    /// every internal segment has positive length. At least one point is
+    /// required.
+    pub fn new(waypoints: impl IntoIterator<Item = Point>) -> Self {
+        let mut points: Vec<Point> = Vec::new();
+        for p in waypoints {
+            debug_assert!(p.is_finite(), "non-finite polyline waypoint");
+            if points.last().is_none_or(|&last| last.dist_sq(p) > 0.0) {
+                points.push(p);
+            }
+        }
+        assert!(!points.is_empty(), "polyline needs at least one waypoint");
+        let mut cum = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for w in points.windows(2) {
+            acc += w[0].dist(w[1]);
+            cum.push(acc);
+        }
+        Polyline { points, cum }
+    }
+
+    /// Total arc length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("non-empty")
+    }
+
+    #[inline]
+    pub fn waypoints(&self) -> &[Point] {
+        &self.points
+    }
+
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    #[inline]
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("non-empty")
+    }
+
+    /// Iterate the constituent segments (empty for a single-point polyline).
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// The point at arc length `s` from the start, clamped to `[0, length]`.
+    pub fn point_at(&self, s: f64) -> Point {
+        if self.points.len() == 1 || s <= 0.0 {
+            return self.points[0];
+        }
+        let total = self.length();
+        if s >= total {
+            return self.end();
+        }
+        // Binary search for the segment containing arc length s.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let i = i.min(self.points.len() - 2);
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        let t = if seg_len <= f64::MIN_POSITIVE {
+            0.0
+        } else {
+            (s - self.cum[i]) / seg_len
+        };
+        self.points[i].lerp(self.points[i + 1], t)
+    }
+
+    /// Arc length of the point on the polyline closest to `p`, together with
+    /// the distance from `p` to that point.
+    ///
+    /// When several locations are equally close, the smallest arc length
+    /// wins, which keeps itinerary traversal monotone.
+    pub fn project(&self, p: Point) -> Projection {
+        if self.points.len() == 1 {
+            return Projection {
+                arclen: 0.0,
+                dist: self.points[0].dist(p),
+            };
+        }
+        let mut best = Projection {
+            arclen: 0.0,
+            dist: f64::INFINITY,
+        };
+        for (i, seg) in self.segments().enumerate() {
+            let t = seg.closest_t(p);
+            let q = seg.a.lerp(seg.b, t);
+            let d = q.dist(p);
+            if d < best.dist - crate::EPS {
+                best = Projection {
+                    arclen: self.cum[i] + t * (self.cum[i + 1] - self.cum[i]),
+                    dist: d,
+                };
+            }
+        }
+        best
+    }
+
+    /// Like [`Polyline::project`] but only considers arc lengths `>= from`,
+    /// so a traversal frontier can never move backwards along the itinerary.
+    pub fn project_from(&self, p: Point, from: f64) -> Projection {
+        let from = from.clamp(0.0, self.length());
+        if self.points.len() == 1 || from >= self.length() {
+            return Projection {
+                arclen: self.length(),
+                dist: self.end().dist(p),
+            };
+        }
+        let mut best = Projection {
+            arclen: from,
+            dist: self.point_at(from).dist(p),
+        };
+        for (i, seg) in self.segments().enumerate() {
+            if self.cum[i + 1] < from {
+                continue;
+            }
+            let t = seg.closest_t(p);
+            let mut arclen = self.cum[i] + t * (self.cum[i + 1] - self.cum[i]);
+            let q = if arclen < from {
+                arclen = from;
+                self.point_at(from)
+            } else {
+                seg.a.lerp(seg.b, t)
+            };
+            let d = q.dist(p);
+            if d < best.dist - crate::EPS {
+                best = Projection { arclen, dist: d };
+            }
+        }
+        best
+    }
+
+    /// Minimum distance from `p` to the polyline.
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.project(p).dist
+    }
+
+    /// Concatenate another polyline onto the end of this one.
+    pub fn extend(&mut self, other: &Polyline) {
+        let mut acc = self.length();
+        let mut last = self.end();
+        for &p in other.waypoints() {
+            if last.dist_sq(p) > 0.0 {
+                acc += last.dist(p);
+                self.points.push(p);
+                self.cum.push(acc);
+                last = p;
+            }
+        }
+    }
+}
+
+/// Result of projecting a point onto a [`Polyline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Arc length of the closest polyline point.
+    pub arclen: f64,
+    /// Distance from the query point to that polyline point.
+    pub dist: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new([
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ])
+    }
+
+    #[test]
+    fn length_and_endpoints() {
+        let p = l_shape();
+        assert!((p.length() - 20.0).abs() < 1e-12);
+        assert_eq!(p.start(), Point::new(0.0, 0.0));
+        assert_eq!(p.end(), Point::new(10.0, 10.0));
+        assert_eq!(p.segments().count(), 2);
+    }
+
+    #[test]
+    fn point_at_interpolates_across_joints() {
+        let p = l_shape();
+        assert_eq!(p.point_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.point_at(15.0), Point::new(10.0, 5.0));
+        assert_eq!(p.point_at(-3.0), p.start());
+        assert_eq!(p.point_at(99.0), p.end());
+    }
+
+    #[test]
+    fn duplicate_waypoints_are_dropped() {
+        let p = Polyline::new([
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert_eq!(p.waypoints().len(), 2);
+        assert!((p.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_polyline() {
+        let p = Polyline::new([Point::new(2.0, 3.0)]);
+        assert_eq!(p.length(), 0.0);
+        assert_eq!(p.point_at(5.0), Point::new(2.0, 3.0));
+        let proj = p.project(Point::new(2.0, 7.0));
+        assert_eq!(proj.arclen, 0.0);
+        assert!((proj.dist - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_finds_closest_segment() {
+        let p = l_shape();
+        // Closest to the vertical segment.
+        let proj = p.project(Point::new(12.0, 5.0));
+        assert!((proj.arclen - 15.0).abs() < 1e-9);
+        assert!((proj.dist - 2.0).abs() < 1e-9);
+        // Closest to the horizontal segment.
+        let proj = p.project(Point::new(5.0, -1.0));
+        assert!((proj.arclen - 5.0).abs() < 1e-9);
+        assert!((proj.dist - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_from_is_monotone() {
+        let p = l_shape();
+        // A point near the start, but with the frontier already past it.
+        let proj = p.project_from(Point::new(1.0, 1.0), 12.0);
+        assert!(proj.arclen >= 12.0);
+        // Without the floor it would project near arclen 1.
+        let free = p.project(Point::new(1.0, 1.0));
+        assert!(free.arclen < 2.0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut p = Polyline::new([Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let q = Polyline::new([Point::new(1.0, 0.0), Point::new(1.0, 2.0)]);
+        p.extend(&q);
+        assert!((p.length() - 3.0).abs() < 1e-12);
+        assert_eq!(p.end(), Point::new(1.0, 2.0));
+        assert_eq!(p.waypoints().len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+use crate::Point;
+
+/// An axis-aligned rectangle (minimum bounding rectangle).
+///
+/// Used as the field boundary of the simulation, as the MBR type of the
+/// R-tree substrate, and as the grid cells of the Peer-tree baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Construct from corner coordinates. Coordinates are reordered so the
+    /// result is always a valid (possibly degenerate) rectangle.
+    #[inline]
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            min_x: x0.min(x1),
+            min_y: y0.min(y1),
+            max_x: x0.max(x1),
+            max_y: y0.max(y1),
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// An "empty" rectangle that acts as the identity for [`Rect::union`].
+    #[inline]
+    pub fn empty() -> Self {
+        Rect {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half the perimeter; the classic R-tree "margin" measure.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// Whether `p` lies inside or on the rectangle.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Whether `other` lies fully inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.min_x >= self.min_x
+                && other.max_x <= self.max_x
+                && other.min_y >= self.min_y
+                && other.max_y <= self.max_y)
+    }
+
+    /// Whether the closed rectangles overlap.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !(self.is_empty()
+            || other.is_empty()
+            || other.min_x > self.max_x
+            || other.max_x < self.min_x
+            || other.min_y > self.max_y
+            || other.max_y < self.min_y)
+    }
+
+    /// Smallest rectangle covering both.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grow to cover `p`.
+    #[inline]
+    pub fn expanded_to(&self, p: Point) -> Rect {
+        self.union(&Rect::from_point(p))
+    }
+
+    /// How much [`Rect::area`] would grow if expanded to cover `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle (0 if inside).
+    /// This is the R-tree `MINDIST` used to order KNN traversal.
+    #[inline]
+    pub fn min_dist(&self, p: Point) -> f64 {
+        self.min_dist_sq(p).sqrt()
+    }
+
+    /// Squared [`Rect::min_dist`].
+    #[inline]
+    pub fn min_dist_sq(&self, p: Point) -> f64 {
+        if self.is_empty() {
+            return f64::INFINITY;
+        }
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx * dx + dy * dy
+    }
+
+    /// Clamp a point into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_reorders_corners() {
+        let r = Rect::new(5.0, 7.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 5.0, 7.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 5.0);
+        assert_eq!(r.area(), 20.0);
+        assert_eq!(r.margin(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(&r), r);
+        assert_eq!(r.union(&e), r);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let big = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let small = Rect::new(2.0, 2.0, 3.0, 3.0);
+        let outside = Rect::new(11.0, 0.0, 12.0, 1.0);
+        let touching = Rect::new(10.0, 0.0, 12.0, 1.0);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+        assert!(big.intersects(&small));
+        assert!(!big.intersects(&outside));
+        assert!(big.intersects(&touching));
+        assert!(big.contains(Point::new(10.0, 10.0)));
+        assert!(!big.contains(Point::new(10.0, 10.1)));
+    }
+
+    #[test]
+    fn min_dist_inside_edge_corner() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.min_dist(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.min_dist(Point::new(3.0, 1.0)), 1.0);
+        assert!((r.min_dist(Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let r = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let inner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(r.enlargement(&inner), 0.0);
+        let outer = Rect::new(0.0, 0.0, 8.0, 4.0);
+        assert_eq!(r.enlargement(&outer), 16.0);
+    }
+
+    #[test]
+    fn clamp_projects_onto_rect() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.clamp(Point::new(-1.0, 5.0)), Point::new(0.0, 2.0));
+        assert_eq!(r.clamp(Point::new(1.0, 1.0)), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,165 @@
+use crate::{angle, Point, TAU};
+
+/// A cone-shaped area: the region between two rays from `apex`, clipped to
+/// radius `radius`. DIKNN partitions its circular KNN boundary into `S` of
+/// these, one sub-itinerary per sector (paper §3.3, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sector {
+    /// Cone apex — for DIKNN always the query point `q`.
+    pub apex: Point,
+    /// Angle of the counter-clockwise start border, in `[0, 2π)`.
+    pub start_angle: f64,
+    /// Angular width in radians, in `(0, 2π]`.
+    pub span: f64,
+    /// Radial extent (the KNN boundary radius `R`).
+    pub radius: f64,
+}
+
+impl Sector {
+    pub fn new(apex: Point, start_angle: f64, span: f64, radius: f64) -> Self {
+        debug_assert!(span > 0.0 && span <= TAU, "sector span out of range");
+        debug_assert!(radius >= 0.0, "negative sector radius");
+        Sector {
+            apex,
+            start_angle: angle::normalize(start_angle),
+            span,
+            radius,
+        }
+    }
+
+    /// Partition the circle of `radius` around `apex` into `sectors` equal
+    /// sectors, the first starting at angle `origin`.
+    pub fn partition(apex: Point, radius: f64, sectors: usize, origin: f64) -> Vec<Sector> {
+        assert!(sectors > 0, "cannot partition into zero sectors");
+        let span = TAU / sectors as f64;
+        (0..sectors)
+            .map(|i| Sector::new(apex, origin + i as f64 * span, span, radius))
+            .collect()
+    }
+
+    /// Angle of the counter-clockwise end border.
+    #[inline]
+    pub fn end_angle(&self) -> f64 {
+        angle::normalize(self.start_angle + self.span)
+    }
+
+    /// Angle of the bisector ray.
+    #[inline]
+    pub fn bisector(&self) -> f64 {
+        angle::normalize(self.start_angle + self.span * 0.5)
+    }
+
+    /// Whether `p` lies inside the sector (inclusive of borders and of the
+    /// apex itself).
+    pub fn contains(&self, p: Point) -> bool {
+        let d = self.apex.dist(p);
+        if d > self.radius {
+            return false;
+        }
+        if d <= crate::EPS {
+            return true;
+        }
+        angle::in_ccw_interval(self.apex.angle_to(p), self.start_angle, self.span)
+    }
+
+    /// Signed angular offset of `p` from the start border, in `[0, 2π)`.
+    /// Values `<= span` mean `p`'s direction is inside the cone.
+    #[inline]
+    pub fn angular_offset(&self, p: Point) -> f64 {
+        angle::ccw_sweep(self.start_angle, self.apex.angle_to(p))
+    }
+
+    /// Area of the circular sector.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        0.5 * self.span * self.radius * self.radius
+    }
+
+    /// Distance from `p` to the nearest of the two border rays, measured
+    /// perpendicular to the ray. Only meaningful for points whose direction
+    /// is inside the cone; used to define the adj-segment corridor
+    /// ("distance less than w/2 to either side of a sector's border").
+    pub fn dist_to_border(&self, p: Point) -> f64 {
+        let d = self.apex.dist(p);
+        if d <= crate::EPS {
+            return 0.0;
+        }
+        let theta = self.apex.angle_to(p);
+        let to_start = angle::diff(theta, self.start_angle);
+        let to_end = angle::diff(theta, self.end_angle());
+        let nearest = to_start.min(to_end);
+        // Perpendicular distance to a ray at angular offset φ is d·sin(φ)
+        // when φ ≤ π/2, and d (the apex is the closest ray point) beyond.
+        if nearest >= std::f64::consts::FRAC_PI_2 {
+            d
+        } else {
+            d * nearest.sin()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn quadrant() -> Sector {
+        // First quadrant, radius 10, apex at origin.
+        Sector::new(Point::ORIGIN, 0.0, FRAC_PI_2, 10.0)
+    }
+
+    #[test]
+    fn partition_covers_circle_disjointly() {
+        let parts = Sector::partition(Point::new(1.0, 2.0), 5.0, 8, 0.3);
+        assert_eq!(parts.len(), 8);
+        let total_span: f64 = parts.iter().map(|s| s.span).sum();
+        assert!((total_span - TAU).abs() < 1e-9);
+        // Any interior point lies in exactly one sector.
+        let p = Point::new(2.5, 3.5);
+        let n = parts.iter().filter(|s| s.contains(p)).count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn contains_respects_radius_and_angle() {
+        let s = quadrant();
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(s.contains(Point::new(10.0, 0.0)));
+        assert!(!s.contains(Point::new(10.1, 0.0)));
+        assert!(!s.contains(Point::new(-1.0, 1.0)));
+        assert!(s.contains(Point::ORIGIN));
+    }
+
+    #[test]
+    fn bisector_and_end() {
+        let s = quadrant();
+        assert!((s.bisector() - FRAC_PI_2 / 2.0).abs() < 1e-12);
+        assert!((s.end_angle() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_of_half_circle() {
+        let s = Sector::new(Point::ORIGIN, 0.0, PI, 2.0);
+        assert!((s.area() - 2.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dist_to_border_perpendicular() {
+        let s = quadrant();
+        // Point (3, 1): distance to the x-axis border is 1.
+        assert!((s.dist_to_border(Point::new(3.0, 1.0)) - 1.0).abs() < 1e-9);
+        // Point on the bisector at distance d: both borders at d·sin(45°).
+        let d = 4.0;
+        let p = Point::ORIGIN.polar_offset(s.bisector(), d);
+        assert!((s.dist_to_border(p) - d * (FRAC_PI_2 / 2.0).sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapping_sector_contains() {
+        // Sector straddling angle 0.
+        let s = Sector::new(Point::ORIGIN, TAU - 0.5, 1.0, 10.0);
+        assert!(s.contains(Point::new(5.0, 0.0)));
+        assert!(s.contains(Point::ORIGIN.polar_offset(TAU - 0.3, 3.0)));
+        assert!(!s.contains(Point::new(0.0, 5.0)));
+    }
+}

@@ -1,0 +1,134 @@
+use crate::{Point, Vec2};
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    #[inline]
+    pub fn direction(&self) -> Vec2 {
+        (self.b - self.a).normalized()
+    }
+
+    /// The parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
+    #[inline]
+    pub fn closest_t(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.norm_sq();
+        if len_sq <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.a.lerp(self.b, self.closest_t(p))
+    }
+
+    /// Distance from `p` to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).dist(p)
+    }
+
+    /// The point at arc length `s` from `a` (clamped to the segment).
+    #[inline]
+    pub fn point_at(&self, s: f64) -> Point {
+        let len = self.length();
+        if len <= f64::MIN_POSITIVE {
+            return self.a;
+        }
+        self.a.lerp(self.b, (s / len).clamp(0.0, 1.0))
+    }
+
+    /// Whether the two closed segments intersect (including collinear
+    /// overlap and shared endpoints). Used by the Gabriel-graph face routing
+    /// tests and the coverage checker.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(a: Point, b: Point, c: Point) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Point, b: Point, c: Point) -> bool {
+            c.x >= a.x.min(b.x) && c.x <= a.x.max(b.x) && c.y >= a.y.min(b.y) && c.y <= a.y.max(b.y)
+        }
+        let (p1, p2, p3, p4) = (self.a, self.b, other.a, other.b);
+        let d1 = orient(p3, p4, p1);
+        let d2 = orient(p3, p4, p2);
+        let d3 = orient(p1, p2, p3);
+        let d4 = orient(p1, p2, p4);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(p3, p4, p1))
+            || (d2 == 0.0 && on_segment(p3, p4, p2))
+            || (d3 == 0.0 && on_segment(p1, p2, p3))
+            || (d4 == 0.0 && on_segment(p1, p2, p4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_point_cases() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        // Perpendicular foot inside the segment.
+        assert_eq!(s.closest_point(Point::new(3.0, 4.0)), Point::new(3.0, 0.0));
+        assert!((s.dist_to_point(Point::new(3.0, 4.0)) - 4.0).abs() < 1e-12);
+        // Beyond either endpoint clamps.
+        assert_eq!(s.closest_point(Point::new(-5.0, 1.0)), Point::new(0.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(15.0, 1.0)),
+            Point::new(10.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), Point::new(1.0, 1.0));
+        assert_eq!(s.point_at(3.0), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert_eq!(s.point_at(-1.0), Point::new(0.0, 0.0));
+        assert_eq!(s.point_at(2.0), Point::new(2.0, 0.0));
+        assert_eq!(s.point_at(99.0), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        let c = Segment::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        // Shared endpoint counts as intersection.
+        let d = Segment::new(Point::new(2.0, 2.0), Point::new(5.0, 0.0));
+        assert!(a.intersects(&d));
+        // Collinear overlap.
+        let e = Segment::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        assert!(a.intersects(&e));
+    }
+}

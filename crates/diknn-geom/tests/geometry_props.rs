@@ -1,0 +1,154 @@
+//! Property-based tests over the geometry primitives.
+
+use diknn_geom::{angle, Circle, Point, Polyline, Rect, Sector, Segment, Vec2, TAU};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in point(), b in point(), c in point()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
+    }
+
+    #[test]
+    fn dist_nonnegative_symmetric(a in point(), b in point()) {
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_offset_has_requested_distance(p in point(), theta in 0.0..TAU, d in 0.0..500.0f64) {
+        let q = p.polar_offset(theta, d);
+        prop_assert!((p.dist(q) - d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angle_normalize_in_range(theta in -100.0..100.0f64) {
+        let n = angle::normalize(theta);
+        prop_assert!((0.0..TAU).contains(&n));
+        // Same direction.
+        prop_assert!(angle::diff(n, theta) < 1e-6);
+    }
+
+    #[test]
+    fn angle_diff_bounded(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        let d = angle::diff(a, b);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d));
+        prop_assert!((angle::diff(b, a) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_index_consistent_with_partition(
+        theta in 0.0..TAU,
+        origin in 0.0..TAU,
+        s in 1usize..32,
+    ) {
+        let idx = angle::sector_index(theta, origin, s);
+        prop_assert!(idx < s);
+        let sectors = Sector::partition(Point::ORIGIN, 10.0, s, origin);
+        let p = Point::ORIGIN.polar_offset(theta, 5.0);
+        prop_assert!(sectors[idx].contains(p));
+    }
+
+    #[test]
+    fn rect_union_contains_both(
+        a in (point(), point()).prop_map(|(p, q)| Rect::new(p.x, p.y, q.x, q.y)),
+        b in (point(), point()).prop_map(|(p, q)| Rect::new(p.x, p.y, q.x, q.y)),
+    ) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn rect_min_dist_zero_iff_contains(
+        r in (point(), point()).prop_map(|(p, q)| Rect::new(p.x, p.y, q.x, q.y)),
+        p in point(),
+    ) {
+        let d = r.min_dist(p);
+        if r.contains(p) {
+            prop_assert!(d == 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+            // Clamped point realises the distance.
+            prop_assert!((r.clamp(p).dist(p) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circle_contains_consistent_with_dist(c in point(), rad in 0.0..500.0f64, p in point()) {
+        let circle = Circle::new(c, rad);
+        prop_assert_eq!(circle.contains(p), c.dist(p) <= rad + 1e-12);
+    }
+
+    #[test]
+    fn segment_closest_point_is_closest(a in point(), b in point(), p in point(), t in 0.0..1.0f64) {
+        let s = Segment::new(a, b);
+        let best = s.dist_to_point(p);
+        let other = a.lerp(b, t);
+        prop_assert!(best <= other.dist(p) + 1e-9);
+    }
+
+    #[test]
+    fn polyline_point_at_lies_on_polyline(
+        pts in prop::collection::vec(point(), 2..8),
+        frac in 0.0..1.0f64,
+    ) {
+        let poly = Polyline::new(pts);
+        let s = frac * poly.length();
+        let p = poly.point_at(s);
+        prop_assert!(poly.dist_to_point(p) < 1e-6);
+    }
+
+    #[test]
+    fn polyline_projection_roundtrip(
+        pts in prop::collection::vec(point(), 2..8),
+        frac in 0.0..1.0f64,
+    ) {
+        let poly = Polyline::new(pts);
+        let s = frac * poly.length();
+        let p = poly.point_at(s);
+        let proj = poly.project(p);
+        // The projected point must be as close (distance ~0).
+        prop_assert!(proj.dist < 1e-6);
+    }
+
+    #[test]
+    fn polyline_project_from_monotone(
+        pts in prop::collection::vec(point(), 2..8),
+        p in point(),
+        frac in 0.0..1.0f64,
+    ) {
+        let poly = Polyline::new(pts);
+        let from = frac * poly.length();
+        let proj = poly.project_from(p, from);
+        prop_assert!(proj.arclen + 1e-9 >= from);
+        prop_assert!(proj.arclen <= poly.length() + 1e-9);
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_norm(x in coord(), y in coord(), theta in -10.0..10.0f64) {
+        let v = Vec2::new(x, y);
+        prop_assert!((v.rotated(theta).norm() - v.norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sector_dist_to_border_at_most_apex_dist(
+        origin in 0.0..TAU,
+        span_frac in 0.01..1.0f64,
+        theta in 0.0..TAU,
+        d in 0.0..100.0f64,
+    ) {
+        let sector = Sector::new(Point::ORIGIN, origin, span_frac * TAU, 200.0);
+        let p = Point::ORIGIN.polar_offset(theta, d);
+        prop_assert!(sector.dist_to_border(p) <= d + 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Reference-Point Group Mobility (RPGM).
+//!
+//! The paper's Figure 7 field is a population of caribou herds: animals
+//! move *together*, each wandering around a drifting herd reference point.
+//! RPGM models exactly that: a group leader performs random waypoint and
+//! every member follows its own reference point (a fixed offset from the
+//! leader) with bounded local deviation.
+//!
+//! Combined with [`crate::placement::clustered`] this gives mobile herds
+//! whose spatial irregularity *persists over time* — a stricter stress for
+//! density-based boundary estimation than independent RWP, where clusters
+//! diffuse away.
+
+use crate::rwp::{RandomWaypoint, RwpConfig};
+use crate::Mobility;
+use diknn_geom::{Point, Rect, Vec2};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters of a herd.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupConfig {
+    /// Field the herd's leader roams in.
+    pub field: Rect,
+    /// Leader (herd) speed `µmax` in m/s.
+    pub leader_speed: f64,
+    /// Radius of the herd: member reference offsets are within this.
+    pub spread: f64,
+    /// Amplitude of each member's local wander around its reference point.
+    pub wander: f64,
+    /// Period of the local wander in seconds.
+    pub wander_period: f64,
+    /// Plan horizon in seconds.
+    pub horizon: f64,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            field: Rect::new(0.0, 0.0, 200.0, 200.0),
+            leader_speed: 2.0,
+            spread: 15.0,
+            wander: 3.0,
+            wander_period: 20.0,
+            horizon: 200.0,
+        }
+    }
+}
+
+/// A herd: one shared leader trajectory plus per-member offsets.
+pub struct Group {
+    leader: Arc<RandomWaypoint>,
+    cfg: GroupConfig,
+}
+
+impl Group {
+    /// Create a herd whose leader starts at `center`.
+    pub fn new(center: Point, cfg: GroupConfig, rng: &mut impl Rng) -> Self {
+        let leader_cfg = RwpConfig {
+            // The leader roams a shrunken field so the whole herd stays
+            // inside the real one.
+            field: Rect::new(
+                cfg.field.min_x + cfg.spread,
+                cfg.field.min_y + cfg.spread,
+                (cfg.field.max_x - cfg.spread).max(cfg.field.min_x + cfg.spread + 1.0),
+                (cfg.field.max_y - cfg.spread).max(cfg.field.min_y + cfg.spread + 1.0),
+            ),
+            ..RwpConfig::new(cfg.field, cfg.leader_speed, cfg.horizon)
+        };
+        Group {
+            leader: Arc::new(RandomWaypoint::new(center, &leader_cfg, rng)),
+            cfg,
+        }
+    }
+
+    /// Spawn one member with a random reference offset and wander phase.
+    pub fn member(&self, rng: &mut impl Rng) -> GroupMember {
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let rho = self.cfg.spread * rng.gen_range(0.0f64..1.0).sqrt();
+        GroupMember {
+            leader: Arc::clone(&self.leader),
+            offset: Vec2::from_angle(theta) * rho,
+            wander: self.cfg.wander,
+            wander_period: self.cfg.wander_period.max(1e-3),
+            phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            phase2: rng.gen_range(0.0..std::f64::consts::TAU),
+            field: self.cfg.field,
+        }
+    }
+
+    /// The leader's position (the herd reference point) at time `t`.
+    pub fn leader_position_at(&self, t: f64) -> Point {
+        self.leader.position_at(t)
+    }
+}
+
+/// One herd member: leader position + fixed offset + smooth local wander.
+pub struct GroupMember {
+    leader: Arc<RandomWaypoint>,
+    offset: Vec2,
+    wander: f64,
+    wander_period: f64,
+    phase: f64,
+    phase2: f64,
+    field: Rect,
+}
+
+impl GroupMember {
+    fn wander_at(&self, t: f64) -> Vec2 {
+        // Smooth quasi-random wander: two incommensurate sinusoids.
+        let w = std::f64::consts::TAU / self.wander_period;
+        Vec2::new(
+            self.wander * (w * t + self.phase).sin(),
+            self.wander * (w * t * 0.731 + self.phase2).cos(),
+        )
+    }
+}
+
+impl Mobility for GroupMember {
+    fn position_at(&self, t: f64) -> Point {
+        self.field
+            .clamp(self.leader.position_at(t) + self.offset + self.wander_at(t))
+    }
+
+    fn speed_at(&self, t: f64) -> f64 {
+        // Finite-difference magnitude over a short interval; exact enough
+        // for the assurance-gain statistics.
+        let dt = 0.1;
+        self.position_at(t).dist(self.position_at(t + dt)) / dt
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.leader.max_speed() + self.wander * std::f64::consts::TAU / self.wander_period * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn herd(seed: u64) -> (Group, Vec<GroupMember>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = GroupConfig::default();
+        let group = Group::new(Point::new(100.0, 100.0), cfg, &mut rng);
+        let members = (0..12).map(|_| group.member(&mut rng)).collect();
+        (group, members)
+    }
+
+    #[test]
+    fn members_stay_near_the_leader() {
+        let (group, members) = herd(1);
+        let cfg = GroupConfig::default();
+        for i in 0..40 {
+            let t = i as f64 * 3.7;
+            let leader = group.leader_position_at(t);
+            for m in &members {
+                let d = m.position_at(t).dist(leader);
+                assert!(
+                    d <= cfg.spread + cfg.wander * 2.0 + 1e-6,
+                    "member strayed {d} m from the herd at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_stay_inside_the_field() {
+        let (_, members) = herd(2);
+        let field = GroupConfig::default().field;
+        for i in 0..100 {
+            let t = i as f64 * 1.3;
+            for m in &members {
+                assert!(field.contains(m.position_at(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn herd_moves_as_a_whole() {
+        let (group, members) = herd(3);
+        // Over a long window the leader moves far; members' displacement
+        // must track it (cohesion), while members differ from each other.
+        let t0 = 0.0;
+        let t1 = 120.0;
+        let leader_shift = group
+            .leader_position_at(t0)
+            .dist(group.leader_position_at(t1));
+        assert!(leader_shift > 10.0, "leader barely moved: {leader_shift}");
+        for m in &members {
+            let shift = m.position_at(t0).dist(m.position_at(t1));
+            assert!(
+                (shift - leader_shift).abs() < GroupConfig::default().spread * 2.0 + 12.0,
+                "member shift {shift} inconsistent with herd {leader_shift}"
+            );
+        }
+        // Two members are not identical trajectories.
+        let a = members[0].position_at(50.0);
+        let b = members[1].position_at(50.0);
+        assert!(a.dist(b) > 0.1);
+    }
+
+    #[test]
+    fn wander_is_smooth_and_bounded() {
+        let (_, members) = herd(4);
+        let m = &members[0];
+        let max = m.max_speed();
+        let mut t = 0.0;
+        while t < 60.0 {
+            let d = m.position_at(t).dist(m.position_at(t + 0.05));
+            assert!(d <= max * 0.05 + 1e-6, "speed {:.2} > bound {max:.2}", d / 0.05);
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn speed_at_is_consistent_with_motion() {
+        let (_, members) = herd(5);
+        let m = &members[0];
+        let v = m.speed_at(10.0);
+        assert!(v >= 0.0 && v <= m.max_speed() + 1e-6);
+    }
+}

@@ -1,0 +1,43 @@
+use crate::Mobility;
+use diknn_geom::Point;
+
+/// A node that never moves. This is the network model assumed by the paper's
+/// baselines (KPT, Peer-tree) in their original publications, and the
+/// `µmax = 0` corner of the mobility sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticMobility {
+    position: Point,
+}
+
+impl StaticMobility {
+    pub fn new(position: Point) -> Self {
+        StaticMobility { position }
+    }
+}
+
+impl Mobility for StaticMobility {
+    fn position_at(&self, _t: f64) -> Point {
+        self.position
+    }
+
+    fn speed_at(&self, _t: f64) -> f64 {
+        0.0
+    }
+
+    fn max_speed(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_node_never_moves() {
+        let m = StaticMobility::new(Point::new(3.0, 4.0));
+        for t in [0.0, 1.0, 50.0, 1e6] {
+            assert_eq!(m.position_at(t), Point::new(3.0, 4.0));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+use crate::Mobility;
+use diknn_geom::Point;
+
+/// Piecewise-linear playback of an externally supplied trajectory.
+///
+/// Used to feed recorded or hand-crafted trajectories into the simulator —
+/// e.g. the deterministic crossing patterns in the integration tests, or a
+/// converted animal-tracking trace in the Figure 7 style experiments.
+#[derive(Debug, Clone)]
+pub struct WaypointTrace {
+    /// `(time, position)` samples, strictly increasing in time.
+    samples: Vec<(f64, Point)>,
+    max_speed: f64,
+}
+
+impl WaypointTrace {
+    /// Build from `(time, position)` samples. Samples are sorted by time;
+    /// duplicate timestamps keep the last position. At least one sample is
+    /// required.
+    pub fn new(mut samples: Vec<(f64, Point)>) -> Self {
+        assert!(!samples.is_empty(), "trace needs at least one sample");
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite trace times"));
+        samples.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // Keep the later sample's position for a duplicate timestamp.
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        let max_speed = samples
+            .windows(2)
+            .map(|w| {
+                let dt = w[1].0 - w[0].0;
+                if dt > 0.0 {
+                    w[0].1.dist(w[1].1) / dt
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max);
+        WaypointTrace { samples, max_speed }
+    }
+
+    /// Convenience: a trace that visits `points` at a constant `speed`,
+    /// starting at time 0.
+    pub fn at_constant_speed(points: &[Point], speed: f64) -> Self {
+        assert!(speed > 0.0, "trace speed must be positive");
+        assert!(!points.is_empty(), "trace needs at least one point");
+        let mut t = 0.0;
+        let mut samples = vec![(0.0, points[0])];
+        for w in points.windows(2) {
+            t += w[0].dist(w[1]) / speed;
+            samples.push((t, w[1]));
+        }
+        WaypointTrace::new(samples)
+    }
+}
+
+impl Mobility for WaypointTrace {
+    fn position_at(&self, t: f64) -> Point {
+        let idx = self.samples.partition_point(|s| s.0 <= t);
+        if idx == 0 {
+            return self.samples[0].1;
+        }
+        if idx == self.samples.len() {
+            return self.samples[idx - 1].1;
+        }
+        let (t0, p0) = self.samples[idx - 1];
+        let (t1, p1) = self.samples[idx];
+        let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+        p0.lerp(p1, frac)
+    }
+
+    fn speed_at(&self, t: f64) -> f64 {
+        let idx = self.samples.partition_point(|s| s.0 <= t);
+        if idx == 0 || idx == self.samples.len() {
+            return 0.0;
+        }
+        let (t0, p0) = self.samples[idx - 1];
+        let (t1, p1) = self.samples[idx];
+        if t1 > t0 {
+            p0.dist(p1) / (t1 - t0)
+        } else {
+            0.0
+        }
+    }
+
+    fn max_speed(&self) -> f64 {
+        self.max_speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_samples() {
+        let tr = WaypointTrace::new(vec![
+            (0.0, Point::new(0.0, 0.0)),
+            (10.0, Point::new(10.0, 0.0)),
+        ]);
+        assert_eq!(tr.position_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(tr.position_at(-1.0), Point::new(0.0, 0.0));
+        assert_eq!(tr.position_at(20.0), Point::new(10.0, 0.0));
+        assert!((tr.speed_at(5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(tr.speed_at(20.0), 0.0);
+        assert!((tr.max_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_speed_constructor() {
+        let tr = WaypointTrace::at_constant_speed(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 4.0),
+                Point::new(3.0, 10.0),
+            ],
+            2.0,
+        );
+        // First leg is 5 m at 2 m/s -> arrives at t=2.5.
+        assert_eq!(tr.position_at(2.5), Point::new(3.0, 4.0));
+        assert!((tr.max_speed() - 2.0).abs() < 1e-9);
+        // Second leg 6 m -> arrives at t=5.5.
+        assert_eq!(tr.position_at(5.5), Point::new(3.0, 10.0));
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_samples() {
+        let tr = WaypointTrace::new(vec![
+            (10.0, Point::new(10.0, 0.0)),
+            (0.0, Point::new(0.0, 0.0)),
+            (10.0, Point::new(12.0, 0.0)), // duplicate time, later wins
+        ]);
+        assert_eq!(tr.position_at(20.0), Point::new(12.0, 0.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Local planarization of the neighbourhood graph.
+//!
+//! Perimeter mode must run on a planar subgraph or the right-hand rule can
+//! jump between crossing edges and loop forever. GPSR planarizes with the
+//! Gabriel graph (GG) or the Relative Neighborhood Graph (RNG) computed
+//! *locally*: node `u` keeps edge `(u, v)` iff no witness `w` among `u`'s
+//! known neighbours violates the criterion.
+
+use diknn_geom::Point;
+use diknn_sim::Neighbor;
+
+/// Neighbours kept by the Gabriel criterion: `(u, v)` survives iff no
+/// witness `w` lies strictly inside the circle with diameter `uv`
+/// (`|mw|² < (|uv|/2)²`, `m` the midpoint).
+pub fn gabriel_neighbors<'a>(u: Point, neighbors: &[&'a Neighbor]) -> Vec<&'a Neighbor> {
+    neighbors
+        .iter()
+        .filter(|v| {
+            let m = u.midpoint(v.position);
+            let rad_sq = u.dist_sq(v.position) / 4.0;
+            !neighbors.iter().any(|w| {
+                w.id != v.id && m.dist_sq(w.position) < rad_sq - 1e-12
+            })
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diknn_sim::{NodeId, SimTime};
+
+    fn nb(id: u32, x: f64, y: f64) -> Neighbor {
+        Neighbor {
+            id: NodeId(id),
+            position: Point::new(x, y),
+            speed: 0.0,
+            heard_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn witness_inside_diameter_circle_removes_edge() {
+        let u = Point::ORIGIN;
+        let far = nb(1, 10.0, 0.0);
+        let witness = nb(2, 5.0, 1.0); // well inside the circle over (u, far)
+        let nbs = vec![&far, &witness];
+        let kept = gabriel_neighbors(u, &nbs);
+        let ids: Vec<u32> = kept.iter().map(|n| n.id.0).collect();
+        // Edge to 1 is removed (witness 2); edge to 2 survives.
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn no_witness_keeps_all_edges() {
+        let u = Point::ORIGIN;
+        let a = nb(1, 10.0, 0.0);
+        let b = nb(2, 0.0, 10.0);
+        let nbs = vec![&a, &b];
+        let kept = gabriel_neighbors(u, &nbs);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn boundary_witness_does_not_remove_edge() {
+        // Witness exactly on the circle boundary is not "strictly inside".
+        let u = Point::ORIGIN;
+        let v = nb(1, 10.0, 0.0);
+        let w = nb(2, 5.0, 5.0); // |mw| = 5 = radius
+        let nbs = vec![&v, &w];
+        let kept = gabriel_neighbors(u, &nbs);
+        assert!(kept.iter().any(|n| n.id == NodeId(1)));
+    }
+
+    #[test]
+    fn long_edge_with_interior_witness_is_dropped() {
+        // Edge u-(10,10) has witness (6,4) strictly inside its diameter
+        // circle, so it is dropped; the short edge to the witness survives.
+        let u = Point::ORIGIN;
+        let diag = nb(1, 10.0, 10.0);
+        let witness = nb(2, 6.0, 4.0);
+        let nbs = vec![&diag, &witness];
+        let kept = gabriel_neighbors(u, &nbs);
+        let ids: Vec<u32> = kept.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn square_diagonal_is_boundary_case_and_kept() {
+        // In a perfect unit square the corner witnesses lie exactly on the
+        // diameter circle of the diagonal — the Gabriel criterion is
+        // strict, so the diagonal survives.
+        let u = Point::ORIGIN;
+        let right = nb(1, 10.0, 0.0);
+        let up = nb(2, 0.0, 10.0);
+        let diag = nb(3, 10.0, 10.0);
+        let nbs = vec![&right, &up, &diag];
+        let kept = gabriel_neighbors(u, &nbs);
+        assert_eq!(kept.len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end route walks over static topologies (no simulator): repeatedly
+//! apply the planner until the packet terminates, checking loop-freedom and
+//! delivery quality.
+
+use diknn_geom::{Point, Rect};
+use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
+use diknn_sim::{Neighbor, NodeId, SimTime};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Walk a packet from `start` toward `dest` over the given static nodes
+/// with unit-disc connectivity of `range`. Returns the terminal node and
+/// hop count, or None for NoRoute.
+fn walk(
+    nodes: &[Point],
+    range: f64,
+    start: usize,
+    dest: Point,
+) -> Option<(usize, u32)> {
+    let neighbor_tables: Vec<Vec<Neighbor>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            nodes
+                .iter()
+                .enumerate()
+                .filter(|&(j, &q)| j != i && p.dist(q) <= range)
+                .map(|(j, &q)| Neighbor {
+                    id: NodeId(j as u32),
+                    position: q,
+                    speed: 0.0,
+                    heard_at: SimTime::ZERO,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut at = start;
+    let mut prev: Option<(NodeId, Point)> = None;
+    let mut header = GpsrHeader::new(dest);
+    let mut hops = 0u32;
+    loop {
+        match plan_next_hop(
+            NodeId(at as u32),
+            nodes[at],
+            &header,
+            &neighbor_tables[at],
+            prev,
+            &[],
+            20.0,
+        ) {
+            RouteStep::Forward { next, header: h } => {
+                prev = Some((NodeId(at as u32), nodes[at]));
+                at = next.index();
+                header = h;
+                hops += 1;
+                assert!(hops <= 500, "runaway route");
+            }
+            RouteStep::Arrived => return Some((at, hops)),
+            RouteStep::NoRoute => return None,
+        }
+    }
+}
+
+#[test]
+fn straight_line_chain_routes_end_to_end() {
+    let nodes: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 15.0, 0.0)).collect();
+    let (end, hops) = walk(&nodes, 20.0, 0, Point::new(135.0, 0.0)).unwrap();
+    assert_eq!(end, 9);
+    assert_eq!(hops, 9);
+}
+
+#[test]
+fn terminates_at_closest_node_to_offgrid_destination() {
+    let nodes: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 15.0, 0.0)).collect();
+    // Destination between nodes 5 and 6, slightly nearer 5.
+    let dest = Point::new(81.0, 3.0);
+    let (end, _) = walk(&nodes, 20.0, 0, dest).unwrap();
+    assert_eq!(end, 5);
+}
+
+#[test]
+fn isolated_start_has_no_route() {
+    let nodes = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+    assert_eq!(walk(&nodes, 20.0, 0, Point::new(100.0, 0.0)), None);
+}
+
+#[test]
+fn perimeter_mode_escapes_a_void() {
+    // A "C"-shaped corridor: greedy from the left tip toward the right tip
+    // hits the void; perimeter walks around the C.
+    let mut nodes = Vec::new();
+    // Bottom arm.
+    for i in 0..8 {
+        nodes.push(Point::new(i as f64 * 12.0, 0.0));
+    }
+    // Right column.
+    for j in 1..8 {
+        nodes.push(Point::new(84.0, j as f64 * 12.0));
+    }
+    // Top arm (leftward).
+    for i in (0..8).rev() {
+        nodes.push(Point::new(i as f64 * 12.0, 84.0));
+    }
+    let start = 0;
+    // Destination: just above the start, across the void (start of top arm).
+    let dest = Point::new(0.0, 84.0);
+    let (end, hops) = walk(&nodes, 15.0, start, dest).unwrap();
+    assert_eq!(nodes[end], dest, "should reach the node across the void");
+    // The route must have gone the long way round (≥ 20 hops).
+    assert!(hops >= 20, "suspiciously short route: {hops} hops");
+}
+
+#[test]
+fn dense_uniform_network_reaches_global_home_node() {
+    // On a dense uniform network greedy almost always reaches the true
+    // closest node to the destination. Check a large sample.
+    let field = Rect::new(0.0, 0.0, 115.0, 115.0);
+    let mut ok = 0;
+    let mut total = 0;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nodes = diknn_mobility::placement::uniform(field, 200, &mut rng);
+        for qseed in 0..5 {
+            let dest = Point::new(
+                10.0 + (qseed as f64 * 23.0) % 95.0,
+                10.0 + (qseed as f64 * 37.0) % 95.0,
+            );
+            let Some((end, _)) = walk(&nodes, 20.0, 0, dest) else {
+                continue;
+            };
+            let best = (0..nodes.len())
+                .min_by(|&a, &b| {
+                    nodes[a]
+                        .dist(dest)
+                        .partial_cmp(&nodes[b].dist(dest))
+                        .unwrap()
+                })
+                .unwrap();
+            total += 1;
+            if end == best {
+                ok += 1;
+            } else {
+                // Accept near misses: terminal within one radio range of
+                // the optimum (GPSR guarantees local optimality only).
+                assert!(
+                    nodes[end].dist(dest) <= nodes[best].dist(dest) + 20.0,
+                    "terminated far from the home node"
+                );
+            }
+        }
+    }
+    assert!(
+        ok as f64 >= 0.8 * total as f64,
+        "only {ok}/{total} routes reached the exact home node"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Termination: any placement, any destination — the walk never
+    /// exceeds the TTL-bounded hop budget and never panics.
+    #[test]
+    fn routing_always_terminates(
+        seed in 0u64..1000,
+        n in 2usize..120,
+        dx in 0.0..115.0f64,
+        dy in 0.0..115.0f64,
+    ) {
+        let field = Rect::new(0.0, 0.0, 115.0, 115.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nodes = diknn_mobility::placement::uniform(field, n, &mut rng);
+        let dest = Point::new(dx, dy);
+        let _ = walk(&nodes, 20.0, 0, dest); // must not loop forever
+    }
+
+    /// Greedy progress: hop counts on connected line-of-sight routes are
+    /// bounded by ~distance/minimum-progress.
+    #[test]
+    fn hop_count_reasonable_on_dense_networks(seed in 0u64..200) {
+        let field = Rect::new(0.0, 0.0, 115.0, 115.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nodes = diknn_mobility::placement::uniform(field, 250, &mut rng);
+        let dest = Point::new(110.0, 110.0);
+        if let Some((end, hops)) = walk(&nodes, 20.0, 0, dest) {
+            // Straight-line distance ~155 m, range 20 m: a sane route is
+            // well under 60 hops on a dense network.
+            prop_assert!(hops < 60, "inflated route: {hops} hops");
+            prop_assert!(nodes[end].dist(dest) < 25.0,
+                "terminated {} m from dest", nodes[end].dist(dest));
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! An R-tree spatial index.
+//!
+//! The Peer-tree baseline of the paper "decentralizes the index structures
+//! (e.g., R-tree)" over clusterheads, and the evaluation harness needs a
+//! centralized spatial index for exact ground-truth KNN. Both sit on this
+//! crate: a classic Guttman R-tree with quadratic node split, an STR
+//! (Sort-Tile-Recursive) bulk loader, rectangle range search, and best-first
+//! (MINDIST-ordered) K-nearest-neighbour search.
+//!
+//! The tree stores `(Rect, T)` entries; point data is inserted as degenerate
+//! rectangles via [`RTree::insert_point`].
+//!
+//! # Example
+//!
+//! ```
+//! use diknn_geom::Point;
+//! use diknn_rtree::RTree;
+//!
+//! let mut tree = RTree::new();
+//! for i in 0..100u32 {
+//!     tree.insert_point(Point::new(i as f64, 0.0), i);
+//! }
+//! let knn = tree.knn(Point::new(3.2, 0.0), 2);
+//! let ids: Vec<u32> = knn.iter().map(|e| e.item).collect();
+//! assert_eq!(ids, vec![3, 4]);
+//! ```
+
+mod node;
+mod search;
+
+pub use search::KnnEntry;
+
+use diknn_geom::{Point, Rect};
+use node::Node;
+
+/// Maximum entries per node before a split (Guttman's `M`).
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node after a split (Guttman's `m`).
+const MIN_ENTRIES: usize = 3;
+
+/// An R-tree over `(Rect, T)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Clone> RTree<T> {
+
+    /// Bulk-load with Sort-Tile-Recursive packing; much better node
+    /// utilisation than repeated inserts.
+    pub fn bulk_load(mut items: Vec<(Rect, T)>) -> Self {
+        let len = items.len();
+        if len == 0 {
+            return Self::new();
+        }
+        let root = node::str_pack(&mut items);
+        RTree { root, len }
+    }
+
+    /// Bulk-load point data.
+    pub fn bulk_load_points(items: impl IntoIterator<Item = (Point, T)>) -> Self {
+        Self::bulk_load(
+            items
+                .into_iter()
+                .map(|(p, t)| (Rect::from_point(p), t))
+                .collect(),
+        )
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding rectangle of everything in the tree.
+    pub fn bounds(&self) -> Rect {
+        self.root.mbr()
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, rect: Rect, item: T) {
+        debug_assert!(!rect.is_empty(), "cannot index an empty rect");
+        if let Some((left, right)) = self.root.insert(rect, item) {
+            // Root split: grow the tree by one level.
+            let old = std::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            drop(old); // the split children fully replace the old root
+            self.root = Node::Internal(vec![
+                (left.mbr(), Box::new(left)),
+                (right.mbr(), Box::new(right)),
+            ]);
+        }
+        self.len += 1;
+    }
+
+    /// Insert a point entry.
+    pub fn insert_point(&mut self, p: Point, item: T) {
+        self.insert(Rect::from_point(p), item);
+    }
+
+    /// Remove one entry matching `rect` exactly and `pred` on the payload.
+    /// Returns the removed payload. (Simple removal: underfull nodes are
+    /// allowed; fine for the workloads here, which rebuild periodically.)
+    pub fn remove(&mut self, rect: Rect, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let removed = self.root.remove(&rect, &pred);
+        if removed.is_some() {
+            self.len -= 1;
+            // Keep the root well-formed: an emptied internal root becomes a
+            // leaf; a single-child internal root collapses one level.
+            loop {
+                match &mut self.root {
+                    Node::Internal(children) if children.is_empty() => {
+                        self.root = Node::Leaf(Vec::new());
+                    }
+                    Node::Internal(children) if children.len() == 1 => {
+                        let (_, only) = children.pop().expect("one child");
+                        self.root = *only;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        removed
+    }
+
+    /// All entries whose rectangle intersects `query`.
+    pub fn range(&self, query: Rect) -> Vec<(Rect, T)> {
+        let mut out = Vec::new();
+        self.root.range(&query, &mut out);
+        out
+    }
+
+    /// All entries within `radius` of `center` (for point entries this is a
+    /// circular range query).
+    pub fn within_distance(&self, center: Point, radius: f64) -> Vec<(Rect, T)> {
+        let bbox = diknn_geom::Circle::new(center, radius).bounding_rect();
+        let r2 = radius * radius;
+        self.range(bbox)
+            .into_iter()
+            .filter(|(rect, _)| rect.min_dist_sq(center) <= r2)
+            .collect()
+    }
+
+    /// The `k` entries nearest to `q` (by MINDIST of their rectangles;
+    /// exact Euclidean distance for point entries), ascending by distance.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<KnnEntry<T>> {
+        search::knn(&self.root, q, k)
+    }
+
+    /// Visit every entry (order unspecified).
+    pub fn for_each(&self, mut f: impl FnMut(&Rect, &T)) {
+        self.root.for_each(&mut f);
+    }
+
+    /// Depth of the tree (1 for a single leaf); exposed for tests.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Check structural invariants; panics on violation. Test helper.
+    pub fn check_invariants(&self) {
+        let counted = self.root.check(true);
+        assert_eq!(counted, self.len, "len out of sync with stored entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(Point, u32)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0),
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.knn(Point::ORIGIN, 3).is_empty());
+        assert!(tree.range(Rect::new(0.0, 0.0, 100.0, 100.0)).is_empty());
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut tree = RTree::new();
+        tree.insert_point(Point::new(1.0, 1.0), 'a');
+        tree.insert_point(Point::new(5.0, 5.0), 'b');
+        tree.insert_point(Point::new(9.0, 9.0), 'c');
+        assert_eq!(tree.len(), 3);
+        let hits = tree.range(Rect::new(0.0, 0.0, 6.0, 6.0));
+        assert_eq!(hits.len(), 2);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn insert_many_splits_and_remains_consistent() {
+        let mut tree = RTree::new();
+        for (p, id) in grid_points(100) {
+            tree.insert_point(p, id);
+        }
+        assert_eq!(tree.len(), 100);
+        assert!(tree.depth() > 1, "tree should have split");
+        tree.check_invariants();
+        // Every point must be findable by a point-range query.
+        for (p, id) in grid_points(100) {
+            let hits = tree.range(Rect::from_point(p));
+            assert!(
+                hits.iter().any(|(_, t)| *t == id),
+                "lost entry {id} at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = grid_points(100);
+        let tree = RTree::bulk_load_points(pts.clone());
+        let q = Point::new(34.0, 57.0);
+        for k in [1, 5, 17, 100] {
+            let got = tree.knn(q, k);
+            let mut brute: Vec<(f64, u32)> =
+                pts.iter().map(|&(p, id)| (p.dist(q), id)).collect();
+            brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Distances must match position by position; ids as sets (ties
+            // at equal distance may be ordered differently).
+            assert_eq!(got.len(), k.min(pts.len()), "k={k}");
+            for (g, b) in got.iter().zip(&brute) {
+                assert!((g.dist - b.0).abs() < 1e-9, "k={k}");
+            }
+            let mut got_ids: Vec<u32> = got.iter().map(|e| e.item).collect();
+            let mut want_ids: Vec<u32> = brute.iter().take(k).map(|&(_, id)| id).collect();
+            // Sets can legitimately differ on the boundary tie; compare the
+            // strictly-inside prefix.
+            let kth = brute[k.min(pts.len()) - 1].0;
+            got_ids.retain(|&id| pts[id as usize].0.dist(q) < kth - 1e-9);
+            want_ids.retain(|&id| pts[id as usize].0.dist(q) < kth - 1e-9);
+            got_ids.sort_unstable();
+            want_ids.sort_unstable();
+            assert_eq!(got_ids, want_ids, "k={k}");
+        }
+    }
+
+    #[test]
+    fn knn_distances_ascend() {
+        let tree = RTree::bulk_load_points(grid_points(100));
+        let res = tree.knn(Point::new(12.0, 3.0), 20);
+        assert_eq!(res.len(), 20);
+        for w in res.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_content() {
+        let pts = grid_points(60);
+        let bulk = RTree::bulk_load_points(pts.clone());
+        let mut incr = RTree::new();
+        for (p, id) in pts {
+            incr.insert_point(p, id);
+        }
+        bulk.check_invariants();
+        incr.check_invariants();
+        assert_eq!(bulk.len(), incr.len());
+        let q = Point::new(50.0, 50.0);
+        let a: Vec<f64> = bulk.knn(q, 10).iter().map(|e| e.dist).collect();
+        let b: Vec<f64> = incr.knn(q, 10).iter().map(|e| e.dist).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one() {
+        let mut tree = RTree::new();
+        for (p, id) in grid_points(50) {
+            tree.insert_point(p, id);
+        }
+        let target = Point::new(30.0, 20.0); // id 23
+        let removed = tree.remove(Rect::from_point(target), |&id| id == 23);
+        assert_eq!(removed, Some(23));
+        assert_eq!(tree.len(), 49);
+        tree.check_invariants();
+        assert!(tree
+            .range(Rect::from_point(target))
+            .iter()
+            .all(|(_, id)| *id != 23));
+        // Removing again fails.
+        assert_eq!(tree.remove(Rect::from_point(target), |&id| id == 23), None);
+    }
+
+    #[test]
+    fn within_distance_is_circular() {
+        let tree = RTree::bulk_load_points(grid_points(100));
+        let center = Point::new(45.0, 45.0);
+        let hits = tree.within_distance(center, 15.0);
+        for (r, _) in &hits {
+            assert!(r.center().dist(center) <= 15.0 + 1e-9);
+        }
+        // The corner of the bounding box (~21.2 away diagonally) must be
+        // excluded even though the box query would include it.
+        assert!(hits
+            .iter()
+            .all(|(r, _)| r.center() != Point::new(60.0, 60.0)));
+        // Brute-force count check.
+        let brute = grid_points(100)
+            .iter()
+            .filter(|(p, _)| p.dist(center) <= 15.0)
+            .count();
+        assert_eq!(hits.len(), brute);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_len() {
+        let tree = RTree::bulk_load_points(grid_points(5));
+        let res = tree.knn(Point::ORIGIN, 10);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn bounds_cover_everything() {
+        let tree = RTree::bulk_load_points(grid_points(100));
+        let b = tree.bounds();
+        tree.for_each(|r, _| assert!(b.contains_rect(r)));
+    }
+
+    #[test]
+    fn rect_entries_supported() {
+        let mut tree = RTree::new();
+        tree.insert(Rect::new(0.0, 0.0, 10.0, 10.0), "cell-a");
+        tree.insert(Rect::new(10.0, 0.0, 20.0, 10.0), "cell-b");
+        tree.insert(Rect::new(0.0, 10.0, 10.0, 20.0), "cell-c");
+        let hits = tree.range(Rect::new(5.0, 5.0, 6.0, 6.0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "cell-a");
+        // MINDIST KNN over rects: the nearest cell to (15, 15) is whichever
+        // touches it; here none contains it, b and c are 5 away.
+        let knn = tree.knn(Point::new(15.0, 15.0), 2);
+        assert!((knn[0].dist - 5.0).abs() < 1e-12);
+    }
+}

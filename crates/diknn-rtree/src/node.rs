@@ -1,0 +1,323 @@
+//! R-tree node structure: Guttman insertion with quadratic split, simple
+//! removal, and STR bulk packing.
+
+use crate::{MAX_ENTRIES, MIN_ENTRIES};
+use diknn_geom::Rect;
+
+/// A tree node. Leaves hold data entries; internal nodes hold children with
+/// their bounding rectangles.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Leaf(Vec<(Rect, T)>),
+    Internal(Vec<(Rect, Box<Node<T>>)>),
+}
+
+impl<T: Clone> Node<T> {
+    /// Bounding rectangle of this node's contents.
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf(entries) => entries
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+            Node::Internal(children) => children
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(children) => {
+                1 + children.first().map_or(0, |(_, c)| c.depth())
+            }
+        }
+    }
+
+    /// Insert; on overflow returns the two nodes replacing `self`
+    /// (in that case `self` is left empty and must be discarded).
+    pub(crate) fn insert(&mut self, rect: Rect, item: T) -> Option<(Node<T>, Node<T>)> {
+        match self {
+            Node::Leaf(entries) => {
+                entries.push((rect, item));
+                if entries.len() > MAX_ENTRIES {
+                    let (a, b) = quadratic_split(std::mem::take(entries));
+                    Some((Node::Leaf(a), Node::Leaf(b)))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(children) => {
+                // Choose the child needing least enlargement (ties: smaller
+                // area, then first).
+                let mut best = 0usize;
+                let mut best_key = (f64::INFINITY, f64::INFINITY);
+                for (i, (r, _)) in children.iter().enumerate() {
+                    let key = (r.enlargement(&rect), r.area());
+                    if key < best_key {
+                        best_key = key;
+                        best = i;
+                    }
+                }
+                let split = children[best].1.insert(rect, item);
+                match split {
+                    None => {
+                        children[best].0 = children[best].0.union(&rect);
+                        None
+                    }
+                    Some((left, right)) => {
+                        children.swap_remove(best);
+                        children.push((left.mbr(), Box::new(left)));
+                        children.push((right.mbr(), Box::new(right)));
+                        if children.len() > MAX_ENTRIES {
+                            let (a, b) = quadratic_split(std::mem::take(children));
+                            Some((Node::Internal(a), Node::Internal(b)))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove the first entry with exactly `rect` whose payload satisfies
+    /// `pred`. MBRs along the path are tightened; underfull nodes are left
+    /// in place (no re-insertion), empty children are pruned.
+    pub(crate) fn remove(&mut self, rect: &Rect, pred: &impl Fn(&T) -> bool) -> Option<T> {
+        match self {
+            Node::Leaf(entries) => {
+                let idx = entries.iter().position(|(r, t)| r == rect && pred(t))?;
+                Some(entries.swap_remove(idx).1)
+            }
+            Node::Internal(children) => {
+                for i in 0..children.len() {
+                    if !children[i].0.contains_rect(rect) {
+                        continue;
+                    }
+                    if let Some(item) = children[i].1.remove(rect, pred) {
+                        if children[i].1.is_node_empty() {
+                            children.swap_remove(i);
+                        } else {
+                            children[i].0 = children[i].1.mbr();
+                        }
+                        return Some(item);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn is_node_empty(&self) -> bool {
+        match self {
+            Node::Leaf(e) => e.is_empty(),
+            Node::Internal(c) => c.is_empty(),
+        }
+    }
+
+    /// Collect entries intersecting `query` into `out`.
+    pub(crate) fn range(&self, query: &Rect, out: &mut Vec<(Rect, T)>) {
+        match self {
+            Node::Leaf(entries) => {
+                for (r, t) in entries {
+                    if r.intersects(query) {
+                        out.push((*r, t.clone()));
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for (r, c) in children {
+                    if r.intersects(query) {
+                        c.range(query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn for_each(&self, f: &mut impl FnMut(&Rect, &T)) {
+        match self {
+            Node::Leaf(entries) => {
+                for (r, t) in entries {
+                    f(r, t);
+                }
+            }
+            Node::Internal(children) => {
+                for (_, c) in children {
+                    c.for_each(f);
+                }
+            }
+        }
+    }
+
+    /// Validate invariants, returning the number of data entries below.
+    pub(crate) fn check(&self, is_root: bool) -> usize {
+        match self {
+            Node::Leaf(entries) => {
+                assert!(entries.len() <= MAX_ENTRIES, "leaf overflow");
+                entries.len()
+            }
+            Node::Internal(children) => {
+                assert!(!children.is_empty(), "empty internal node");
+                assert!(children.len() <= MAX_ENTRIES, "internal overflow");
+                if !is_root {
+                    // Simple removal may leave nodes underfull; only the
+                    // overflow bound is a hard invariant here.
+                }
+                let depth = children[0].1.depth();
+                let mut total = 0;
+                for (r, c) in children {
+                    assert_eq!(c.depth(), depth, "unbalanced tree");
+                    let child_mbr = c.mbr();
+                    assert!(
+                        r.contains_rect(&child_mbr),
+                        "stored MBR {r:?} does not cover child {child_mbr:?}"
+                    );
+                    total += c.check(false);
+                }
+                total
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split over any `(Rect, E)` entry list.
+type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitGroups<E> {
+    debug_assert!(entries.len() >= 2);
+    // Pick seeds: the pair wasting the most area if grouped.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste =
+                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Move seeds out (remove the later index first).
+    let seed2 = entries.swap_remove(s2.max(s1));
+    let seed1 = entries.swap_remove(s2.min(s1));
+    let mut group1 = vec![seed1];
+    let mut group2 = vec![seed2];
+    let mut mbr1 = group1[0].0;
+    let mut mbr2 = group2[0].0;
+
+    while let Some(next) = pick_next(&entries, &mbr1, &mbr2) {
+        let entry = entries.swap_remove(next);
+        let remaining = entries.len();
+        // Force assignment if one group must take the rest to reach `m`.
+        let need1 = MIN_ENTRIES.saturating_sub(group1.len());
+        let need2 = MIN_ENTRIES.saturating_sub(group2.len());
+        let to_first = if need1 > remaining {
+            true
+        } else if need2 > remaining {
+            false
+        } else {
+            let d1 = mbr1.enlargement(&entry.0);
+            let d2 = mbr2.enlargement(&entry.0);
+            match d1.partial_cmp(&d2).expect("finite enlargement") {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => mbr1.area() <= mbr2.area(),
+            }
+        };
+        if to_first {
+            mbr1 = mbr1.union(&entry.0);
+            group1.push(entry);
+        } else {
+            mbr2 = mbr2.union(&entry.0);
+            group2.push(entry);
+        }
+    }
+    (group1, group2)
+}
+
+/// Next entry to assign: the one with the largest preference difference
+/// between the two groups (Guttman's PickNext).
+fn pick_next<E>(entries: &[(Rect, E)], mbr1: &Rect, mbr2: &Rect) -> Option<usize> {
+    if entries.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (i, (r, _)) in entries.iter().enumerate() {
+        let diff = (mbr1.enlargement(r) - mbr2.enlargement(r)).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Sort-Tile-Recursive packing: sort by x, slice into vertical tiles, sort
+/// each tile by y, pack runs of `MAX_ENTRIES` into leaves, then recurse on
+/// the parent level.
+pub(crate) fn str_pack<T: Clone>(items: &mut Vec<(Rect, T)>) -> Node<T> {
+    if items.len() <= MAX_ENTRIES {
+        return Node::Leaf(std::mem::take(items));
+    }
+    let leaves = pack_level(std::mem::take(items), Node::Leaf);
+    let mut level: Vec<(Rect, Box<Node<T>>)> = leaves
+        .into_iter()
+        .map(|n| (n.mbr(), Box::new(n)))
+        .collect();
+    while level.len() > MAX_ENTRIES {
+        let packed = pack_level(level, Node::Internal);
+        level = packed
+            .into_iter()
+            .map(|n| (n.mbr(), Box::new(n)))
+            .collect();
+    }
+    Node::Internal(level)
+}
+
+/// One STR packing pass: group `entries` into nodes of ≤ MAX_ENTRIES.
+fn pack_level<E, T>(
+    mut entries: Vec<(Rect, E)>,
+    make: impl Fn(Vec<(Rect, E)>) -> Node<T>,
+) -> Vec<Node<T>> {
+    let n = entries.len();
+    let node_count = n.div_ceil(MAX_ENTRIES);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let per_slice = n.div_ceil(slice_count);
+    entries.sort_by(|a, b| {
+        a.0.center()
+            .x
+            .partial_cmp(&b.0.center().x)
+            .expect("finite coords")
+    });
+    let mut nodes = Vec::with_capacity(node_count);
+    let mut chunks: Vec<Vec<(Rect, E)>> = Vec::new();
+    let mut it = entries.into_iter();
+    loop {
+        let slice: Vec<(Rect, E)> = it.by_ref().take(per_slice).collect();
+        if slice.is_empty() {
+            break;
+        }
+        chunks.push(slice);
+    }
+    for mut slice in chunks {
+        slice.sort_by(|a, b| {
+            a.0.center()
+                .y
+                .partial_cmp(&b.0.center().y)
+                .expect("finite coords")
+        });
+        let mut it = slice.into_iter();
+        loop {
+            let group: Vec<(Rect, E)> = it.by_ref().take(MAX_ENTRIES).collect();
+            if group.is_empty() {
+                break;
+            }
+            nodes.push(make(group));
+        }
+    }
+    nodes
+}

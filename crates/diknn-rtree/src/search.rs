@@ -1,0 +1,95 @@
+//! Best-first K-nearest-neighbour search over the R-tree.
+
+use crate::node::Node;
+use diknn_geom::Point;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One KNN result: the payload and its MINDIST to the query point
+/// (exact Euclidean distance for point entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnEntry<T> {
+    pub item: T,
+    pub dist: f64,
+}
+
+/// Priority-queue key: finite, ascending distance.
+#[derive(PartialEq)]
+struct Dist(f64);
+
+impl Eq for Dist {}
+
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distance")
+    }
+}
+
+enum Candidate<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a T),
+}
+
+/// Classic best-first traversal (Hjaltason & Samet "distance browsing"):
+/// a min-heap over both nodes (by MBR MINDIST) and items; popping an item
+/// before any node guarantees it is the next nearest.
+pub(crate) fn knn<T: Clone>(root: &Node<T>, q: Point, k: usize) -> Vec<KnnEntry<T>> {
+    let mut out = Vec::with_capacity(k);
+    if k == 0 {
+        return out;
+    }
+    let mut heap: BinaryHeap<Reverse<(Dist, usize, Candidate<T>)>> = BinaryHeap::new();
+    let mut seq = 0usize; // tie-break for equal distances
+    heap.push(Reverse((Dist(0.0), seq, Candidate::Node(root))));
+    while let Some(Reverse((Dist(d), _, cand))) = heap.pop() {
+        match cand {
+            Candidate::Item(item) => {
+                out.push(KnnEntry {
+                    item: item.clone(),
+                    dist: d,
+                });
+                if out.len() == k {
+                    break;
+                }
+            }
+            Candidate::Node(Node::Leaf(entries)) => {
+                for (r, t) in entries {
+                    seq += 1;
+                    heap.push(Reverse((Dist(r.min_dist(q)), seq, Candidate::Item(t))));
+                }
+            }
+            Candidate::Node(Node::Internal(children)) => {
+                for (r, c) in children {
+                    seq += 1;
+                    heap.push(Reverse((Dist(r.min_dist(q)), seq, Candidate::Node(c))));
+                }
+            }
+        }
+    }
+    out
+}
+
+// `Candidate` intentionally has no Eq/Ord; wrap it so the heap only compares
+// the (Dist, seq) prefix.
+impl<T> PartialEq for Candidate<'_, T> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Candidate<'_, T> {}
+impl<T> PartialOrd for Candidate<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Candidate<'_, T> {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: the R-tree must agree with brute force on every
+//! query, for arbitrary point sets and interleaved inserts/removes.
+
+use diknn_geom::{Point, Rect};
+use diknn_rtree::RTree;
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (0.0..200.0f64, 0.0..200.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn brute_knn(pts: &[Point], q: Point, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pts.len()).collect();
+    idx.sort_by(|&a, &b| {
+        pts[a]
+            .dist(q)
+            .partial_cmp(&pts[b].dist(q))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_agrees_with_brute_force(
+        pts in prop::collection::vec(pt(), 1..150),
+        q in pt(),
+        k in 1usize..20,
+    ) {
+        let tree = RTree::bulk_load_points(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+        let got = tree.knn(q, k);
+        let want = brute_knn(&pts, q, k.min(pts.len()));
+        // Distances must match exactly (ids may differ on exact ties).
+        prop_assert_eq!(got.len(), want.len());
+        for (g, &w) in got.iter().zip(&want) {
+            prop_assert!((g.dist - pts[w].dist(q)).abs() < 1e-9,
+                "dist mismatch: got {} want {}", g.dist, pts[w].dist(q));
+        }
+    }
+
+    #[test]
+    fn range_agrees_with_brute_force(
+        pts in prop::collection::vec(pt(), 0..150),
+        c1 in pt(),
+        c2 in pt(),
+    ) {
+        let tree = RTree::bulk_load_points(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+        let query = Rect::new(c1.x, c1.y, c2.x, c2.y);
+        let mut got: Vec<usize> = tree.range(query).into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len()).filter(|&i| query.contains(pts[i])).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn incremental_insert_preserves_invariants(
+        pts in prop::collection::vec(pt(), 1..200),
+    ) {
+        let mut tree = RTree::new();
+        for (i, &p) in pts.iter().enumerate() {
+            tree.insert_point(p, i);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), pts.len());
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips(
+        pts in prop::collection::vec(pt(), 1..80),
+        remove_mask in prop::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let mut tree = RTree::new();
+        for (i, &p) in pts.iter().enumerate() {
+            tree.insert_point(p, i);
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, &p) in pts.iter().enumerate() {
+            let remove = *remove_mask.get(i % remove_mask.len()).unwrap_or(&false);
+            if remove {
+                let r = tree.remove(Rect::from_point(p), |&id| id == i);
+                prop_assert_eq!(r, Some(i));
+            } else {
+                expected.push(i);
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), expected.len());
+        let mut remaining: Vec<usize> = Vec::new();
+        tree.for_each(|_, &i| remaining.push(i));
+        remaining.sort_unstable();
+        prop_assert_eq!(remaining, expected);
+    }
+
+    #[test]
+    fn within_distance_agrees_with_brute_force(
+        pts in prop::collection::vec(pt(), 0..150),
+        q in pt(),
+        radius in 0.0..100.0f64,
+    ) {
+        let tree = RTree::bulk_load_points(pts.iter().copied().enumerate().map(|(i, p)| (p, i)));
+        let mut got: Vec<usize> = tree
+            .within_distance(q, radius)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].dist(q) <= radius)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulator configuration.
+
+use crate::time::SimDuration;
+use diknn_geom::Rect;
+
+/// MAC behaviour modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacMode {
+    /// CSMA/CA-like contention: carrier sense, random backoff, collisions
+    /// destroy overlapping receptions. This is the paper's default
+    /// environment (802.11 MAC at 250 kbps, RTS/CTS disabled).
+    Contention,
+    /// An idealised Contention Free Period (LR-WPAN CFP, §3.3): carrier
+    /// sense still serialises the medium but receptions are never corrupted.
+    /// Used by ablations to isolate collision effects.
+    ContentionFree,
+}
+
+/// All physical/MAC/beacon parameters of a run.
+///
+/// Defaults reproduce the settings table of §5.1: 115×115 m² field, 20 m
+/// radio range, 250 kbps channel, RTS/CTS off, 0.5 s beacons.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulation field boundary.
+    pub field: Rect,
+    /// Radio range `r` in metres (unit-disc model).
+    pub radio_range: f64,
+    /// Channel rate in bits/s.
+    pub bits_per_sec: u64,
+    /// Bytes of PHY+MAC framing added to every packet's payload size.
+    pub header_bytes: usize,
+    /// MAC mode (contention vs. contention-free).
+    pub mac: MacMode,
+    /// Maximum number of MAC (re)transmission attempts when the channel is
+    /// busy before the packet is dropped.
+    pub max_backoffs: u32,
+    /// Base backoff window; the n-th retry waits uniform(0, window·2ⁿ).
+    pub backoff_window: SimDuration,
+    /// Link-layer (ARQ) retransmissions for unicast frames whose addressee
+    /// did not receive them; models the 802.11 retry behaviour.
+    pub unicast_retries: u32,
+    /// Uniform random per-reception packet loss probability in `[0, 1)`,
+    /// applied on top of collisions (models fading/interference the unit
+    /// disc cannot).
+    pub loss_rate: f64,
+    /// Interval between neighbour beacons (0.5 s in the paper). A zero
+    /// duration disables beaconing (neighbor tables stay empty unless the
+    /// oracle mode below is used).
+    pub beacon_interval: SimDuration,
+    /// Beacon payload size in bytes (id + position + speed).
+    pub beacon_bytes: usize,
+    /// Neighbour entries older than this are ignored; defaults to 2.2×
+    /// the beacon interval so one lost beacon does not evict a neighbour.
+    pub neighbor_timeout: SimDuration,
+    /// If true, neighbour tables are fed directly from the mobility oracle
+    /// (perfect, instantaneous neighbourhood knowledge, no beacon traffic).
+    /// Used by unit tests and by ablations that want to isolate protocol
+    /// behaviour from beacon staleness.
+    pub oracle_neighbors: bool,
+    /// Transmit power draw in watts (energy = power × airtime).
+    pub tx_power_w: f64,
+    /// Receive power draw in watts; every audible node pays reception
+    /// energy (overhearing is how itinerary probes reach D-nodes).
+    pub rx_power_w: f64,
+    /// Hard stop: no event later than this is processed.
+    pub time_limit: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        let beacon_interval = SimDuration::from_millis(500);
+        SimConfig {
+            field: Rect::new(0.0, 0.0, 115.0, 115.0),
+            radio_range: 20.0,
+            bits_per_sec: 250_000,
+            header_bytes: 16,
+            mac: MacMode::Contention,
+            max_backoffs: 6,
+            backoff_window: SimDuration::from_micros(640),
+            unicast_retries: 3,
+            loss_rate: 0.0,
+            beacon_interval,
+            beacon_bytes: 20,
+            neighbor_timeout: beacon_interval.mul_f64(2.2),
+            oracle_neighbors: false,
+            tx_power_w: 0.0522,
+            rx_power_w: 0.0564,
+            time_limit: SimDuration::from_secs_f64(100.0),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Airtime of a protocol packet carrying `payload_bytes`.
+    #[inline]
+    pub fn packet_airtime(&self, payload_bytes: usize) -> SimDuration {
+        SimDuration::airtime(self.header_bytes + payload_bytes, self.bits_per_sec)
+    }
+
+    /// Validate invariants; panics with a clear message on nonsense values.
+    pub fn validate(&self) {
+        assert!(!self.field.is_empty(), "empty simulation field");
+        assert!(self.radio_range > 0.0, "radio range must be positive");
+        assert!(self.bits_per_sec > 0, "channel rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.loss_rate),
+            "loss rate must be in [0, 1)"
+        );
+        assert!(self.tx_power_w >= 0.0 && self.rx_power_w >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = SimConfig::default();
+        assert_eq!(c.field, Rect::new(0.0, 0.0, 115.0, 115.0));
+        assert_eq!(c.radio_range, 20.0);
+        assert_eq!(c.bits_per_sec, 250_000);
+        assert_eq!(c.beacon_interval, SimDuration::from_millis(500));
+        assert_eq!(c.mac, MacMode::Contention);
+        c.validate();
+    }
+
+    #[test]
+    fn airtime_includes_header() {
+        let c = SimConfig::default();
+        // (16 + 109) bytes = 1000 bits at 250 kbps -> 4 ms.
+        assert_eq!(c.packet_airtime(109), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn validate_rejects_bad_loss_rate() {
+        let c = SimConfig {
+            loss_rate: 1.5,
+            ..SimConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,723 @@
+//! The discrete-event engine: event queue, MAC, delivery, timers, beacons.
+//!
+//! Design notes:
+//!
+//! * **Determinism.** The clock is integer nanoseconds, ties are broken by a
+//!   monotone sequence number, receiver iteration is in `NodeId` order, and
+//!   all randomness flows from one seeded PCG-family RNG. Same seed ⇒ same
+//!   trace, byte for byte.
+//! * **Ownership.** All mutable run state lives in [`Ctx`]; the protocol
+//!   under test is a separate field of [`Simulator`], so protocol callbacks
+//!   receive `&mut Ctx` without borrow gymnastics.
+//! * **Radio model.** Unit-disc propagation evaluated at transmission start;
+//!   carrier-sense with binary-exponential backoff; a reception overlapping
+//!   any other audible transmission is destroyed (classic ns-2 style
+//!   collision rule, which also captures hidden terminals); optional uniform
+//!   packet loss on top. Unicast frames get link-layer retries.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+use diknn_geom::Point;
+use diknn_mobility::Mobility;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{MacMode, SimConfig};
+use crate::energy::{EnergyMeter, TrafficClass};
+use crate::ids::{NodeId, TimerId, TxId};
+use crate::neighbors::{Neighbor, NeighborTable};
+use crate::stats::SimStats;
+use crate::time::{SimDuration, SimTime};
+
+/// A mobility plan shared between the simulator and the ground-truth oracle.
+pub type SharedMobility = Arc<dyn Mobility>;
+
+/// Where a frame is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Link-local broadcast: every node in radio range processes it.
+    Broadcast,
+    /// Addressed to one node; others overhear (and pay energy) but do not
+    /// process it.
+    Unicast(NodeId),
+}
+
+/// The behaviour under test. One instance drives *all* nodes: per-node
+/// protocol state is owned by the implementation, keyed by [`NodeId`].
+pub trait Protocol {
+    /// Application-level message carried by protocol frames.
+    type Msg: Clone;
+
+    /// Called once at time zero, before any event.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// A frame addressed to (or broadcast at) `at` arrived from `from`.
+    fn on_message(&mut self, at: NodeId, from: NodeId, msg: &Self::Msg, ctx: &mut Ctx<Self::Msg>);
+
+    /// A timer set via [`Ctx::set_timer`] fired at node `at`.
+    fn on_timer(&mut self, _at: NodeId, _key: u64, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// A unicast from `at` to `to` failed after all retries (moved out of
+    /// range, collisions, or random loss).
+    fn on_send_failed(
+        &mut self,
+        _at: NodeId,
+        _to: NodeId,
+        _msg: &Self::Msg,
+        _ctx: &mut Ctx<Self::Msg>,
+    ) {
+    }
+}
+
+/// Frame content: engine beacons or protocol messages.
+#[derive(Debug, Clone)]
+enum Frame<M> {
+    Beacon,
+    Proto(M),
+}
+
+/// A frame waiting for (or undergoing) MAC transmission.
+struct PendingTx<M> {
+    from: NodeId,
+    dest: Destination,
+    frame: Frame<M>,
+    payload_bytes: usize,
+    /// Channel-busy backoff attempts for the current transmission try.
+    backoffs: u32,
+    /// Link-layer retransmissions already performed (unicast only).
+    retries: u32,
+}
+
+/// A frame currently on the air.
+struct ActiveTx {
+    id: TxId,
+    from: NodeId,
+    /// Nodes that were within range at transmission start, with a flag set
+    /// when their copy has been destroyed by a collision.
+    receivers: Vec<(NodeId, bool)>,
+    airtime: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    MacAttempt(TxId),
+    TxEnd(TxId),
+    Timer { node: NodeId, id: TimerId, key: u64 },
+    Beacon(NodeId),
+}
+
+#[derive(PartialEq, Eq)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All mutable run state except the protocol: world, queue, RNG, meters.
+///
+/// Protocol callbacks receive `&mut Ctx` and use its public API to inspect
+/// the world and emit frames/timers.
+pub struct Ctx<M> {
+    cfg: SimConfig,
+    mobility: Vec<SharedMobility>,
+    tables: Vec<NeighborTable>,
+    energy: Vec<EnergyMeter>,
+    now: SimTime,
+    rng: SmallRng,
+    stats: SimStats,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    next_tx: u64,
+    next_timer: u64,
+    pending: HashMap<u64, PendingTx<M>>,
+    active: Vec<ActiveTx>,
+    cancelled_timers: HashSet<u64>,
+    stopped: bool,
+}
+
+impl<M: Clone> Ctx<M> {
+    // ----- inspection ---------------------------------------------------
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run configuration.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes in the network.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.mobility.len()
+    }
+
+    /// Exact current position of `node` (nodes are location-aware, §3.1).
+    #[inline]
+    pub fn position(&self, node: NodeId) -> Point {
+        self.mobility[node.index()].position_at(self.now.as_secs_f64())
+    }
+
+    /// Exact current speed of `node` in m/s.
+    #[inline]
+    pub fn speed(&self, node: NodeId) -> f64 {
+        self.mobility[node.index()].speed_at(self.now.as_secs_f64())
+    }
+
+    /// Snapshot of `node`'s neighbour table (stale entries pruned).
+    ///
+    /// With `oracle_neighbors` the snapshot is computed from ground truth
+    /// instead — perfect knowledge, for tests and ablations.
+    pub fn neighbors(&mut self, node: NodeId) -> Vec<Neighbor> {
+        if self.cfg.oracle_neighbors {
+            let me = self.position(node);
+            let range2 = self.cfg.radio_range * self.cfg.radio_range;
+            let t = self.now.as_secs_f64();
+            return (0..self.mobility.len())
+                .filter(|&i| i != node.index())
+                .filter_map(|i| {
+                    let p = self.mobility[i].position_at(t);
+                    (me.dist_sq(p) <= range2).then(|| Neighbor {
+                        id: NodeId(i as u32),
+                        position: p,
+                        speed: self.mobility[i].speed_at(t),
+                        heard_at: self.now,
+                    })
+                })
+                .collect();
+        }
+        let cutoff = if self.now.as_nanos() > self.cfg.neighbor_timeout.as_nanos() {
+            SimTime::from_nanos(self.now.as_nanos() - self.cfg.neighbor_timeout.as_nanos())
+        } else {
+            SimTime::ZERO
+        };
+        let table = &mut self.tables[node.index()];
+        if self.now > SimTime::ZERO + self.cfg.neighbor_timeout {
+            table.expire(cutoff);
+        }
+        table.entries().to_vec()
+    }
+
+    /// Engine counters so far.
+    #[inline]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Energy meter of one node.
+    #[inline]
+    pub fn energy(&self, node: NodeId) -> &EnergyMeter {
+        &self.energy[node.index()]
+    }
+
+    /// Sum of protocol (non-beacon) radio energy over all nodes, in joules.
+    pub fn total_protocol_energy_j(&self) -> f64 {
+        self.energy.iter().map(EnergyMeter::protocol_j).sum()
+    }
+
+    /// Protocol energy split into (tx, rx) components, in joules.
+    pub fn protocol_energy_split_j(&self) -> (f64, f64) {
+        (
+            self.energy.iter().map(|e| e.tx_protocol_j).sum(),
+            self.energy.iter().map(|e| e.rx_protocol_j).sum(),
+        )
+    }
+
+    /// Sum of all radio energy (incl. beacons) over all nodes, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.iter().map(EnergyMeter::total_j).sum()
+    }
+
+    /// Seeded RNG for protocol-level randomness (timer jitter etc.).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    // ----- actions ------------------------------------------------------
+
+    /// Queue a broadcast frame from `from` carrying `msg`;
+    /// `payload_bytes` drives airtime and energy.
+    pub fn broadcast(&mut self, from: NodeId, payload_bytes: usize, msg: M) {
+        self.enqueue_frame(from, Destination::Broadcast, Frame::Proto(msg), payload_bytes);
+    }
+
+    /// Queue a unicast frame from `from` to `to`.
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, payload_bytes: usize, msg: M) {
+        debug_assert!(from != to, "unicast to self");
+        self.enqueue_frame(from, Destination::Unicast(to), Frame::Proto(msg), payload_bytes);
+    }
+
+    /// Schedule `on_timer(node, key)` after `delay`.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, key: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.schedule(at, EventKind::Timer { node, id, key });
+        id
+    }
+
+    /// Cancel a previously set timer (no-op if it already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+    }
+
+    /// Request that the run stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    // ----- internals ----------------------------------------------------
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    fn enqueue_frame(
+        &mut self,
+        from: NodeId,
+        dest: Destination,
+        frame: Frame<M>,
+        payload_bytes: usize,
+    ) {
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.pending.insert(
+            id.0,
+            PendingTx {
+                from,
+                dest,
+                frame,
+                payload_bytes,
+                backoffs: 0,
+                retries: 0,
+            },
+        );
+        // Initial desynchronisation jitter.
+        let jitter = self.random_backoff(0);
+        let at = self.now + jitter;
+        self.schedule(at, EventKind::MacAttempt(id));
+    }
+
+    fn random_backoff(&mut self, exponent: u32) -> SimDuration {
+        let window = self.cfg.backoff_window.as_nanos() << exponent.min(6);
+        SimDuration::from_nanos(self.rng.gen_range(0..=window.max(1)))
+    }
+
+    /// True when `node` senses the channel busy: it is transmitting or is
+    /// within range of an ongoing transmission.
+    fn channel_busy(&self, node: NodeId) -> bool {
+        self.active
+            .iter()
+            .any(|a| a.from == node || a.receivers.iter().any(|&(r, _)| r == node))
+    }
+
+    /// Nodes within radio range of `from` right now, ascending by id.
+    fn audible_set(&self, from: NodeId) -> Vec<(NodeId, bool)> {
+        let origin = self.position(from);
+        let range2 = self.cfg.radio_range * self.cfg.radio_range;
+        let t = self.now.as_secs_f64();
+        (0..self.mobility.len())
+            .filter(|&i| i != from.index())
+            .filter(|&i| origin.dist_sq(self.mobility[i].position_at(t)) <= range2)
+            .map(|i| (NodeId(i as u32), false))
+            .collect()
+    }
+
+    /// Begin transmitting pending frame `id`: mark collisions and schedule
+    /// the end-of-frame event.
+    fn start_transmission(&mut self, id: TxId) {
+        let (from, airtime) = {
+            let p = self.pending.get(&id.0).expect("pending tx");
+            (p.from, self.cfg.packet_airtime(p.payload_bytes))
+        };
+        let mut receivers = self.audible_set(from);
+        if self.cfg.mac == MacMode::Contention {
+            // Collision rule: a receiver hearing two overlapping
+            // transmissions loses both copies; a transmitting node cannot
+            // receive.
+            for (r, corrupted) in receivers.iter_mut() {
+                if self.active.iter().any(|a| a.from == *r) {
+                    *corrupted = true;
+                }
+            }
+            for other in self.active.iter_mut() {
+                for (r, corrupted) in other.receivers.iter_mut() {
+                    if let Some((_, mine)) = receivers.iter_mut().find(|(mr, _)| mr == r) {
+                        *corrupted = true;
+                        *mine = true;
+                        self.stats.collisions += 1;
+                    }
+                }
+            }
+        }
+        self.active.push(ActiveTx {
+            id,
+            from,
+            receivers,
+            airtime,
+        });
+        self.schedule(self.now + airtime, EventKind::TxEnd(id));
+    }
+}
+
+/// Outcome handed back to the run loop when an event needs a protocol
+/// callback; keeps `Ctx` internals and the protocol object decoupled.
+enum Callback<M> {
+    None,
+    Timer {
+        node: NodeId,
+        key: u64,
+    },
+    Deliveries {
+        from: NodeId,
+        msg: M,
+        to: Vec<NodeId>,
+    },
+    SendFailed {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+}
+
+/// The simulator: a [`Ctx`] plus the protocol under test.
+pub struct Simulator<P: Protocol> {
+    ctx: Ctx<P::Msg>,
+    protocol: P,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Build a simulator over `mobility` plans with the given protocol.
+    /// `seed` fixes every random choice of the run.
+    pub fn new(cfg: SimConfig, mobility: Vec<SharedMobility>, protocol: P, seed: u64) -> Self {
+        cfg.validate();
+        assert!(!mobility.is_empty(), "simulation needs at least one node");
+        let n = mobility.len();
+        let ctx = Ctx {
+            cfg,
+            mobility,
+            tables: vec![NeighborTable::default(); n],
+            energy: vec![EnergyMeter::default(); n],
+            now: SimTime::ZERO,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            stats: SimStats::default(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_tx: 0,
+            next_timer: 0,
+            pending: HashMap::new(),
+            active: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            stopped: false,
+        };
+        Simulator { ctx, protocol }
+    }
+
+    /// Immutable view of the run state.
+    pub fn ctx(&self) -> &Ctx<P::Msg> {
+        &self.ctx
+    }
+
+    /// Mutable view (for pre-run setup such as warming neighbour tables).
+    pub fn ctx_mut(&mut self) -> &mut Ctx<P::Msg> {
+        &mut self.ctx
+    }
+
+    /// The protocol instance (carrying its collected results).
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// Consume the simulator, returning the protocol and final context.
+    pub fn into_parts(self) -> (P, Ctx<P::Msg>) {
+        (self.protocol, self.ctx)
+    }
+
+    /// Seed every neighbour table from ground truth as if one clean beacon
+    /// round had already happened. Protocols can then route immediately at
+    /// t=0 instead of being blind for the first beacon interval.
+    pub fn warm_neighbor_tables(&mut self) {
+        let n = self.ctx.node_count();
+        for i in 0..n {
+            let entries = {
+                let me = self.ctx.position(NodeId(i as u32));
+                let range2 = self.ctx.cfg.radio_range * self.ctx.cfg.radio_range;
+                (0..n)
+                    .filter(|&j| j != i)
+                    .filter_map(|j| {
+                        let p = self.ctx.position(NodeId(j as u32));
+                        (me.dist_sq(p) <= range2).then(|| Neighbor {
+                            id: NodeId(j as u32),
+                            position: p,
+                            speed: self.ctx.speed(NodeId(j as u32)),
+                            heard_at: SimTime::ZERO,
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let table = &mut self.ctx.tables[i];
+            for e in entries {
+                table.record(e);
+            }
+        }
+    }
+
+    /// Run until the event queue drains, the time limit is reached, or the
+    /// protocol calls [`Ctx::stop`]. Returns the stop time.
+    pub fn run(&mut self) -> SimTime {
+        let limit = SimTime::ZERO + self.ctx.cfg.time_limit;
+        // Kick off periodic beacons with random phases.
+        if self.ctx.cfg.beacon_interval > SimDuration::ZERO && !self.ctx.cfg.oracle_neighbors {
+            for i in 0..self.ctx.node_count() {
+                let phase = SimDuration::from_nanos(
+                    self.ctx
+                        .rng
+                        .gen_range(0..=self.ctx.cfg.beacon_interval.as_nanos()),
+                );
+                self.ctx
+                    .schedule(SimTime::ZERO + phase, EventKind::Beacon(NodeId(i as u32)));
+            }
+        }
+        self.protocol.on_start(&mut self.ctx);
+
+        while let Some(Reverse(ev)) = self.ctx.queue.pop() {
+            if ev.time > limit || self.ctx.stopped {
+                break;
+            }
+            self.ctx.now = ev.time;
+            self.ctx.stats.events += 1;
+            match self.dispatch(ev.kind) {
+                Callback::None => {}
+                Callback::Timer { node, key } => {
+                    self.protocol.on_timer(node, key, &mut self.ctx);
+                }
+                Callback::Deliveries { from, msg, to } => {
+                    for node in to {
+                        self.protocol.on_message(node, from, &msg, &mut self.ctx);
+                        if self.ctx.stopped {
+                            break;
+                        }
+                    }
+                }
+                Callback::SendFailed { from, to, msg } => {
+                    self.protocol.on_send_failed(from, to, &msg, &mut self.ctx);
+                }
+            }
+            if self.ctx.stopped {
+                break;
+            }
+        }
+        self.ctx.now
+    }
+
+    /// Handle one event inside `Ctx`, returning any required protocol
+    /// callback.
+    fn dispatch(&mut self, kind: EventKind) -> Callback<P::Msg> {
+        let ctx = &mut self.ctx;
+        match kind {
+            EventKind::Beacon(node) => {
+                ctx.enqueue_frame(
+                    node,
+                    Destination::Broadcast,
+                    Frame::Beacon,
+                    ctx.cfg.beacon_bytes,
+                );
+                ctx.stats.beacons_sent += 1;
+                let next = ctx.now + ctx.cfg.beacon_interval;
+                ctx.schedule(next, EventKind::Beacon(node));
+                Callback::None
+            }
+            EventKind::Timer { node, id, key } => {
+                if ctx.cancelled_timers.remove(&id.0) {
+                    Callback::None
+                } else {
+                    Callback::Timer { node, key }
+                }
+            }
+            EventKind::MacAttempt(id) => {
+                let Some(from) = ctx.pending.get(&id.0).map(|p| p.from) else {
+                    return Callback::None;
+                };
+                if ctx.active.iter().any(|a| a.id == id) {
+                    return Callback::None; // already on the air
+                }
+                if ctx.channel_busy(from) {
+                    let p = ctx.pending.get_mut(&id.0).expect("pending tx");
+                    p.backoffs += 1;
+                    if p.backoffs > ctx.cfg.max_backoffs {
+                        ctx.stats.mac_drops += 1;
+                        let p = ctx.pending.remove(&id.0).expect("pending tx");
+                        if let (Destination::Unicast(to), Frame::Proto(msg)) = (p.dest, p.frame) {
+                            return Callback::SendFailed {
+                                from: p.from,
+                                to,
+                                msg,
+                            };
+                        }
+                        return Callback::None;
+                    }
+                    let backoffs = p.backoffs;
+                    let delay = ctx.random_backoff(backoffs);
+                    let at = ctx.now + delay;
+                    ctx.schedule(at, EventKind::MacAttempt(id));
+                    Callback::None
+                } else {
+                    ctx.start_transmission(id);
+                    Callback::None
+                }
+            }
+            EventKind::TxEnd(id) => self.finish_transmission(id),
+        }
+    }
+
+    fn finish_transmission(&mut self, id: TxId) -> Callback<P::Msg> {
+        let ctx = &mut self.ctx;
+        let pos = ctx
+            .active
+            .iter()
+            .position(|a| a.id == id)
+            .expect("active tx");
+        let active = ctx.active.swap_remove(pos);
+        let PendingTx {
+            from,
+            dest,
+            frame,
+            payload_bytes,
+            retries,
+            ..
+        } = ctx.pending.remove(&id.0).expect("pending tx");
+        let class = match frame {
+            Frame::Beacon => TrafficClass::Beacon,
+            Frame::Proto(_) => TrafficClass::Protocol,
+        };
+
+        // Energy: the sender pays tx airtime; audible nodes pay rx airtime.
+        // Receivers that are not the addressee of a unicast frame abort
+        // after decoding the MAC header (standard 802.15.4 address
+        // filtering), so they pay header airtime only. Broadcasts and
+        // corrupted copies are received in full — the radio cannot know.
+        let (tx_p, rx_p) = (ctx.cfg.tx_power_w, ctx.cfg.rx_power_w);
+        ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
+        let header_airtime = SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec)
+            .min(active.airtime);
+        for &(r, corrupted) in &active.receivers {
+            let rx_time = match dest {
+                Destination::Unicast(to) if r != to && !corrupted => header_airtime,
+                _ => active.airtime,
+            };
+            ctx.energy[r.index()].charge_rx(rx_p, rx_time, class);
+        }
+        ctx.stats.tx_frames += 1;
+        ctx.stats.tx_bytes += (ctx.cfg.header_bytes + payload_bytes) as u64;
+        if class == TrafficClass::Protocol {
+            ctx.stats.tx_protocol_frames += 1;
+        }
+
+        // Work out who actually got a clean copy.
+        let mut successes: Vec<NodeId> = Vec::with_capacity(active.receivers.len());
+        for &(r, corrupted) in &active.receivers {
+            if corrupted {
+                continue; // already counted in stats.collisions
+            }
+            if ctx.cfg.loss_rate > 0.0 && ctx.rng.gen::<f64>() < ctx.cfg.loss_rate {
+                ctx.stats.random_losses += 1;
+                continue;
+            }
+            successes.push(r);
+        }
+        successes.sort_unstable();
+
+        match frame {
+            Frame::Beacon => {
+                // Beacons refresh the receivers' neighbour tables with the
+                // sender's position at *transmission end* (≈ start; airtime
+                // is sub-millisecond).
+                let entry_pos = ctx.position(from);
+                let entry_speed = ctx.speed(from);
+                for r in successes {
+                    ctx.stats.rx_deliveries += 1;
+                    ctx.tables[r.index()].record(Neighbor {
+                        id: from,
+                        position: entry_pos,
+                        speed: entry_speed,
+                        heard_at: ctx.now,
+                    });
+                }
+                Callback::None
+            }
+            Frame::Proto(msg) => match dest {
+                Destination::Broadcast => {
+                    ctx.stats.rx_deliveries += successes.len() as u64;
+                    if successes.is_empty() {
+                        Callback::None
+                    } else {
+                        Callback::Deliveries {
+                            from,
+                            msg,
+                            to: successes,
+                        }
+                    }
+                }
+                Destination::Unicast(to) => {
+                    if successes.contains(&to) {
+                        ctx.stats.rx_deliveries += 1;
+                        Callback::Deliveries {
+                            from,
+                            msg,
+                            to: vec![to],
+                        }
+                    } else if retries < ctx.cfg.unicast_retries {
+                        // ARQ: put the frame back and try again shortly.
+                        ctx.stats.arq_retries += 1;
+                        let retries = retries + 1;
+                        let new_id = TxId(ctx.next_tx);
+                        ctx.next_tx += 1;
+                        ctx.pending.insert(
+                            new_id.0,
+                            PendingTx {
+                                from,
+                                dest,
+                                frame: Frame::Proto(msg),
+                                payload_bytes,
+                                backoffs: 0,
+                                retries,
+                            },
+                        );
+                        let delay = ctx.random_backoff(retries);
+                        let at = ctx.now + delay;
+                        ctx.schedule(at, EventKind::MacAttempt(new_id));
+                        Callback::None
+                    } else {
+                        ctx.stats.unicast_failures += 1;
+                        Callback::SendFailed { from, to, msg }
+                    }
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Identifier newtypes used across the simulator.
+
+use std::fmt;
+
+/// Index of a sensor node in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct TxId(pub u64);
+
+/// Handle returned by [`crate::Ctx::set_timer`]; can be used to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "n7");
+    }
+}

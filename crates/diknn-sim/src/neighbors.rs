@@ -1,0 +1,115 @@
+//! Beacon-maintained neighbour tables.
+//!
+//! "Every sensor node maintains a table enrolling IDs and locations of
+//! neighbor nodes falling within its radio range" (§3.1). Entries are what
+//! the node *heard*, not ground truth: under mobility a table entry can be
+//! stale by up to the beacon interval, which is precisely the effect that
+//! degrades the fixed-infrastructure baselines.
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use diknn_geom::Point;
+
+/// What one node knows about one neighbour, from its last beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: NodeId,
+    /// Position advertised in the last heard beacon.
+    pub position: Point,
+    /// Speed advertised in the last heard beacon (m/s); DIKNN's mobility
+    /// assurance tracks the fastest speed seen (§4.3).
+    pub speed: f64,
+    /// When the beacon was heard.
+    pub heard_at: SimTime,
+}
+
+/// A node's neighbour table.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: Vec<Neighbor>,
+}
+
+impl NeighborTable {
+    /// Record a heard beacon, replacing any previous entry for the sender.
+    pub fn record(&mut self, n: Neighbor) {
+        match self.entries.iter_mut().find(|e| e.id == n.id) {
+            Some(e) => *e = n,
+            None => self.entries.push(n),
+        }
+    }
+
+    /// Drop entries heard at or before `cutoff`; called lazily on reads.
+    pub fn expire(&mut self, cutoff: SimTime) {
+        self.entries.retain(|e| e.heard_at > cutoff);
+    }
+
+    /// Current (non-expired) entries, in insertion order.
+    pub fn entries(&self) -> &[Neighbor] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, id: NodeId) -> Option<&Neighbor> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    pub fn remove(&mut self, id: NodeId) {
+        self.entries.retain(|e| e.id != id);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(id: u32, x: f64, t: f64) -> Neighbor {
+        Neighbor {
+            id: NodeId(id),
+            position: Point::new(x, 0.0),
+            speed: 1.0,
+            heard_at: SimTime::from_secs_f64(t),
+        }
+    }
+
+    #[test]
+    fn record_replaces_same_id() {
+        let mut t = NeighborTable::default();
+        t.record(nb(1, 0.0, 0.0));
+        t.record(nb(2, 5.0, 0.0));
+        t.record(nb(1, 3.0, 1.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(NodeId(1)).unwrap().position, Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn expire_drops_stale_entries() {
+        let mut t = NeighborTable::default();
+        t.record(nb(1, 0.0, 0.0));
+        t.record(nb(2, 0.0, 2.0));
+        t.expire(SimTime::from_secs_f64(1.0));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = NeighborTable::default();
+        t.record(nb(1, 0.0, 0.0));
+        t.record(nb(2, 0.0, 0.0));
+        t.remove(NodeId(1));
+        assert!(t.get(NodeId(1)).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

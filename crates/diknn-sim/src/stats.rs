@@ -1,0 +1,46 @@
+//! Run-level counters maintained by the engine.
+
+/// Counters accumulated over a simulation run.
+///
+/// These are engine-level facts (what the radio did); protocol-level metrics
+/// such as query latency and accuracy are computed by the protocols and the
+/// workload harness on top.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Completed transmissions (frames put on the air), including beacons.
+    pub tx_frames: u64,
+    /// Bytes put on the air (payload + headers), including beacons.
+    pub tx_bytes: u64,
+    /// Protocol (non-beacon) frames put on the air.
+    pub tx_protocol_frames: u64,
+    /// Successful frame receptions delivered to a protocol or table.
+    pub rx_deliveries: u64,
+    /// Receptions destroyed by overlapping transmissions.
+    pub collisions: u64,
+    /// Receptions dropped by the random loss process.
+    pub random_losses: u64,
+    /// Frames abandoned because the channel never went idle within the
+    /// backoff budget.
+    pub mac_drops: u64,
+    /// Unicast transmissions that exhausted their ARQ retries.
+    pub unicast_failures: u64,
+    /// Link-layer retransmission attempts performed.
+    pub arq_retries: u64,
+    /// Beacon frames sent.
+    pub beacons_sent: u64,
+    /// Total events processed by the engine.
+    pub events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = SimStats::default();
+        assert_eq!(s.tx_frames, 0);
+        assert_eq!(s.collisions, 0);
+        assert_eq!(s, SimStats::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! Focused MAC and energy-model tests: ARQ accounting, address filtering,
+//! beacon/protocol energy separation, backoff saturation.
+
+use std::sync::Arc;
+
+use diknn_geom::Point;
+use diknn_mobility::StaticMobility;
+use diknn_sim::{
+    Ctx, MacMode, NodeId, Protocol, SharedMobility, SimConfig, SimDuration, Simulator,
+};
+
+fn static_nodes(points: &[(f64, f64)]) -> Vec<SharedMobility> {
+    points
+        .iter()
+        .map(|&(x, y)| Arc::new(StaticMobility::new(Point::new(x, y))) as SharedMobility)
+        .collect()
+}
+
+fn quiet() -> SimConfig {
+    SimConfig {
+        beacon_interval: SimDuration::ZERO,
+        ..SimConfig::default()
+    }
+}
+
+struct OneShot {
+    unicast_to: Option<u32>,
+    payload: usize,
+    received: usize,
+}
+
+impl Protocol for OneShot {
+    type Msg = ();
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        match self.unicast_to {
+            Some(t) => ctx.unicast(NodeId(0), NodeId(t), self.payload, ()),
+            None => ctx.broadcast(NodeId(0), self.payload, ()),
+        }
+    }
+    fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {
+        self.received += 1;
+    }
+}
+
+#[test]
+fn address_filtering_charges_overhearers_header_only() {
+    // Node 1 is the addressee, node 2 overhears.
+    let nodes = static_nodes(&[(0.0, 0.0), (10.0, 0.0), (12.0, 0.0)]);
+    let payload = 200usize;
+    let mut sim = Simulator::new(
+        quiet(),
+        nodes,
+        OneShot {
+            unicast_to: Some(1),
+            payload,
+            received: 0,
+        },
+        1,
+    );
+    sim.run();
+    let cfg = SimConfig::default();
+    let full = cfg.rx_power_w * ((cfg.header_bytes + payload) * 8) as f64 / cfg.bits_per_sec as f64;
+    let header = cfg.rx_power_w * (cfg.header_bytes * 8) as f64 / cfg.bits_per_sec as f64;
+    let e1 = sim.ctx().energy(NodeId(1)).rx_protocol_j;
+    let e2 = sim.ctx().energy(NodeId(2)).rx_protocol_j;
+    assert!((e1 - full).abs() < 1e-12, "addressee pays full rx: {e1}");
+    assert!((e2 - header).abs() < 1e-12, "overhearer pays header rx: {e2}");
+}
+
+#[test]
+fn broadcast_charges_everyone_full_rx() {
+    let nodes = static_nodes(&[(0.0, 0.0), (10.0, 0.0), (12.0, 0.0)]);
+    let payload = 200usize;
+    let mut sim = Simulator::new(
+        quiet(),
+        nodes,
+        OneShot {
+            unicast_to: None,
+            payload,
+            received: 0,
+        },
+        1,
+    );
+    sim.run();
+    let e1 = sim.ctx().energy(NodeId(1)).rx_protocol_j;
+    let e2 = sim.ctx().energy(NodeId(2)).rx_protocol_j;
+    assert!((e1 - e2).abs() < 1e-15, "broadcast receivers pay equally");
+}
+
+#[test]
+fn beacon_energy_is_metered_separately() {
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = ();
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {}
+    }
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(5.0),
+        ..SimConfig::default()
+    };
+    let nodes = static_nodes(&[(0.0, 0.0), (10.0, 0.0)]);
+    let mut sim = Simulator::new(cfg, nodes, Idle, 1);
+    sim.run();
+    let e = sim.ctx().energy(NodeId(0));
+    assert!(e.tx_beacon_j > 0.0, "beacon tx energy missing");
+    assert!(e.rx_beacon_j > 0.0, "beacon rx energy missing");
+    assert_eq!(e.tx_protocol_j, 0.0);
+    assert_eq!(e.rx_protocol_j, 0.0);
+    assert!(sim.ctx().total_protocol_energy_j() == 0.0);
+    assert!(sim.ctx().total_energy_j() > 0.0);
+}
+
+#[test]
+fn arq_gives_up_after_configured_retries() {
+    struct Fail {
+        failures: u32,
+    }
+    impl Protocol for Fail {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            ctx.unicast(NodeId(0), NodeId(1), 10, ());
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {
+            panic!("out-of-range unicast must not be delivered");
+        }
+        fn on_send_failed(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {
+            self.failures += 1;
+        }
+    }
+    for retries in [0u32, 1, 5] {
+        let cfg = SimConfig {
+            unicast_retries: retries,
+            ..quiet()
+        };
+        let nodes = static_nodes(&[(0.0, 0.0), (100.0, 0.0)]);
+        let mut sim = Simulator::new(cfg, nodes, Fail { failures: 0 }, 1);
+        sim.run();
+        assert_eq!(sim.protocol().failures, 1);
+        let s = sim.ctx().stats();
+        assert_eq!(s.tx_frames, 1 + retries as u64, "retries={retries}");
+        assert_eq!(s.arq_retries, retries as u64);
+    }
+}
+
+#[test]
+fn backoff_saturation_drops_frames() {
+    // A node surrounded by a permanently busy channel: saturate it with
+    // long overlapping broadcasts from two hidden senders so the victim's
+    // carrier sense never clears.
+    struct Saturate {
+        dropped: bool,
+    }
+    impl Protocol for Saturate {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            // Nodes 0 and 2 keep the channel busy around node 1.
+            for round in 0..60u64 {
+                ctx.set_timer(NodeId(0), SimDuration::from_millis(round * 30), 1);
+                ctx.set_timer(NodeId(2), SimDuration::from_millis(round * 30 + 15), 1);
+            }
+            // Node 1 tries to unicast to node 3 while jammed.
+            ctx.set_timer(NodeId(1), SimDuration::from_millis(100), 2);
+        }
+        fn on_timer(&mut self, at: NodeId, key: u64, ctx: &mut Ctx<u32>) {
+            match key {
+                1 => ctx.broadcast(at, 900, 0), // ~29 ms airtime each
+                _ => ctx.unicast(NodeId(1), NodeId(3), 10, 1),
+            }
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &u32, _: &mut Ctx<u32>) {}
+        fn on_send_failed(&mut self, at: NodeId, _: NodeId, _: &u32, _: &mut Ctx<u32>) {
+            if at == NodeId(1) {
+                self.dropped = true;
+            }
+        }
+    }
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(3.0),
+        max_backoffs: 3,
+        ..quiet()
+    };
+    let nodes = static_nodes(&[(0.0, 0.0), (15.0, 0.0), (30.0, 0.0), (15.0, 15.0)]);
+    let mut sim = Simulator::new(cfg, nodes, Saturate { dropped: false }, 3);
+    sim.run();
+    let s = sim.ctx().stats();
+    assert!(
+        sim.protocol().dropped || s.mac_drops > 0 || s.unicast_failures > 0,
+        "sustained jamming should cost something: {s:?}"
+    );
+}
+
+#[test]
+fn contention_free_mode_never_corrupts() {
+    struct Spam;
+    impl Protocol for Spam {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            for i in 0..50u64 {
+                ctx.set_timer(NodeId((i % 3) as u32), SimDuration::from_millis(i), 0);
+            }
+        }
+        fn on_timer(&mut self, at: NodeId, _: u64, ctx: &mut Ctx<()>) {
+            ctx.broadcast(at, 500, ());
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {}
+    }
+    let cfg = SimConfig {
+        mac: MacMode::ContentionFree,
+        time_limit: SimDuration::from_secs_f64(3.0),
+        ..quiet()
+    };
+    let nodes = static_nodes(&[(0.0, 0.0), (30.0, 0.0), (15.0, 0.0)]);
+    let mut sim = Simulator::new(cfg, nodes, Spam, 9);
+    sim.run();
+    assert_eq!(sim.ctx().stats().collisions, 0);
+}

@@ -1,0 +1,43 @@
+//! Workloads and measurement for the DIKNN reproduction.
+//!
+//! Provides the pieces the paper's evaluation (§5) is made of:
+//!
+//! * [`ScenarioConfig`] — network scenarios (the §5.1 settings table, node
+//!   degree sizing, clustered Figure-7 placements, Peer-tree
+//!   infrastructure).
+//! * [`WorkloadConfig`] / [`workload::generate`] — snapshot KNN query
+//!   streams with exponential inter-arrival (mean 4 s).
+//! * [`GroundTruth`] — exact pre-/post-accuracy oracle over the analytic
+//!   mobility plans.
+//! * [`RunMetrics`] / [`Aggregate`] — latency, energy, accuracy, completion
+//!   rate, averaged over seeded runs.
+//! * [`Experiment`] / [`ProtocolKind`] — the driver that runs any of the
+//!   four protocols (DIKNN, KPT+KNNB, Peer-tree, Flood) over a scenario.
+//!
+//! # Example
+//!
+//! ```
+//! use diknn_workloads::{Experiment, ProtocolKind, ScenarioConfig, WorkloadConfig};
+//! use diknn_core::DiknnConfig;
+//!
+//! let exp = Experiment::new(
+//!     ProtocolKind::Diknn(DiknnConfig::default()),
+//!     ScenarioConfig { nodes: 100, duration: 20.0, max_speed: 0.0,
+//!                      ..ScenarioConfig::default() },
+//!     WorkloadConfig { k: 5, last_at: 8.0, ..WorkloadConfig::default() },
+//! );
+//! let agg = exp.run(1, 42);
+//! assert!(agg.post_accuracy.mean > 0.5);
+//! ```
+
+mod metrics;
+mod oracle;
+mod runner;
+mod scenario;
+pub mod workload;
+
+pub use metrics::{Aggregate, RunMetrics, Stat};
+pub use oracle::GroundTruth;
+pub use runner::{run_protocol_once, Experiment, ProtocolKind};
+pub use scenario::{HerdSetup, PlacementKind, ScenarioConfig};
+pub use workload::WorkloadConfig;

@@ -1,0 +1,178 @@
+//! Per-run and aggregated metrics matching the paper's evaluation
+//! quantities (§5.1): query latency, energy consumption, pre-/post-
+//! accuracy — plus completion rate and traffic diagnostics.
+
+use diknn_core::QueryOutcome;
+use diknn_sim::SimStats;
+
+use crate::oracle::GroundTruth;
+
+/// Metrics of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Queries issued.
+    pub queries: usize,
+    /// Queries that produced an answer at the sink.
+    pub completed: usize,
+    /// Mean latency over completed queries, in seconds.
+    pub latency_s: f64,
+    /// Total protocol (non-beacon) radio energy, in joules.
+    pub energy_j: f64,
+    /// Mean pre-accuracy (ground truth at issue time) over all queries;
+    /// unanswered queries score 0.
+    pub pre_accuracy: f64,
+    /// Mean post-accuracy (ground truth at result time) over all queries.
+    pub post_accuracy: f64,
+    /// Mean estimated boundary radius (0 for index-based protocols).
+    pub boundary_radius_m: f64,
+    /// Mean nodes explored per query.
+    pub explored: f64,
+    /// Protocol frames transmitted.
+    pub tx_frames: u64,
+    /// Receptions destroyed by collisions.
+    pub collisions: u64,
+}
+
+impl RunMetrics {
+    /// Compute run metrics from protocol outcomes + engine stats + oracle.
+    pub fn compute(outcomes: &[QueryOutcome], stats: &SimStats, energy_j: f64, oracle: &GroundTruth) -> Self {
+        let queries = outcomes.len();
+        let mut completed = 0usize;
+        let mut latency_sum = 0.0;
+        let mut pre_sum = 0.0;
+        let mut post_sum = 0.0;
+        let mut radius_sum = 0.0;
+        let mut explored_sum = 0.0;
+        for o in outcomes {
+            radius_sum += o.boundary_radius;
+            explored_sum += o.explored_nodes as f64;
+            if let Some(done) = o.completed_at {
+                completed += 1;
+                latency_sum += (done - o.issued_at).as_secs_f64();
+                pre_sum += oracle.accuracy(&o.answer, o.q, o.k, o.issued_at.as_secs_f64());
+                post_sum += oracle.accuracy(&o.answer, o.q, o.k, done.as_secs_f64());
+            }
+        }
+        let qn = queries.max(1) as f64;
+        RunMetrics {
+            queries,
+            completed,
+            latency_s: if completed > 0 {
+                latency_sum / completed as f64
+            } else {
+                f64::NAN
+            },
+            energy_j,
+            pre_accuracy: pre_sum / qn,
+            post_accuracy: post_sum / qn,
+            boundary_radius_m: radius_sum / qn,
+            explored: explored_sum / qn,
+            tx_frames: stats.tx_protocol_frames,
+            collisions: stats.collisions,
+        }
+    }
+}
+
+/// Mean and sample standard deviation of a metric over runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stat {
+    pub mean: f64,
+    pub std: f64,
+}
+
+fn stat(values: impl Iterator<Item = f64>) -> Stat {
+    let vals: Vec<f64> = values.filter(|v| v.is_finite()).collect();
+    if vals.is_empty() {
+        return Stat {
+            mean: f64::NAN,
+            std: f64::NAN,
+        };
+    }
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = if vals.len() > 1 {
+        vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    Stat {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+/// Aggregated metrics over several seeded runs (the paper averages 20).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    pub runs: usize,
+    pub latency_s: Stat,
+    pub energy_j: Stat,
+    pub pre_accuracy: Stat,
+    pub post_accuracy: Stat,
+    pub completion_rate: Stat,
+    pub boundary_radius_m: Stat,
+    pub explored: Stat,
+}
+
+impl Aggregate {
+    pub fn from_runs(runs: &[RunMetrics]) -> Self {
+        Aggregate {
+            runs: runs.len(),
+            latency_s: stat(runs.iter().map(|r| r.latency_s)),
+            energy_j: stat(runs.iter().map(|r| r.energy_j)),
+            pre_accuracy: stat(runs.iter().map(|r| r.pre_accuracy)),
+            post_accuracy: stat(runs.iter().map(|r| r.post_accuracy)),
+            completion_rate: stat(
+                runs.iter()
+                    .map(|r| r.completed as f64 / r.queries.max(1) as f64),
+            ),
+            boundary_radius_m: stat(runs.iter().map(|r| r.boundary_radius_m)),
+            explored: stat(runs.iter().map(|r| r.explored)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(latency: f64, energy: f64) -> RunMetrics {
+        RunMetrics {
+            queries: 10,
+            completed: 9,
+            latency_s: latency,
+            energy_j: energy,
+            pre_accuracy: 0.9,
+            post_accuracy: 0.95,
+            boundary_radius_m: 25.0,
+            explored: 42.0,
+            tx_frames: 100,
+            collisions: 5,
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_std() {
+        let agg = Aggregate::from_runs(&[rm(1.0, 0.4), rm(2.0, 0.6)]);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.latency_s.mean - 1.5).abs() < 1e-12);
+        assert!((agg.energy_j.mean - 0.5).abs() < 1e-12);
+        // Sample std of {1, 2} = 0.7071…
+        assert!((agg.latency_s.std - 0.707).abs() < 1e-3);
+        assert!((agg.completion_rate.mean - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_latencies_are_skipped() {
+        let mut bad = rm(f64::NAN, 0.4);
+        bad.completed = 0;
+        let agg = Aggregate::from_runs(&[bad, rm(2.0, 0.6)]);
+        assert!((agg.latency_s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_std_is_zero() {
+        let agg = Aggregate::from_runs(&[rm(1.0, 0.4)]);
+        assert_eq!(agg.latency_s.std, 0.0);
+    }
+}

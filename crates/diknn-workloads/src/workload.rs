@@ -1,0 +1,112 @@
+//! Query workload generation: the paper issues snapshot KNN queries with
+//! exponentially distributed inter-arrival times (mean 4 s) from random
+//! sinks at random query points.
+
+use crate::scenario::ScenarioConfig;
+use diknn_core::QueryRequest;
+use diknn_sim::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Requested neighbour count `k`.
+    pub k: usize,
+    /// Mean of the exponential inter-arrival time, in seconds (4 s).
+    pub mean_interval: f64,
+    /// First query time in seconds (leaves room for beacon warm-up /
+    /// Peer-tree index build).
+    pub first_at: f64,
+    /// No queries after this time (queries need time to complete inside
+    /// the run).
+    pub last_at: f64,
+    /// Query points keep this margin from the field edge.
+    pub edge_margin: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            k: 40,
+            mean_interval: 4.0,
+            first_at: 2.0,
+            last_at: 80.0,
+            edge_margin: 15.0,
+        }
+    }
+}
+
+/// Generate the request sequence for one run.
+///
+/// Sinks are uniform over the data nodes; query points uniform inside the
+/// field margin; inter-arrival times `Exp(1/mean)`.
+pub fn generate(scenario: &ScenarioConfig, cfg: &WorkloadConfig, seed: u64) -> Vec<QueryRequest> {
+    assert!(cfg.k >= 1, "k must be positive");
+    assert!(cfg.mean_interval > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x517C_C1B7).wrapping_add(3));
+    let mut out = Vec::new();
+    let mut t = cfg.first_at;
+    while t <= cfg.last_at.min(scenario.duration) {
+        out.push(QueryRequest {
+            at: t,
+            sink: NodeId(rng.gen_range(0..scenario.nodes) as u32),
+            q: scenario.random_query_point(&mut rng, cfg.edge_margin),
+            k: cfg.k,
+        });
+        // Inverse-CDF exponential sample.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -cfg.mean_interval * u.ln();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requests_in_window() {
+        let sc = ScenarioConfig::default();
+        let wl = WorkloadConfig::default();
+        let reqs = generate(&sc, &wl, 7);
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert!(r.at >= wl.first_at && r.at <= wl.last_at);
+            assert!(r.sink.index() < sc.nodes);
+            assert_eq!(r.k, 40);
+        }
+        // Times strictly increasing.
+        for w in reqs.windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    fn mean_interval_roughly_respected() {
+        let sc = ScenarioConfig {
+            duration: 100_000.0,
+            ..ScenarioConfig::default()
+        };
+        let wl = WorkloadConfig {
+            last_at: 99_000.0,
+            ..WorkloadConfig::default()
+        };
+        let reqs = generate(&sc, &wl, 11);
+        let n = reqs.len() as f64;
+        let span = reqs.last().unwrap().at - reqs[0].at;
+        let mean = span / (n - 1.0);
+        assert!(
+            (mean - 4.0).abs() < 0.4,
+            "empirical mean interval {mean} not ≈ 4"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sc = ScenarioConfig::default();
+        let wl = WorkloadConfig::default();
+        assert_eq!(generate(&sc, &wl, 5), generate(&sc, &wl, 5));
+        assert_ne!(generate(&sc, &wl, 5), generate(&sc, &wl, 6));
+    }
+}

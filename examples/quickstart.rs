@@ -1,0 +1,67 @@
+//! Quickstart: issue one KNN query over a 200-node mobile sensor network
+//! and check the answer against exact ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use diknn_repro::prelude::*;
+use diknn_repro::workloads;
+
+fn main() {
+    // 1. A network scenario: the paper's defaults — 200 nodes in a
+    //    115×115 m² field, random-waypoint mobility at up to 10 m/s.
+    let scenario = ScenarioConfig {
+        duration: 30.0,
+        ..ScenarioConfig::default()
+    };
+    let seed = 42;
+    let plans = scenario.build(seed);
+
+    // Keep a handle on the same mobility plans for ground truth.
+    let oracle = workloads::GroundTruth::new(plans.clone(), scenario.nodes);
+
+    // 2. One query: node 0 asks for the 10 sensors nearest to the field
+    //    centre, 2 simulated seconds into the run.
+    let q = Point::new(57.0, 57.0);
+    let request = QueryRequest {
+        at: 2.0,
+        sink: NodeId(0),
+        q,
+        k: 10,
+    };
+
+    // 3. Run DIKNN over the event-driven simulator.
+    let protocol = Diknn::new(DiknnConfig::default(), vec![request]);
+    let mut sim = Simulator::new(scenario.sim_config(), plans, protocol, seed);
+    sim.warm_neighbor_tables();
+    sim.run();
+
+    // 4. Inspect the outcome.
+    let outcome = &sim.protocol().outcomes()[0];
+    let latency = outcome.latency().expect("query should complete");
+    println!("query: 10 nearest neighbours of ({:.0}, {:.0})", q.x, q.y);
+    println!("  KNNB boundary radius : {:.1} m", outcome.boundary_radius);
+    println!("  final boundary radius: {:.1} m", outcome.final_radius);
+    println!("  routing hops to home : {}", outcome.routing_hops);
+    println!("  sectors returned     : {}/{}", outcome.parts_returned, outcome.parts_expected);
+    println!("  nodes explored       : {}", outcome.explored_nodes);
+    println!("  latency              : {latency:.3} s");
+    println!(
+        "  energy (all nodes)   : {:.3} J",
+        sim.ctx().total_protocol_energy_j()
+    );
+    println!("  answer               : {:?}", outcome.answer);
+
+    // 5. Score against exact ground truth at both valid times (§3.1).
+    let t_issue = outcome.issued_at.as_secs_f64();
+    let t_done = outcome.completed_at.unwrap().as_secs_f64();
+    println!(
+        "  pre-accuracy  (T = issue time) : {:.0}%",
+        100.0 * oracle.accuracy(&outcome.answer, q, outcome.k, t_issue)
+    );
+    println!(
+        "  post-accuracy (T = result time): {:.0}%",
+        100.0 * oracle.accuracy(&outcome.answer, q, outcome.k, t_done)
+    );
+}

@@ -1,0 +1,45 @@
+//! # diknn-repro
+//!
+//! A from-scratch Rust reproduction of **"DIKNN: An Itinerary-based KNN
+//! Query Processing Algorithm for Mobile Sensor Networks"** (Wu, Chuang,
+//! Chen & Chen, ICDE 2007).
+//!
+//! This facade crate re-exports the workspace so applications can depend on
+//! one crate:
+//!
+//! * [`geom`] — 2D geometry (points, sectors, polylines).
+//! * [`sim`] — the deterministic discrete-event wireless network simulator
+//!   (radio, CSMA-style MAC, energy meters, beacons/neighbour tables).
+//! * [`mobility`] — analytic mobility models (random waypoint, traces) and
+//!   placements (uniform, clustered).
+//! * [`routing`] — GPSR geographic routing (greedy + perimeter mode).
+//! * [`rtree`] — an R-tree spatial index.
+//! * [`core`] — the DIKNN protocol itself: KNNB boundary estimation,
+//!   concurrent itineraries, rendezvous adjustment, mobility assurance.
+//! * [`baselines`] — the competitor protocols of the paper's evaluation:
+//!   KPT (+KNNB), Peer-tree, naive flooding.
+//! * [`workloads`] — scenarios, query workloads, ground-truth accuracy
+//!   oracle, and the multi-run experiment driver.
+//!
+//! See `examples/quickstart.rs` for the 60-second tour and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+pub use diknn_baselines as baselines;
+pub use diknn_core as core;
+pub use diknn_geom as geom;
+pub use diknn_mobility as mobility;
+pub use diknn_routing as routing;
+pub use diknn_rtree as rtree;
+pub use diknn_sim as sim;
+pub use diknn_workloads as workloads;
+
+/// The most commonly used items, for `use diknn_repro::prelude::*`.
+pub mod prelude {
+    pub use diknn_baselines::{Flood, FloodConfig, Kpt, KptConfig, PeerTree, PeerTreeConfig};
+    pub use diknn_core::{Diknn, DiknnConfig, KnnProtocol, QueryOutcome, QueryRequest};
+    pub use diknn_geom::{Point, Rect};
+    pub use diknn_sim::{NodeId, SharedMobility, SimConfig, Simulator};
+    pub use diknn_workloads::{
+        Experiment, GroundTruth, PlacementKind, ProtocolKind, ScenarioConfig, WorkloadConfig,
+    };
+}

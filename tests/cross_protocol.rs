@@ -1,0 +1,124 @@
+//! Cross-crate integration: all four protocols driven through the workload
+//! harness on identical scenarios, with the paper's qualitative orderings
+//! asserted.
+
+use diknn_repro::prelude::*;
+
+fn scenario(speed: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 200,
+        max_speed: speed,
+        duration: 45.0,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload(k: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        k,
+        first_at: 2.0,
+        last_at: 25.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+#[test]
+fn all_protocols_complete_queries_on_the_same_scenario() {
+    for proto in [
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        ProtocolKind::Kpt(KptConfig::default()),
+        ProtocolKind::PeerTree(PeerTreeConfig::default()),
+        ProtocolKind::Flood(FloodConfig::default()),
+    ] {
+        let name = proto.name();
+        let agg = Experiment::new(proto, scenario(10.0), workload(20)).run(1, 11);
+        assert!(
+            agg.completion_rate.mean >= 0.7,
+            "{name}: completion {:.2}",
+            agg.completion_rate.mean
+        );
+        assert!(
+            agg.post_accuracy.mean > 0.3,
+            "{name}: accuracy {:.3}",
+            agg.post_accuracy.mean
+        );
+        assert!(agg.energy_j.mean > 0.0, "{name}: no energy recorded");
+    }
+}
+
+#[test]
+fn diknn_beats_kpt_on_latency() {
+    let diknn = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        scenario(10.0),
+        workload(40),
+    )
+    .run(2, 21);
+    let kpt = Experiment::new(
+        ProtocolKind::Kpt(KptConfig::default()),
+        scenario(10.0),
+        workload(40),
+    )
+    .run(2, 21);
+    assert!(
+        diknn.latency_s.mean < kpt.latency_s.mean,
+        "DIKNN {:.2}s should beat KPT {:.2}s",
+        diknn.latency_s.mean,
+        kpt.latency_s.mean
+    );
+}
+
+#[test]
+fn diknn_has_highest_accuracy_under_mobility() {
+    let sc = scenario(20.0);
+    let wl = workload(40);
+    let diknn = Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl)
+        .run(2, 31);
+    let kpt =
+        Experiment::new(ProtocolKind::Kpt(KptConfig::default()), sc.clone(), wl).run(2, 31);
+    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl)
+        .run(2, 31);
+    assert!(
+        diknn.pre_accuracy.mean > kpt.pre_accuracy.mean,
+        "DIKNN {:.3} !> KPT {:.3}",
+        diknn.pre_accuracy.mean,
+        kpt.pre_accuracy.mean
+    );
+    assert!(
+        diknn.pre_accuracy.mean > pt.pre_accuracy.mean + 0.15,
+        "DIKNN {:.3} !>> PeerTree {:.3}",
+        diknn.pre_accuracy.mean,
+        pt.pre_accuracy.mean
+    );
+}
+
+#[test]
+fn peertree_pays_maintenance_energy() {
+    let sc = scenario(10.0);
+    let wl = workload(20);
+    let diknn = Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl)
+        .run(1, 41);
+    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl)
+        .run(1, 41);
+    assert!(
+        pt.energy_j.mean > diknn.energy_j.mean,
+        "PeerTree {:.2}J should exceed DIKNN {:.2}J",
+        pt.energy_j.mean,
+        diknn.energy_j.mean
+    );
+}
+
+#[test]
+fn experiments_deterministic_across_protocols() {
+    for proto in [
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        ProtocolKind::Kpt(KptConfig::default()),
+        ProtocolKind::PeerTree(PeerTreeConfig::default()),
+        ProtocolKind::Flood(FloodConfig::default()),
+    ] {
+        let name = proto.name();
+        let a = Experiment::new(proto.clone(), scenario(10.0), workload(10)).run_once(5);
+        let b = Experiment::new(proto, scenario(10.0), workload(10)).run_once(5);
+        assert_eq!(a, b, "{name}: nondeterministic run");
+    }
+}

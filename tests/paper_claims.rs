@@ -1,0 +1,135 @@
+//! The paper's headline quantitative claims, asserted at reduced scale
+//! (fewer seeds and shorter runs than the evaluation binaries, so the suite
+//! stays fast — the `fig8`/`fig9` binaries are the full-scale versions).
+
+use diknn_repro::core::itinerary::{coverage_worst_distance, total_length};
+use diknn_repro::core::{knnb, kpt_conservative_radius, HopRecord, ItinerarySpec};
+use diknn_repro::prelude::*;
+
+/// §4.2: "radius lengths returned by KNNB are generally 1/√(kπ) of the
+/// previous work KPT under the same level of accuracy."
+#[test]
+fn knnb_radius_ratio_tracks_paper_formula() {
+    let r: f64 = 20.0;
+    let density: f64 = 200.0 / (115.0 * 115.0);
+    let q = Point::new(100.0, 57.0);
+    let list: Vec<HopRecord> = (0..6)
+        .map(|i| HopRecord {
+            loc: Point::new(q.x - (6 - i) as f64 * 15.0, q.y),
+            enc: (density * r * 15.0).round() as u32,
+        })
+        .collect();
+    for k in [20usize, 40, 100] {
+        let ratio = knnb(&list, q, r, k).radius / kpt_conservative_radius(k, 15.0);
+        let paper = 1.0 / (k as f64 * std::f64::consts::PI).sqrt();
+        // Same order of magnitude (within 3× either way).
+        assert!(
+            ratio < 3.0 * paper && ratio > paper / 3.0,
+            "k={k}: ratio {ratio:.4} vs paper {paper:.4}"
+        );
+    }
+}
+
+/// §3.3: w = √3r/2 covers the boundary; substantially wider widths leave
+/// radio-range holes, substantially narrower ones inflate the itinerary.
+#[test]
+fn recommended_width_is_a_good_tradeoff() {
+    let r = 20.0;
+    let rec = ItinerarySpec::recommended_width(r);
+    let covered = |w: f64| {
+        let spec = ItinerarySpec::new(Point::ORIGIN, 55.0, 8, w);
+        coverage_worst_distance(&spec, 1500) <= r
+    };
+    let length = |w: f64| total_length(&ItinerarySpec::new(Point::ORIGIN, 55.0, 8, w));
+    assert!(covered(rec), "recommended width must cover");
+    assert!(!covered(3.0 * r), "3r spacing must leave holes");
+    assert!(
+        length(rec / 2.0) > 1.5 * length(rec),
+        "halving the width should significantly lengthen the itinerary"
+    );
+}
+
+/// §5 headline: "outperforms the second runner with up to 50% saving in
+/// energy consumption and up to 40% reduction in query response time,
+/// while rendering the same level of query result accuracy."
+///
+/// Reduced-scale check of the latency half plus the accuracy floor.
+#[test]
+fn headline_latency_and_accuracy_vs_kpt() {
+    let scenario = ScenarioConfig {
+        duration: 50.0,
+        ..ScenarioConfig::default()
+    };
+    let wl = WorkloadConfig {
+        k: 40,
+        last_at: 30.0,
+        ..WorkloadConfig::default()
+    };
+    let diknn = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        scenario.clone(),
+        wl,
+    )
+    .run(2, 1234);
+    let kpt = Experiment::new(ProtocolKind::Kpt(KptConfig::default()), scenario, wl).run(2, 1234);
+    let reduction = 1.0 - diknn.latency_s.mean / kpt.latency_s.mean;
+    assert!(
+        reduction > 0.15,
+        "latency reduction vs KPT only {:.0}% (DIKNN {:.2}s, KPT {:.2}s)",
+        reduction * 100.0,
+        diknn.latency_s.mean,
+        kpt.latency_s.mean
+    );
+    assert!(
+        diknn.pre_accuracy.mean >= kpt.pre_accuracy.mean - 0.02,
+        "accuracy must be at least KPT's level: {:.3} vs {:.3}",
+        diknn.pre_accuracy.mean,
+        kpt.pre_accuracy.mean
+    );
+    assert!(
+        diknn.pre_accuracy.mean > 0.8,
+        "DIKNN pre-accuracy {:.3} too low at k=40/µ=10",
+        diknn.pre_accuracy.mean
+    );
+}
+
+/// §5.4: "DIKNN has stable performance under various mobility conditions"
+/// while Peer-tree accuracy "degrades dramatically".
+#[test]
+fn mobility_stability_contrast() {
+    let wl = WorkloadConfig {
+        k: 20,
+        last_at: 25.0,
+        ..WorkloadConfig::default()
+    };
+    let run = |proto: ProtocolKind, speed: f64| {
+        Experiment::new(
+            proto,
+            ScenarioConfig {
+                max_speed: speed,
+                duration: 45.0,
+                ..ScenarioConfig::default()
+            },
+            wl,
+        )
+        .run(2, 777)
+    };
+    let diknn_slow = run(ProtocolKind::Diknn(DiknnConfig::default()), 5.0);
+    let diknn_fast = run(ProtocolKind::Diknn(DiknnConfig::default()), 30.0);
+    let pt_slow = run(ProtocolKind::PeerTree(PeerTreeConfig::default()), 5.0);
+    let pt_fast = run(ProtocolKind::PeerTree(PeerTreeConfig::default()), 30.0);
+
+    let diknn_drop = diknn_slow.pre_accuracy.mean - diknn_fast.pre_accuracy.mean;
+    let pt_drop = pt_slow.pre_accuracy.mean - pt_fast.pre_accuracy.mean;
+    assert!(
+        pt_drop > diknn_drop + 0.1,
+        "Peer-tree should degrade much more: PT drop {:.3} vs DIKNN drop {:.3}",
+        pt_drop,
+        diknn_drop
+    );
+    assert!(
+        diknn_fast.pre_accuracy.mean > 0.6,
+        "DIKNN at 30 m/s fell to {:.3}",
+        diknn_fast.pre_accuracy.mean
+    );
+}
