@@ -13,7 +13,7 @@
 //! The base station is one extra stationary infrastructure node (appended
 //! after the data nodes, like the Peer-tree clusterheads).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use diknn_geom::{Point, Rect};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -111,8 +111,8 @@ pub struct Centralized {
     data_nodes: usize,
     base_pos: Point,
     /// The base station's index: node → (position, heard time).
-    index: HashMap<u32, (Point, SimTime)>,
-    route_excludes: HashMap<(u32, u8), Vec<NodeId>>,
+    index: BTreeMap<u32, (Point, SimTime)>,
+    route_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
     radio_range: f64,
 }
 
@@ -135,8 +135,8 @@ impl Centralized {
             requests,
             outcomes: Vec::new(),
             data_nodes,
-            index: HashMap::new(),
-            route_excludes: HashMap::new(),
+            index: BTreeMap::new(),
+            route_excludes: BTreeMap::new(),
             radio_range: 0.0,
         }
     }
@@ -272,11 +272,8 @@ impl Centralized {
         let timeout = self.cfg.entry_timeout;
         self.index
             .retain(|_, (_, t)| (now - *t).as_secs_f64() <= timeout);
-        let tree = RTree::bulk_load_points(
-            self.index
-                .iter()
-                .map(|(&id, &(pos, _))| (pos, NodeId(id))),
-        );
+        let tree =
+            RTree::bulk_load_points(self.index.iter().map(|(&id, &(pos, _))| (pos, NodeId(id))));
         let answer: Vec<NodeId> = tree
             .knn(spec.q, spec.k as usize)
             .into_iter()
@@ -350,7 +347,13 @@ impl Protocol for Centralized {
         }
     }
 
-    fn on_message(&mut self, at: NodeId, from: NodeId, msg: &CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+    fn on_message(
+        &mut self,
+        at: NodeId,
+        from: NodeId,
+        msg: &CentralMsg,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
         let base = self.base_id();
         match msg {
             CentralMsg::Report { node, position, .. } => {
@@ -381,7 +384,13 @@ impl Protocol for Centralized {
         }
     }
 
-    fn on_send_failed(&mut self, at: NodeId, to: NodeId, msg: &CentralMsg, ctx: &mut Ctx<CentralMsg>) {
+    fn on_send_failed(
+        &mut self,
+        at: NodeId,
+        to: NodeId,
+        msg: &CentralMsg,
+        ctx: &mut Ctx<CentralMsg>,
+    ) {
         let (route_key, dest) = match msg {
             CentralMsg::Report { node, .. } => ((node.0, 0u8), self.base_id()),
             CentralMsg::Query { spec, .. } => ((spec.qid, 1u8), self.base_id()),

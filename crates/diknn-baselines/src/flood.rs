@@ -5,7 +5,7 @@
 //! routing paths"; included for the ablation benches that quantify exactly
 //! that.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::Point;
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -104,9 +104,9 @@ pub struct Flood {
     cfg: FloodConfig,
     requests: Vec<QueryRequest>,
     outcomes: Vec<QueryOutcome>,
-    merged: HashMap<u32, (CandidateSet, u32, SimTime)>,
-    seen_flood: HashSet<(u32, u32)>,
-    pending: HashMap<(u32, u32), FloodSpec>,
+    merged: BTreeMap<u32, (CandidateSet, u32, SimTime)>,
+    seen_flood: BTreeSet<(u32, u32)>,
+    pending: BTreeMap<(u32, u32), FloodSpec>,
     radio_range: f64,
 }
 
@@ -116,9 +116,9 @@ impl Flood {
             cfg,
             requests,
             outcomes: Vec::new(),
-            merged: HashMap::new(),
-            seen_flood: HashSet::new(),
-            pending: HashMap::new(),
+            merged: BTreeMap::new(),
+            seen_flood: BTreeSet::new(),
+            pending: BTreeMap::new(),
             radio_range: 0.0,
         }
     }

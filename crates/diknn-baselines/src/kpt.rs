@@ -20,7 +20,7 @@
 //! partial aggregate — the "forwarded again and again" overhead the paper
 //! describes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::Point;
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -192,11 +192,11 @@ pub struct Kpt {
     requests: Vec<QueryRequest>,
     outcomes: Vec<QueryOutcome>,
     /// (qid, node) → tree membership.
-    trees: HashMap<(u32, u32), TreeNode>,
-    homes: HashMap<u32, HomeState>,
-    sink_done: HashSet<u32>,
-    query_excludes: HashMap<u32, Vec<NodeId>>,
-    result_excludes: HashMap<u32, Vec<NodeId>>,
+    trees: BTreeMap<(u32, u32), TreeNode>,
+    homes: BTreeMap<u32, HomeState>,
+    sink_done: BTreeSet<u32>,
+    query_excludes: BTreeMap<u32, Vec<NodeId>>,
+    result_excludes: BTreeMap<u32, Vec<NodeId>>,
     radio_range: f64,
 }
 
@@ -206,11 +206,11 @@ impl Kpt {
             cfg,
             requests,
             outcomes: Vec::new(),
-            trees: HashMap::new(),
-            homes: HashMap::new(),
-            sink_done: HashSet::new(),
-            query_excludes: HashMap::new(),
-            result_excludes: HashMap::new(),
+            trees: BTreeMap::new(),
+            homes: BTreeMap::new(),
+            sink_done: BTreeSet::new(),
+            query_excludes: BTreeMap::new(),
+            result_excludes: BTreeMap::new(),
             radio_range: 0.0,
         }
     }
@@ -517,8 +517,7 @@ impl Kpt {
             .map(|n| n.report_excludes.clone())
             .unwrap_or_default();
         let neighbors = reliable(ctx, at);
-        let target = if neighbors.iter().any(|n| n.id == parent) && !excludes.contains(&parent)
-        {
+        let target = if neighbors.iter().any(|n| n.id == parent) && !excludes.contains(&parent) {
             Some(parent)
         } else {
             neighbors

@@ -13,6 +13,11 @@
 //!
 //! All three implement [`diknn_core::KnnProtocol`], so the workload harness
 //! measures them exactly like DIKNN.
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 mod centralized;
 mod flood;

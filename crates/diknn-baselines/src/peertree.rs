@@ -25,7 +25,7 @@
 //! [`PeerTree::clusterhead_positions`]). They never answer queries
 //! themselves.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::{Point, Rect};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -224,16 +224,16 @@ pub struct PeerTree {
     /// Cell rectangles, row-major; an R-tree over them picks target cells.
     cell_index: RTree<usize>,
     /// Per-head member tables: head cell idx → members.
-    members: Vec<HashMap<u32, Member>>,
+    members: Vec<BTreeMap<u32, Member>>,
     /// Each data node's last known cell (for crossing-triggered notifies).
     last_cell: Vec<Option<usize>>,
-    collections: HashMap<u32, Collection>,
-    pending_replies: HashMap<(u32, u32), (NodeId, Point)>,
+    collections: BTreeMap<u32, Collection>,
+    pending_replies: BTreeMap<(u32, u32), (NodeId, Point)>,
     /// Subreplies scheduled at neighbouring heads, staggered to avoid
     /// colliding at the query head.
-    pending_subreplies: HashMap<(u32, u32), PtMsg>,
-    sink_done: HashSet<u32>,
-    route_excludes: HashMap<(u32, u8), Vec<NodeId>>,
+    pending_subreplies: BTreeMap<(u32, u32), PtMsg>,
+    sink_done: BTreeSet<u32>,
+    route_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
     radio_range: f64,
     field: Rect,
     /// Diagnostics: per-query (pool size, asked, subreplies pending at ask
@@ -249,7 +249,12 @@ impl PeerTree {
         diknn_mobility_grid(field, grid)
     }
 
-    pub fn new(cfg: PeerTreeConfig, field: Rect, data_nodes: usize, requests: Vec<QueryRequest>) -> Self {
+    pub fn new(
+        cfg: PeerTreeConfig,
+        field: Rect,
+        data_nodes: usize,
+        requests: Vec<QueryRequest>,
+    ) -> Self {
         let g = cfg.grid;
         let head_positions = Self::clusterhead_positions(field, g);
         let dx = field.width() / g as f64;
@@ -267,7 +272,7 @@ impl PeerTree {
             }
         }
         PeerTree {
-            members: vec![HashMap::new(); g * g],
+            members: vec![BTreeMap::new(); g * g],
             cell_index: RTree::bulk_load(cells),
             last_cell: vec![None; data_nodes],
             cfg,
@@ -275,12 +280,12 @@ impl PeerTree {
             outcomes: Vec::new(),
             data_nodes,
             head_positions,
-            collections: HashMap::new(),
-            pending_replies: HashMap::new(),
-            pending_subreplies: HashMap::new(),
-            sink_done: HashSet::new(),
+            collections: BTreeMap::new(),
+            pending_replies: BTreeMap::new(),
+            pending_subreplies: BTreeMap::new(),
+            sink_done: BTreeSet::new(),
             ask_stats: Vec::new(),
-            route_excludes: HashMap::new(),
+            route_excludes: BTreeMap::new(),
             radio_range: 0.0,
             field,
         }
@@ -336,7 +341,11 @@ impl PeerTree {
             self.send(ctx, at, dest, msg);
             return true;
         }
-        let exclude = self.route_excludes.get(&route_key).cloned().unwrap_or_default();
+        let exclude = self
+            .route_excludes
+            .get(&route_key)
+            .cloned()
+            .unwrap_or_default();
         let prev_pos = from.map(|f| (f, ctx.position(f)));
         match plan_next_hop(
             at,
@@ -472,7 +481,13 @@ impl PeerTree {
         }
     }
 
-    fn forward_query(&mut self, ctx: &mut Ctx<PtMsg>, at: NodeId, msg: PtMsg, from: Option<NodeId>) {
+    fn forward_query(
+        &mut self,
+        ctx: &mut Ctx<PtMsg>,
+        at: NodeId,
+        msg: PtMsg,
+        from: Option<NodeId>,
+    ) {
         let PtMsg::Query { spec, gpsr, stage } = msg else {
             unreachable!()
         };
@@ -609,9 +624,10 @@ impl PeerTree {
         // tables around a border), keeping the freshest entry order.
         let mut pool = std::mem::take(&mut coll.pool);
         let pending = coll.pending_subqueries;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         pool.retain(|(id, _)| seen.insert(*id));
-        self.ask_stats.push((qid, pool.len(), spec.k.min(pool.len() as u32), pending));
+        self.ask_stats
+            .push((qid, pool.len(), spec.k.min(pool.len() as u32), pending));
         // Keep only the k best by believed distance and inform them one per
         // collect slot (bursting k unicasts at once collides their replies).
         pool.sort_by(|a, b| {
@@ -917,8 +933,7 @@ impl Protocol for PeerTree {
                     self.pending_subreplies.insert((*qid, at.0), reply);
                     let jitter: f64 = {
                         use rand::Rng;
-                        ctx.rng()
-                            .gen_range(0.0..self.cfg.subquery_window * 0.6)
+                        ctx.rng().gen_range(0.0..self.cfg.subquery_window * 0.6)
                     };
                     ctx.set_timer(
                         at,
@@ -932,7 +947,9 @@ impl Protocol for PeerTree {
                     self.forward_subquery(ctx, at, dest, msg.clone(), Some(from));
                 }
             }
-            PtMsg::SubReply { qid, members, to, .. } => {
+            PtMsg::SubReply {
+                qid, members, to, ..
+            } => {
                 if at == *to {
                     // Query head: fold the believed positions into the pool.
                     if let Some(coll) = self.collections.get_mut(qid) {
@@ -981,7 +998,13 @@ impl Protocol for PeerTree {
                     self.forward_collect(ctx, at, msg.clone(), Some(from));
                 }
             }
-            PtMsg::CollectReply { qid, node, position, to, .. } => {
+            PtMsg::CollectReply {
+                qid,
+                node,
+                position,
+                to,
+                ..
+            } => {
                 if at == *to {
                     if let Some(coll) = self.collections.get_mut(qid) {
                         if coll.head == at {
@@ -1004,7 +1027,10 @@ impl Protocol for PeerTree {
     fn on_send_failed(&mut self, at: NodeId, to: NodeId, msg: &PtMsg, ctx: &mut Ctx<PtMsg>) {
         match msg {
             PtMsg::Query { spec, stage, .. } => {
-                let e = self.route_excludes.entry((spec.qid, 10 + stage)).or_default();
+                let e = self
+                    .route_excludes
+                    .entry((spec.qid, 10 + stage))
+                    .or_default();
                 e.push(to);
                 if e.len() <= 8 {
                     self.forward_query(ctx, at, msg.clone(), None);
@@ -1024,30 +1050,40 @@ impl Protocol for PeerTree {
 }
 
 impl PeerTree {
-    fn forward_collect(&mut self, ctx: &mut Ctx<PtMsg>, at: NodeId, msg: PtMsg, from: Option<NodeId>) {
-        let PtMsg::Collect { qid, target, gpsr, .. } = &msg else {
+    fn forward_collect(
+        &mut self,
+        ctx: &mut Ctx<PtMsg>,
+        at: NodeId,
+        msg: PtMsg,
+        from: Option<NodeId>,
+    ) {
+        let PtMsg::Collect {
+            qid, target, gpsr, ..
+        } = &msg
+        else {
             unreachable!()
         };
         let (qid, target, gpsr) = (*qid, *target, *gpsr);
         let m2 = msg.clone();
-        let delivered = self.geo_forward(ctx, at, target, &gpsr, (qid, 40), from, move |h| match m2 {
-            PtMsg::Collect {
-                qid,
-                head,
-                head_pos,
-                target,
-                window,
-                ..
-            } => PtMsg::Collect {
-                qid,
-                head,
-                head_pos,
-                target,
-                gpsr: h,
-                window,
-            },
-            _ => unreachable!(),
-        });
+        let delivered =
+            self.geo_forward(ctx, at, target, &gpsr, (qid, 40), from, move |h| match m2 {
+                PtMsg::Collect {
+                    qid,
+                    head,
+                    head_pos,
+                    target,
+                    window,
+                    ..
+                } => PtMsg::Collect {
+                    qid,
+                    head,
+                    head_pos,
+                    target,
+                    gpsr: h,
+                    window,
+                },
+                _ => unreachable!(),
+            });
         if !delivered {
             // Arrived at the believed position but the member is not in the
             // local table (it moved since its last notification). Last
@@ -1058,7 +1094,13 @@ impl PeerTree {
         }
     }
 
-    fn forward_collect_reply(&mut self, ctx: &mut Ctx<PtMsg>, at: NodeId, msg: PtMsg, from: Option<NodeId>) {
+    fn forward_collect_reply(
+        &mut self,
+        ctx: &mut Ctx<PtMsg>,
+        at: NodeId,
+        msg: PtMsg,
+        from: Option<NodeId>,
+    ) {
         let PtMsg::CollectReply { qid, to, gpsr, .. } = &msg else {
             unreachable!()
         };
@@ -1082,7 +1124,13 @@ impl PeerTree {
         });
     }
 
-    fn forward_subreply(&mut self, ctx: &mut Ctx<PtMsg>, at: NodeId, msg: PtMsg, from: Option<NodeId>) {
+    fn forward_subreply(
+        &mut self,
+        ctx: &mut Ctx<PtMsg>,
+        at: NodeId,
+        msg: PtMsg,
+        from: Option<NodeId>,
+    ) {
         let PtMsg::SubReply { qid, gpsr, to, .. } = &msg else {
             unreachable!()
         };

@@ -99,12 +99,15 @@ fn bench_gpsr(c: &mut Criterion) {
 fn bench_rtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree");
     let mut rng = SmallRng::seed_from_u64(9);
-    let pts =
-        diknn_mobility::placement::uniform(Rect::new(0.0, 0.0, 115.0, 115.0), 200, &mut rng);
+    let pts = diknn_mobility::placement::uniform(Rect::new(0.0, 0.0, 115.0, 115.0), 200, &mut rng);
     group.bench_function("bulk_load_200", |b| {
         b.iter(|| {
             RTree::bulk_load_points(
-                black_box(&pts).iter().copied().enumerate().map(|(i, p)| (p, i)),
+                black_box(&pts)
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(i, p)| (p, i)),
             )
         })
     });

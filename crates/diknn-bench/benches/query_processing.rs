@@ -33,14 +33,15 @@ fn bench_single_query(c: &mut Criterion) {
         for (name, proto) in [
             ("diknn", ProtocolKind::Diknn(DiknnConfig::default())),
             ("kpt", ProtocolKind::Kpt(KptConfig::default())),
-            ("peertree", ProtocolKind::PeerTree(PeerTreeConfig::default())),
+            (
+                "peertree",
+                ProtocolKind::PeerTree(PeerTreeConfig::default()),
+            ),
         ] {
             let exp = Experiment::new(proto, scenario(), workload(k));
-            group.bench_with_input(
-                BenchmarkId::new(name, k),
-                &exp,
-                |b, exp| b.iter(|| black_box(exp.run_once(7))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, k), &exp, |b, exp| {
+                b.iter(|| black_box(exp.run_once(7)))
+            });
         }
     }
     group.finish();

@@ -34,9 +34,7 @@ fn main() {
         } else {
             ""
         };
-        println!(
-            "{factor:>10.3} {len:>16.0} {worst:>22.2} {covered:>10}{marker}"
-        );
+        println!("{factor:>10.3} {len:>16.0} {worst:>22.2} {covered:>10}{marker}");
         println!("csv,width_geom,{factor:.4},{len:.2},{worst:.4},{covered}");
     }
 

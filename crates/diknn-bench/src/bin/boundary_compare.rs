@@ -7,7 +7,9 @@
 //! predicted ratio 1/√(kπ). Also cross-checks the radius the full protocol
 //! actually produces in simulation.
 
-use diknn_core::{knnb, kpt_conservative_radius, Diknn, DiknnConfig, HopRecord, KnnProtocol, QueryRequest};
+use diknn_core::{
+    knnb, kpt_conservative_radius, Diknn, DiknnConfig, HopRecord, KnnProtocol, QueryRequest,
+};
 use diknn_geom::Point;
 use diknn_sim::{NodeId, Simulator};
 use diknn_workloads::ScenarioConfig;

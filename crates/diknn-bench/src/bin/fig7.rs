@@ -85,11 +85,17 @@ fn main() {
     let trace = &sim.protocol().token_trace;
     if std::env::var("FIG7_DEBUG").is_ok() {
         if let Some(h) = trace.first() {
-            eprintln!("debug: first Q-node at ({:.1},{:.1}), dist to q {:.1}",
-                h.from.x, h.from.y, h.from.dist(q));
+            eprintln!(
+                "debug: first Q-node at ({:.1},{:.1}), dist to q {:.1}",
+                h.from.x,
+                h.from.y,
+                h.from.dist(q)
+            );
         }
-        eprintln!("debug: sink at {:?}, q at {:?}, parts {}/{}",
-            positions[sink], q, outcome.parts_returned, outcome.parts_expected);
+        eprintln!(
+            "debug: sink at {:?}, q at {:?}, parts {}/{}",
+            positions[sink], q, outcome.parts_returned, outcome.parts_expected
+        );
         eprintln!("debug: answer len {}", outcome.answer.len());
     }
 
@@ -183,9 +189,7 @@ fn main() {
         outcome.final_radius,
     );
     let svg_path = "results/fig7.svg";
-    match std::fs::create_dir_all("results")
-        .and_then(|_| std::fs::write(svg_path, svg))
-    {
+    match std::fs::create_dir_all("results").and_then(|_| std::fs::write(svg_path, svg)) {
         Ok(()) => println!("SVG written to {svg_path}"),
         Err(e) => println!("(could not write {svg_path}: {e})"),
     }

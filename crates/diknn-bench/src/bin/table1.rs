@@ -27,15 +27,27 @@ fn main() {
                 density * std::f64::consts::PI * sim.radio_range * sim.radio_range
             )
         }),
-        ("radio range r", "20 m".into(), format!("{} m", sim.radio_range)),
-        ("response size", "10 bytes".into(), format!("{} bytes", dk.response_bytes)),
+        (
+            "radio range r",
+            "20 m".into(),
+            format!("{} m", sim.radio_range),
+        ),
+        (
+            "response size",
+            "10 bytes".into(),
+            format!("{} bytes", dk.response_bytes),
+        ),
         (
             "channel rate",
             "250 kbps".into(),
             format!("{} kbps", sim.bits_per_sec / 1000),
         ),
         ("sector number S", "8".into(), dk.sectors.to_string()),
-        ("mobility u_max", "10 m/s".into(), format!("{} m/s", sc.max_speed)),
+        (
+            "mobility u_max",
+            "10 m/s".into(),
+            format!("{} m/s", sc.max_speed),
+        ),
         (
             "beacon interval",
             "0.5 s".into(),
@@ -53,7 +65,11 @@ fn main() {
             format!("exp, mean {} s", wl.mean_interval),
         ),
         ("rendezvous", "enabled".into(), format!("{}", dk.rendezvous)),
-        ("assurance gain g", "0.1".into(), dk.assurance_gain.to_string()),
+        (
+            "assurance gain g",
+            "0.1".into(),
+            dk.assurance_gain.to_string(),
+        ),
         (
             "run length",
             "100 s x 20 runs".into(),

@@ -10,6 +10,11 @@
 //! * `DIKNN_RUNS`   — seeded runs per cell (paper: 20; default: 5)
 //! * `DIKNN_SEED`   — base seed (default 1000)
 //! * `DIKNN_DURATION` — simulated seconds per run (paper: 100; default 100)
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub mod svg;
 

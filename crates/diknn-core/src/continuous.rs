@@ -232,10 +232,7 @@ mod tests {
             },
         ];
         let c = ContinuousKnn::new(DiknnConfig::default(), monitors);
-        assert_eq!(
-            c.schedule,
-            vec![(0, 0), (1, 0), (1, 1), (1, 2), (0, 1)]
-        );
+        assert_eq!(c.schedule, vec![(0, 0), (1, 0), (1, 1), (1, 2), (0, 1)]);
     }
 
     #[test]

@@ -152,7 +152,15 @@ fn arc_inset(spec: &ItinerarySpec, rho: f64, span: f64) -> f64 {
 /// sweeping `sweep` radians counter-clockwise if `ccw` (clockwise
 /// otherwise), discretised so the chord sagitta stays below 2% of the
 /// itinerary width.
-fn push_arc(pts: &mut Vec<Point>, c: Point, rho: f64, from: f64, sweep: f64, ccw: bool, width: f64) {
+fn push_arc(
+    pts: &mut Vec<Point>,
+    c: Point,
+    rho: f64,
+    from: f64,
+    sweep: f64,
+    ccw: bool,
+    width: f64,
+) {
     // Angular step bounded by the sagitta tolerance.
     let tol = 0.02 * width;
     let max_step = if tol >= rho {
@@ -266,8 +274,7 @@ mod tests {
     fn sub_itinerary_stays_inside_its_sector_with_margin() {
         let s = spec(55.0, 8);
         for sector in 0..8 {
-            let sect = diknn_geom::Sector::partition(s.q, s.radius + s.width, 8, s.origin)
-                [sector];
+            let sect = diknn_geom::Sector::partition(s.q, s.radius + s.width, 8, s.origin)[sector];
             let poly = sub_itinerary(&s, sector, sector % 2 == 1);
             for p in poly.waypoints() {
                 // Waypoints may stick out radially by w/2 (outermost arc)

@@ -79,12 +79,11 @@ pub fn knnb(l: &[HopRecord], q: Point, r: f64, k: usize) -> Boundary {
     // Fallback: solve est_k = k for R using the best density estimate,
     // floored at the farthest hop distance so the estimate is monotone in
     // k (a smaller k may have matched a far hop inside the loop).
-    let max_d = l
-        .iter()
-        .map(|h| h.loc.dist(q))
-        .fold(0.0f64, f64::max);
+    let max_d = l.iter().map(|h| h.loc.dist(q)).fold(0.0f64, f64::max);
     Boundary {
-        radius: (k / (std::f64::consts::PI * last_density)).sqrt().max(max_d),
+        radius: (k / (std::f64::consts::PI * last_density))
+            .sqrt()
+            .max(max_d),
         density: last_density,
     }
 }
@@ -215,10 +214,7 @@ mod tests {
         for k in [20usize, 60, 100] {
             let ours = knnb(&l, q, 20.0, k).radius;
             let theirs = kpt_conservative_radius(k, 15.0);
-            assert!(
-                ours < theirs / 4.0,
-                "k={k}: KNNB {ours} not ≪ KPT {theirs}"
-            );
+            assert!(ours < theirs / 4.0, "k={k}: KNNB {ours} not ≪ KPT {theirs}");
         }
     }
 }

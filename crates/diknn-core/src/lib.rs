@@ -47,24 +47,29 @@
 //! assert!(outcome.completed_at.is_some());
 //! assert_eq!(outcome.answer.len(), 5);
 //! ```
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub mod candidates;
 pub mod config;
+mod continuous;
 pub mod itinerary;
 pub mod knnb;
 pub mod messages;
 mod outcome;
 mod protocol;
-mod continuous;
 pub mod token;
 pub mod window;
 
 pub use candidates::{Candidate, CandidateSet};
 pub use config::{CollectionScheme, DiknnConfig};
+pub use continuous::{ContinuousKnn, MonitorRequest, RoundDelta};
 pub use itinerary::ItinerarySpec;
 pub use knnb::{knnb, kpt_conservative_radius, Boundary, HopRecord};
 pub use messages::DiknnMsg;
 pub use outcome::{KnnProtocol, QueryOutcome, QueryRequest};
-pub use continuous::{ContinuousKnn, MonitorRequest, RoundDelta};
 pub use protocol::{Diknn, TokenHop};
 pub use window::{WindowOutcome, WindowQuery, WindowRequest};

@@ -16,7 +16,7 @@
 //! One [`Diknn`] instance drives *all* nodes; per-node protocol state is
 //! kept in maps keyed by `(query, node)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use diknn_geom::{angle, Point, Polyline};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -108,15 +108,15 @@ pub struct Diknn {
     cfg: DiknnConfig,
     requests: Vec<QueryRequest>,
     outcomes: Vec<QueryOutcome>,
-    sinks: HashMap<u32, SinkState>,
-    collecting: HashMap<(u32, u8), Collecting>,
-    pending_replies: HashMap<(u32, u32), PendingReply>,
+    sinks: BTreeMap<u32, SinkState>,
+    collecting: BTreeMap<(u32, u8), Collecting>,
+    pending_replies: BTreeMap<(u32, u32), PendingReply>,
     /// `(qid, node)` → sector the node responded to.
-    responded: HashMap<(u32, u32), u8>,
-    rdv_cache: HashMap<(u32, u32), Vec<(u8, u32)>>,
-    token_excludes: HashMap<(u32, u8), Vec<NodeId>>,
-    query_excludes: HashMap<u32, Vec<NodeId>>,
-    result_excludes: HashMap<(u32, u8), Vec<NodeId>>,
+    responded: BTreeMap<(u32, u32), u8>,
+    rdv_cache: BTreeMap<(u32, u32), Vec<(u8, u32)>>,
+    token_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
+    query_excludes: BTreeMap<u32, Vec<NodeId>>,
+    result_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
     radio_range: f64,
     /// Frames sent per message kind: [query, token, probe, reply, poll,
     /// rendezvous, result]. Diagnostics for benches and tests.
@@ -151,14 +151,14 @@ impl Diknn {
             cfg,
             requests,
             outcomes: Vec::new(),
-            sinks: HashMap::new(),
-            collecting: HashMap::new(),
-            pending_replies: HashMap::new(),
-            responded: HashMap::new(),
-            rdv_cache: HashMap::new(),
-            token_excludes: HashMap::new(),
-            query_excludes: HashMap::new(),
-            result_excludes: HashMap::new(),
+            sinks: BTreeMap::new(),
+            collecting: BTreeMap::new(),
+            pending_replies: BTreeMap::new(),
+            responded: BTreeMap::new(),
+            rdv_cache: BTreeMap::new(),
+            token_excludes: BTreeMap::new(),
+            query_excludes: BTreeMap::new(),
+            result_excludes: BTreeMap::new(),
             radio_range: 0.0,
             tx_by_kind: [0; 7],
             token_trace: Vec::new(),
@@ -503,9 +503,7 @@ impl Diknn {
                 TokenDecision::Extend(r, reason) => {
                     match reason {
                         ExtendReason::Assurance => token.assured = true,
-                        ExtendReason::UnderCount => {
-                            token.explored_at_extend = Some(token.explored)
-                        }
+                        ExtendReason::UnderCount => token.explored_at_extend = Some(token.explored),
                     }
                     token.itin.radius = r;
                     poly = self.polyline_for(&token);
@@ -665,8 +663,12 @@ impl Diknn {
         if token.frontier - token.last_rendezvous < token.itin.width {
             return;
         }
-        let sectors =
-            diknn_geom::Sector::partition(token.spec.q, token.itin.radius, self.cfg.sectors, token.itin.origin);
+        let sectors = diknn_geom::Sector::partition(
+            token.spec.q,
+            token.itin.radius,
+            self.cfg.sectors,
+            token.itin.origin,
+        );
         let sect = &sectors[token.sector as usize];
         let pos = ctx.position(at);
         if sect.dist_to_border(pos) <= token.itin.width {
@@ -806,9 +808,7 @@ impl Protocol for Diknn {
     fn on_timer(&mut self, at: NodeId, timer_key: u64, ctx: &mut Ctx<DiknnMsg>) {
         match key_kind(timer_key) {
             K_ISSUE => self.issue_query(ctx, key_aux(timer_key) as usize),
-            K_COLLECT => {
-                self.collection_done(ctx, key_qid(timer_key), key_aux(timer_key) as u8)
-            }
+            K_COLLECT => self.collection_done(ctx, key_qid(timer_key), key_aux(timer_key) as u8),
             K_REPLY => {
                 let qid = key_qid(timer_key);
                 if let Some(pending) = self.pending_replies.remove(&(qid, at.0)) {

@@ -168,15 +168,11 @@ impl SectorToken {
         let cap = self.initial_radius * cfg.max_radius_growth;
         // A previous extension that discovered nothing new means this
         // sector has run out of nodes (field edge, void): stop.
-        let futile = self
-            .explored_at_extend
-            .is_some_and(|e| self.explored <= e);
+        let futile = self.explored_at_extend.is_some_and(|e| self.explored <= e);
         // Mobility assurance (§4.3): R' = R + g·(te − ts)·µ, applied once
         // by the last Q-node.
         if !self.assured && cfg.assurance_gain > 0.0 && self.max_speed > 0.0 {
-            let shift = cfg.assurance_gain
-                * (now - self.started_at).as_secs_f64()
-                * self.max_speed;
+            let shift = cfg.assurance_gain * (now - self.started_at).as_secs_f64() * self.max_speed;
             let new_r = (self.itin.radius + shift).min(cap);
             if new_r > self.itin.radius + 1e-6 {
                 return TokenDecision::Extend(new_r, ExtendReason::Assurance);
@@ -268,7 +264,10 @@ mod tests {
         let mut t = token(8);
         t.explored = 100;
         // No rendezvous info yet: a lone sector never stops the others.
-        assert_eq!(t.decide(&cfg, SimTime::ZERO, false), TokenDecision::Continue);
+        assert_eq!(
+            t.decide(&cfg, SimTime::ZERO, false),
+            TokenDecision::Continue
+        );
         t.merge_counts(&[(2, 100)]);
         assert_eq!(
             t.decide(&cfg, SimTime::ZERO, false),
@@ -283,7 +282,10 @@ mod tests {
         t.explored = 10;
         t.merge_counts(&[(2, 9), (3, 11)]);
         // est ≈ 10+10+11 + 5×10.3 ≈ 82 < 1.3 × 100.
-        assert_eq!(t.decide(&cfg, SimTime::ZERO, false), TokenDecision::Continue);
+        assert_eq!(
+            t.decide(&cfg, SimTime::ZERO, false),
+            TokenDecision::Continue
+        );
     }
 
     #[test]
@@ -296,7 +298,10 @@ mod tests {
         t.explored = 100;
         t.merge_counts(&[(2, 100)]);
         fill_candidates(&mut t, 8);
-        assert_eq!(t.decide(&cfg, SimTime::ZERO, false), TokenDecision::Continue);
+        assert_eq!(
+            t.decide(&cfg, SimTime::ZERO, false),
+            TokenDecision::Continue
+        );
     }
 
     #[test]

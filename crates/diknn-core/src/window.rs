@@ -13,7 +13,7 @@
 //! sink. It shares the simulator, GPSR and collection machinery with DIKNN
 //! and serves as the `S = 1`-style ancestor in ablations.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::{Point, Polyline, Rect};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
@@ -114,7 +114,11 @@ pub enum WindowMsg {
         win_secs: f64,
     },
     /// D-node response.
-    Reply { qid: u32, node: NodeId, position: Point },
+    Reply {
+        qid: u32,
+        node: NodeId,
+        position: Point,
+    },
     /// Final member list routed back to the sink.
     Result {
         spec: WSpec,
@@ -151,15 +155,15 @@ pub struct WindowQuery {
     /// Scanline spacing (set from the radio range at start).
     width: f64,
     radio_range: f64,
-    collecting: HashMap<u32, Collecting>,
-    responded: HashSet<(u32, u32)>,
-    pending_replies: HashMap<(u32, u32), NodeId>,
+    collecting: BTreeMap<u32, Collecting>,
+    responded: BTreeSet<(u32, u32)>,
+    pending_replies: BTreeMap<(u32, u32), NodeId>,
     collection_window: f64,
     /// Neighbours that failed to take the sweep token, per query (cleared
     /// on successful handoff).
-    token_excludes: HashMap<u32, Vec<NodeId>>,
+    token_excludes: BTreeMap<u32, Vec<NodeId>>,
     /// Per-query budget for re-routing failed query/result packets.
-    route_retries: HashMap<u32, u32>,
+    route_retries: BTreeMap<u32, u32>,
 }
 
 impl WindowQuery {
@@ -169,12 +173,12 @@ impl WindowQuery {
             outcomes: Vec::new(),
             width: 0.0,
             radio_range: 0.0,
-            collecting: HashMap::new(),
-            responded: HashSet::new(),
-            pending_replies: HashMap::new(),
+            collecting: BTreeMap::new(),
+            responded: BTreeSet::new(),
+            pending_replies: BTreeMap::new(),
             collection_window: 0.144,
-            token_excludes: HashMap::new(),
-            route_retries: HashMap::new(),
+            token_excludes: BTreeMap::new(),
+            route_retries: BTreeMap::new(),
         }
     }
 
@@ -495,7 +499,13 @@ impl Protocol for WindowQuery {
         }
     }
 
-    fn on_send_failed(&mut self, at: NodeId, to: NodeId, msg: &WindowMsg, ctx: &mut Ctx<WindowMsg>) {
+    fn on_send_failed(
+        &mut self,
+        at: NodeId,
+        to: NodeId,
+        msg: &WindowMsg,
+        ctx: &mut Ctx<WindowMsg>,
+    ) {
         match msg {
             WindowMsg::Token {
                 spec,
@@ -569,7 +579,11 @@ impl Protocol for WindowQuery {
                 self.pending_replies.insert((*qid, at.0), *qnode);
                 ctx.set_timer(at, SimDuration::from_secs_f64(delay), key(K_REPLY, *qid, 0));
             }
-            WindowMsg::Reply { qid, node, position } => {
+            WindowMsg::Reply {
+                qid,
+                node,
+                position,
+            } => {
                 if let Some(coll) = self.collecting.get_mut(qid) {
                     if coll.node == at && !coll.members.iter().any(|c| c.id == *node) {
                         coll.members.push(Candidate {
@@ -598,10 +612,7 @@ mod tests {
         for i in 0..500 {
             let fx = (i % 25) as f64 / 24.0;
             let fy = (i / 25) as f64 / 19.0;
-            let p = Point::new(
-                win.min_x + fx * win.width(),
-                win.min_y + fy * win.height(),
-            );
+            let p = Point::new(win.min_x + fx * win.width(), win.min_y + fy * win.height());
             let d = poly.dist_to_point(p);
             assert!(d <= w / 2.0 + 1e-9, "gap {d} at {p:?}");
         }
@@ -612,7 +623,10 @@ mod tests {
         let win = Rect::new(0.0, 0.0, 100.0, 100.0);
         let l1 = window_itinerary(win, 20.0).length();
         let l2 = window_itinerary(win, 10.0).length();
-        assert!(l2 > 1.7 * l1, "halving w should ~double the sweep: {l1} {l2}");
+        assert!(
+            l2 > 1.7 * l1,
+            "halving w should ~double the sweep: {l1} {l2}"
+        );
     }
 
     #[test]

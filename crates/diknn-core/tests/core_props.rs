@@ -11,11 +11,7 @@ use diknn_sim::{NodeId, SimTime};
 use proptest::prelude::*;
 
 fn hop_list() -> impl Strategy<Value = Vec<HopRecord>> {
-    prop::collection::vec(
-        ((-200.0..200.0f64, -200.0..200.0f64), 0u32..40),
-        0..20,
-    )
-    .prop_map(|v| {
+    prop::collection::vec(((-200.0..200.0f64, -200.0..200.0f64), 0u32..40), 0..20).prop_map(|v| {
         v.into_iter()
             .map(|((x, y), enc)| HopRecord {
                 loc: Point::new(x, y),

@@ -60,10 +60,7 @@ fn accuracy(answer: &[NodeId], truth: &[usize]) -> f64 {
     if truth.is_empty() {
         return 1.0;
     }
-    let hits = answer
-        .iter()
-        .filter(|n| truth.contains(&n.index()))
-        .count();
+    let hits = answer.iter().filter(|n| truth.contains(&n.index())).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -238,10 +235,7 @@ fn boundary_radius_grows_with_k() {
         .iter()
         .map(|o| o.boundary_radius)
         .collect();
-    assert!(
-        radii[0] < radii[2],
-        "boundary must grow with k: {radii:?}"
-    );
+    assert!(radii[0] < radii[2], "boundary must grow with k: {radii:?}");
 }
 
 #[test]

@@ -20,10 +20,7 @@ fn static_network(n: usize, seed: u64) -> (Vec<SharedMobility>, Vec<Point>) {
     (mob, pts)
 }
 
-fn run_window(
-    window: Rect,
-    seed: u64,
-) -> (Vec<NodeId>, Vec<Point>, Option<f64>) {
+fn run_window(window: Rect, seed: u64) -> (Vec<NodeId>, Vec<Point>, Option<f64>) {
     let (mob, pts) = static_network(200, seed);
     let req = WindowRequest {
         at: 0.5,
@@ -41,8 +38,7 @@ fn run_window(
     (
         o.members.iter().map(|c| c.id).collect(),
         pts,
-        o.completed_at
-            .map(|t| (t - o.issued_at).as_secs_f64()),
+        o.completed_at.map(|t| (t - o.issued_at).as_secs_f64()),
     )
 }
 
@@ -51,11 +47,17 @@ fn window_query_finds_most_members() {
     let window = Rect::new(30.0, 30.0, 85.0, 80.0);
     let (got, pts, latency) = run_window(window, 7);
     assert!(latency.is_some(), "window query never completed");
-    let truth: Vec<usize> = (0..pts.len()).filter(|&i| window.contains(pts[i])).collect();
+    let truth: Vec<usize> = (0..pts.len())
+        .filter(|&i| window.contains(pts[i]))
+        .collect();
     assert!(!truth.is_empty());
     let hits = got.iter().filter(|n| truth.contains(&n.index())).count();
     let recall = hits as f64 / truth.len() as f64;
-    assert!(recall >= 0.85, "window recall {recall:.2} ({hits}/{})", truth.len());
+    assert!(
+        recall >= 0.85,
+        "window recall {recall:.2} ({hits}/{})",
+        truth.len()
+    );
     // No false positives far outside the window (staleness tolerance 1 m
     // on a static network = none).
     for n in &got {
@@ -80,7 +82,10 @@ fn window_latency_scales_with_area() {
     let (_, _, small) = run_window(Rect::new(40.0, 40.0, 70.0, 70.0), 13);
     let (_, _, large) = run_window(Rect::new(10.0, 10.0, 105.0, 105.0), 13);
     let (s, l) = (small.unwrap(), large.unwrap());
-    assert!(l > s, "sweep of a 9x area should take longer: {s:.2} vs {l:.2}");
+    assert!(
+        l > s,
+        "sweep of a 9x area should take longer: {s:.2} vs {l:.2}"
+    );
 }
 
 #[test]

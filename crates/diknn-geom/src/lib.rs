@@ -12,6 +12,11 @@
 //! * [`angle`] — helpers for working with angles in `[0, 2π)`.
 //!
 //! All coordinates are `f64` metres; all angles are radians.
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub mod angle;
 mod circle;

@@ -209,7 +209,11 @@ mod tests {
         let mut t = 0.0;
         while t < 60.0 {
             let d = m.position_at(t).dist(m.position_at(t + 0.05));
-            assert!(d <= max * 0.05 + 1e-6, "speed {:.2} > bound {max:.2}", d / 0.05);
+            assert!(
+                d <= max * 0.05 + 1e-6,
+                "speed {:.2} > bound {max:.2}",
+                d / 0.05
+            );
             t += 0.05;
         }
     }

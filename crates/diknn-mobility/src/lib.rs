@@ -19,6 +19,11 @@
 //! * [`placement`] — initial node placements: uniform, grid, and the
 //!   clustered Gaussian-mixture placement standing in for the Gros Morne
 //!   caribou distribution of Figure 7 (see DESIGN.md substitutions).
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 mod group;
 pub mod placement;
@@ -31,6 +36,7 @@ pub use group::{Group, GroupConfig, GroupMember};
 pub use rwp::{RandomWaypoint, RwpConfig};
 pub use statics::StaticMobility;
 pub use trace::WaypointTrace;
+pub use trace_io::{read_traces, write_traces, TraceError};
 
 use diknn_geom::Point;
 

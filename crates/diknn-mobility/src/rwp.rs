@@ -117,11 +117,7 @@ impl RandomWaypoint {
 impl Mobility for RandomWaypoint {
     fn position_at(&self, t: f64) -> Point {
         match self.leg_at(t) {
-            None => self
-                .legs
-                .first()
-                .map(|l| l.from)
-                .unwrap_or(Point::ORIGIN),
+            None => self.legs.first().map(|l| l.from).unwrap_or(Point::ORIGIN),
             Some(leg) => {
                 if t >= leg.end {
                     // Pausing at the waypoint or past the horizon.

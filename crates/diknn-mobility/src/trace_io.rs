@@ -10,13 +10,62 @@
 use crate::{Mobility, WaypointTrace};
 use diknn_geom::Point;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io::{self, BufRead, Write};
+
+/// Failure while reading a trace file.
+///
+/// Parse failures carry the 1-based line number and the offending line so
+/// callers can point a user at the exact spot in a large trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A data line could not be parsed. `field` names the first field that
+    /// failed (`"node id"`, `"time"`, `"x"`, `"y"`, or `"finite value"`).
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Which field failed to parse.
+        field: &'static str,
+        /// The offending line, trimmed.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::Parse {
+                line,
+                field,
+                content,
+            } => write!(f, "trace line {line}: bad {field}: {content:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
 
 /// Parse a trace file into per-node [`WaypointTrace`]s, ordered by node id.
 ///
-/// Unknown/malformed lines produce an error naming the line number. Node
-/// ids may be sparse; the result maps each id to its trace.
-pub fn read_traces(reader: impl BufRead) -> io::Result<BTreeMap<u64, WaypointTrace>> {
+/// Malformed lines produce [`TraceError::Parse`] naming the 1-based line
+/// number. Node ids may be sparse; the result maps each id to its trace.
+pub fn read_traces(reader: impl BufRead) -> Result<BTreeMap<u64, WaypointTrace>, TraceError> {
     let mut samples: BTreeMap<u64, Vec<(f64, Point)>> = BTreeMap::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -29,11 +78,10 @@ pub fn read_traces(reader: impl BufRead) -> io::Result<BTreeMap<u64, WaypointTra
             continue;
         }
         let mut parts = trimmed.split(',').map(str::trim);
-        let parse_err = |what: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("trace line {}: bad {what}: {trimmed:?}", lineno + 1),
-            )
+        let parse_err = |field: &'static str| TraceError::Parse {
+            line: lineno + 1,
+            field,
+            content: trimmed.to_string(),
         };
         let id: u64 = parts
             .next()
@@ -56,19 +104,12 @@ pub fn read_traces(reader: impl BufRead) -> io::Result<BTreeMap<u64, WaypointTra
         }
         samples.entry(id).or_default().push((t, Point::new(x, y)));
     }
-    samples
+    // Every entry was created by the push above, so each group is non-empty
+    // and `WaypointTrace::new` is safe.
+    Ok(samples
         .into_iter()
-        .map(|(id, s)| {
-            if s.is_empty() {
-                Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("node {id} has no samples"),
-                ))
-            } else {
-                Ok((id, WaypointTrace::new(s)))
-            }
-        })
-        .collect()
+        .map(|(id, s)| (id, WaypointTrace::new(s)))
+        .collect())
 }
 
 /// Sample mobility plans every `interval` seconds over `[0, duration]` and
@@ -122,15 +163,29 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        for bad in [
-            "1,notanumber,2,3\n",
-            "1,0.0,inf,3\n",
-            "1,0.0,2.0\n",            // missing y
-            "1,0,0,0\nx,0.0,2.0,3.0\n", // bad id past the header line
+        // (input, expected 1-based line, expected failing field)
+        for (bad, line, field) in [
+            ("1,notanumber,2,3\n", 1, "time"),
+            ("1,0.0,inf,3\n", 1, "finite value"),
+            ("1,0.0,2.0\n", 1, "y"),                    // missing y
+            ("1,0,0,0\nx,0.0,2.0,3.0\n", 2, "node id"), // bad id past the header line
         ] {
-            let err = read_traces(io::BufReader::new(bad.as_bytes()));
-            assert!(err.is_err(), "accepted malformed line {bad:?}");
+            match read_traces(io::BufReader::new(bad.as_bytes())) {
+                Err(TraceError::Parse {
+                    line: l, field: f, ..
+                }) => {
+                    assert_eq!((l, f), (line, field), "wrong location for {bad:?}");
+                }
+                other => panic!("accepted malformed line {bad:?}: {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn parse_error_display_names_the_line() {
+        let err = read_traces(io::BufReader::new(&b"# c\n5,oops,1,2\n"[..])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("time"), "{msg}");
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! rule plus greedy recovery is the GFG-style variant, which is sufficient
 //! on the connected networks the evaluation uses and fails safe (terminates
 //! at a nearby node) otherwise.
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 mod planar;
 
@@ -357,7 +362,15 @@ mod tests {
         let header = GpsrHeader::new(Point::new(0.0, 0.0));
         // This node is at the destination already; all neighbours farther.
         let nbs = vec![nb(1, 10.0, 0.0)];
-        let step = plan_next_hop(NodeId(0), Point::new(1.0, 0.0), &header, &nbs, None, &[], 0.0);
+        let step = plan_next_hop(
+            NodeId(0),
+            Point::new(1.0, 0.0),
+            &header,
+            &nbs,
+            None,
+            &[],
+            0.0,
+        );
         // Neighbour 1 is farther from dest; perimeter starts.
         match step {
             RouteStep::Forward { header, .. } => {
@@ -379,7 +392,15 @@ mod tests {
     fn exclusion_skips_failed_neighbor() {
         let header = GpsrHeader::new(Point::new(100.0, 0.0));
         let nbs = vec![nb(1, 15.0, 0.0), nb(2, 10.0, 0.0)];
-        let step = plan_next_hop(NodeId(0), Point::ORIGIN, &header, &nbs, None, &[NodeId(1)], 0.0);
+        let step = plan_next_hop(
+            NodeId(0),
+            Point::ORIGIN,
+            &header,
+            &nbs,
+            None,
+            &[NodeId(1)],
+            0.0,
+        );
         match step {
             RouteStep::Forward { next, .. } => assert_eq!(next, NodeId(2)),
             other => panic!("expected forward, got {other:?}"),

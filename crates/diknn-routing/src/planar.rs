@@ -18,9 +18,9 @@ pub fn gabriel_neighbors<'a>(u: Point, neighbors: &[&'a Neighbor]) -> Vec<&'a Ne
         .filter(|v| {
             let m = u.midpoint(v.position);
             let rad_sq = u.dist_sq(v.position) / 4.0;
-            !neighbors.iter().any(|w| {
-                w.id != v.id && m.dist_sq(w.position) < rad_sq - 1e-12
-            })
+            !neighbors
+                .iter()
+                .any(|w| w.id != v.id && m.dist_sq(w.position) < rad_sq - 1e-12)
         })
         .copied()
         .collect()

@@ -12,12 +12,7 @@ use rand::SeedableRng;
 /// Walk a packet from `start` toward `dest` over the given static nodes
 /// with unit-disc connectivity of `range`. Returns the terminal node and
 /// hop count, or None for NoRoute.
-fn walk(
-    nodes: &[Point],
-    range: f64,
-    start: usize,
-    dest: Point,
-) -> Option<(usize, u32)> {
+fn walk(nodes: &[Point], range: f64, start: usize, dest: Point) -> Option<(usize, u32)> {
     let neighbor_tables: Vec<Vec<Neighbor>> = nodes
         .iter()
         .enumerate()

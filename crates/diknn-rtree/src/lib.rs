@@ -24,6 +24,11 @@
 //! let ids: Vec<u32> = knn.iter().map(|e| e.item).collect();
 //! assert_eq!(ids, vec![3, 4]);
 //! ```
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 mod node;
 mod search;
@@ -62,7 +67,6 @@ impl<T> RTree<T> {
 }
 
 impl<T: Clone> RTree<T> {
-
     /// Bulk-load with Sort-Tile-Recursive packing; much better node
     /// utilisation than repeated inserts.
     pub fn bulk_load(mut items: Vec<(Rect, T)>) -> Self {
@@ -245,8 +249,7 @@ mod tests {
         let q = Point::new(34.0, 57.0);
         for k in [1, 5, 17, 100] {
             let got = tree.knn(q, k);
-            let mut brute: Vec<(f64, u32)> =
-                pts.iter().map(|&(p, id)| (p.dist(q), id)).collect();
+            let mut brute: Vec<(f64, u32)> = pts.iter().map(|&(p, id)| (p.dist(q), id)).collect();
             brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
             // Distances must match position by position; ids as sets (ties
             // at equal distance may be ordered differently).

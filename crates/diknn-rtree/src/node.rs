@@ -28,9 +28,7 @@ impl<T: Clone> Node<T> {
     pub(crate) fn depth(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::Internal(children) => {
-                1 + children.first().map_or(0, |(_, c)| c.depth())
-            }
+            Node::Internal(children) => 1 + children.first().map_or(0, |(_, c)| c.depth()),
         }
     }
 
@@ -191,8 +189,9 @@ fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitGroups<E> {
     let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 s1 = i;
@@ -264,16 +263,11 @@ pub(crate) fn str_pack<T: Clone>(items: &mut Vec<(Rect, T)>) -> Node<T> {
         return Node::Leaf(std::mem::take(items));
     }
     let leaves = pack_level(std::mem::take(items), Node::Leaf);
-    let mut level: Vec<(Rect, Box<Node<T>>)> = leaves
-        .into_iter()
-        .map(|n| (n.mbr(), Box::new(n)))
-        .collect();
+    let mut level: Vec<(Rect, Box<Node<T>>)> =
+        leaves.into_iter().map(|n| (n.mbr(), Box::new(n))).collect();
     while level.len() > MAX_ENTRIES {
         let packed = pack_level(level, Node::Internal);
-        level = packed
-            .into_iter()
-            .map(|n| (n.mbr(), Box::new(n)))
-            .collect();
+        level = packed.into_iter().map(|n| (n.mbr(), Box::new(n))).collect();
     }
     Node::Internal(level)
 }

@@ -16,7 +16,7 @@
 //!   packet loss on top. Unicast frames get link-layer retries.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 use diknn_geom::Point;
@@ -143,9 +143,9 @@ pub struct Ctx<M> {
     seq: u64,
     next_tx: u64,
     next_timer: u64,
-    pending: HashMap<u64, PendingTx<M>>,
+    pending: BTreeMap<u64, PendingTx<M>>,
     active: Vec<ActiveTx>,
-    cancelled_timers: HashSet<u64>,
+    cancelled_timers: BTreeSet<u64>,
     stopped: bool,
 }
 
@@ -257,13 +257,23 @@ impl<M: Clone> Ctx<M> {
     /// Queue a broadcast frame from `from` carrying `msg`;
     /// `payload_bytes` drives airtime and energy.
     pub fn broadcast(&mut self, from: NodeId, payload_bytes: usize, msg: M) {
-        self.enqueue_frame(from, Destination::Broadcast, Frame::Proto(msg), payload_bytes);
+        self.enqueue_frame(
+            from,
+            Destination::Broadcast,
+            Frame::Proto(msg),
+            payload_bytes,
+        );
     }
 
     /// Queue a unicast frame from `from` to `to`.
     pub fn unicast(&mut self, from: NodeId, to: NodeId, payload_bytes: usize, msg: M) {
         debug_assert!(from != to, "unicast to self");
-        self.enqueue_frame(from, Destination::Unicast(to), Frame::Proto(msg), payload_bytes);
+        self.enqueue_frame(
+            from,
+            Destination::Unicast(to),
+            Frame::Proto(msg),
+            payload_bytes,
+        );
     }
 
     /// Schedule `on_timer(node, key)` after `delay`.
@@ -426,9 +436,9 @@ impl<P: Protocol> Simulator<P> {
             seq: 0,
             next_tx: 0,
             next_timer: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             active: Vec::new(),
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: BTreeSet::new(),
             stopped: false,
         };
         Simulator { ctx, protocol }
@@ -623,8 +633,8 @@ impl<P: Protocol> Simulator<P> {
         // corrupted copies are received in full — the radio cannot know.
         let (tx_p, rx_p) = (ctx.cfg.tx_power_w, ctx.cfg.rx_power_w);
         ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
-        let header_airtime = SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec)
-            .min(active.airtime);
+        let header_airtime =
+            SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(active.airtime);
         for &(r, corrupted) in &active.receivers {
             let rx_time = match dest {
                 Destination::Unicast(to) if r != to && !corrupted => header_airtime,

@@ -55,6 +55,11 @@
 //! sim.run();
 //! assert_eq!(sim.protocol().pongs, 1);
 //! ```
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub mod config;
 pub mod energy;

@@ -210,14 +210,22 @@ fn carrier_sense_serialises_neighbours() {
     let nodes = static_nodes(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
     let mut got_totals = Vec::new();
     for seed in 0..20 {
-        let mut sim = Simulator::new(quiet_config(), static_nodes_clone(&nodes), TwoSenders { got: 0 }, seed);
+        let mut sim = Simulator::new(
+            quiet_config(),
+            static_nodes_clone(&nodes),
+            TwoSenders { got: 0 },
+            seed,
+        );
         sim.run();
         got_totals.push(sim.protocol().got);
     }
     // Backoff jitter is random; over 20 seeds the vast majority must
     // serialise cleanly.
     let clean = got_totals.iter().filter(|&&g| g == 2).count();
-    assert!(clean >= 16, "only {clean}/20 runs serialised: {got_totals:?}");
+    assert!(
+        clean >= 16,
+        "only {clean}/20 runs serialised: {got_totals:?}"
+    );
 }
 
 fn static_nodes_clone(nodes: &[SharedMobility]) -> Vec<SharedMobility> {

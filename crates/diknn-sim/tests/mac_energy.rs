@@ -64,7 +64,10 @@ fn address_filtering_charges_overhearers_header_only() {
     let e1 = sim.ctx().energy(NodeId(1)).rx_protocol_j;
     let e2 = sim.ctx().energy(NodeId(2)).rx_protocol_j;
     assert!((e1 - full).abs() < 1e-12, "addressee pays full rx: {e1}");
-    assert!((e2 - header).abs() < 1e-12, "overhearer pays header rx: {e2}");
+    assert!(
+        (e2 - header).abs() < 1e-12,
+        "overhearer pays header rx: {e2}"
+    );
 }
 
 #[test]

@@ -29,6 +29,11 @@
 //! let agg = exp.run(1, 42);
 //! assert!(agg.post_accuracy.mean > 0.5);
 //! ```
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 mod metrics;
 mod oracle;

@@ -35,7 +35,12 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Compute run metrics from protocol outcomes + engine stats + oracle.
-    pub fn compute(outcomes: &[QueryOutcome], stats: &SimStats, energy_j: f64, oracle: &GroundTruth) -> Self {
+    pub fn compute(
+        outcomes: &[QueryOutcome],
+        stats: &SimStats,
+        energy_j: f64,
+        oracle: &GroundTruth,
+    ) -> Self {
         let queries = outcomes.len();
         let mut completed = 0usize;
         let mut latency_sum = 0.0;

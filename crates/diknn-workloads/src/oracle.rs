@@ -101,10 +101,8 @@ mod tests {
     #[test]
     fn truth_changes_over_time_with_mobility() {
         // Node 1 starts far and drives past the query point.
-        let mover = WaypointTrace::at_constant_speed(
-            &[Point::new(100.0, 0.0), Point::new(0.0, 0.0)],
-            10.0,
-        );
+        let mover =
+            WaypointTrace::at_constant_speed(&[Point::new(100.0, 0.0), Point::new(0.0, 0.0)], 10.0);
         let plans: Vec<SharedMobility> = vec![
             Arc::new(StaticMobility::new(Point::new(5.0, 0.0))),
             Arc::new(mover),

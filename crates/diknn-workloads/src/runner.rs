@@ -62,8 +62,7 @@ impl Experiment {
         // Index-based protocols need their infrastructure nodes appended.
         match &self.protocol {
             ProtocolKind::PeerTree(cfg) => {
-                scenario.infrastructure =
-                    PeerTree::clusterhead_positions(scenario.field, cfg.grid);
+                scenario.infrastructure = PeerTree::clusterhead_positions(scenario.field, cfg.grid);
             }
             ProtocolKind::Centralized(_) => {
                 scenario.infrastructure = vec![Centralized::base_position(scenario.field)];
@@ -256,10 +255,7 @@ mod tests {
             let exp = Experiment::new(proto, small_scenario(), small_workload());
             let m = exp.run_once(3);
             assert!(m.queries >= 1, "{name}: no queries");
-            assert!(
-                m.completed >= 1,
-                "{name}: no query completed ({m:?})"
-            );
+            assert!(m.completed >= 1, "{name}: no query completed ({m:?})");
         }
     }
 

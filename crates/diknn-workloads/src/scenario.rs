@@ -249,7 +249,10 @@ mod tests {
         }
         // Members of the same herd stay close to each other over time.
         let d0 = plans[0].position_at(40.0).dist(plans[3].position_at(40.0));
-        assert!(d0 < 2.5 * GroupConfig::default().spread + 10.0, "herd dispersed: {d0}");
+        assert!(
+            d0 < 2.5 * GroupConfig::default().spread + 10.0,
+            "herd dispersed: {d0}"
+        );
     }
 
     #[test]

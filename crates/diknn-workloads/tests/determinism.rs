@@ -1,0 +1,111 @@
+//! Same-seed determinism regression tests.
+//!
+//! The whole experiment pipeline (placement, mobility, workload generation,
+//! MAC backoff, protocol logic) must be a pure function of the seed: two
+//! runs with the same seed must produce bit-identical outcomes. This is the
+//! property the determinism lint (`cargo xtask lint`, clippy
+//! `disallowed-types`) exists to protect; this test catches what static
+//! analysis cannot, e.g. an exempted hash container that starts being
+//! iterated, or address-dependent ordering sneaking into a sort key.
+//!
+//! f64 comparisons use `to_bits` so that `-0.0 != 0.0` and NaN payloads
+//! would be caught too: "close enough" is not determinism.
+
+use diknn_baselines::PeerTreeConfig;
+use diknn_core::{DiknnConfig, QueryOutcome};
+use diknn_workloads::{
+    run_protocol_once, Experiment, ProtocolKind, ScenarioConfig, WorkloadConfig,
+};
+
+/// A mobile scenario: movement exercises the RNG-driven waypoint picks,
+/// neighbor-table churn, and MAC retransmissions.
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 150,
+        duration: 25.0,
+        max_speed: 8.0,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        k: 12,
+        first_at: 2.0,
+        last_at: 12.0,
+        mean_interval: 3.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Render every field of an outcome with exact bit patterns for floats.
+fn fingerprint(outcomes: &[QueryOutcome], energy_j: f64) -> String {
+    let mut s = format!("energy={:016x}\n", energy_j.to_bits());
+    for o in outcomes {
+        s.push_str(&format!(
+            "qid={} sink={:?} q=({:016x},{:016x}) k={} issued={:016x} \
+             completed={:?} answer={:?} boundary={:016x} final={:016x} \
+             hops={} parts={}/{} explored={}\n",
+            o.qid,
+            o.sink,
+            o.q.x.to_bits(),
+            o.q.y.to_bits(),
+            o.k,
+            o.issued_at.as_secs_f64().to_bits(),
+            o.completed_at.map(|t| t.as_secs_f64().to_bits()),
+            o.answer,
+            o.boundary_radius.to_bits(),
+            o.final_radius.to_bits(),
+            o.routing_hops,
+            o.parts_expected,
+            o.parts_returned,
+            o.explored_nodes,
+        ));
+    }
+    s
+}
+
+fn double_run(kind: ProtocolKind, seed: u64) {
+    let name = kind.name();
+    let scenario = scenario();
+    let requests = diknn_workloads::workload::generate(&scenario, &workload(), seed);
+    assert!(
+        !requests.is_empty(),
+        "{name}: workload generated no queries"
+    );
+    let (o1, e1) = run_protocol_once(kind.clone(), &scenario, requests.clone(), seed);
+    let (o2, e2) = run_protocol_once(kind, &scenario, requests, seed);
+    assert!(
+        o1.iter().any(|o| o.completed_at.is_some()),
+        "{name}: no query completed, run is vacuous"
+    );
+    let (f1, f2) = (fingerprint(&o1, e1), fingerprint(&o2, e2));
+    assert!(
+        f1 == f2,
+        "{name}: same-seed runs diverged\nrun 1:\n{f1}\nrun 2:\n{f2}"
+    );
+}
+
+#[test]
+fn diknn_same_seed_runs_are_bit_identical() {
+    double_run(ProtocolKind::Diknn(DiknnConfig::default()), 11);
+}
+
+#[test]
+fn peertree_same_seed_runs_are_bit_identical() {
+    double_run(ProtocolKind::PeerTree(PeerTreeConfig::default()), 11);
+}
+
+#[test]
+fn full_experiment_metrics_are_deterministic_across_seeds() {
+    // The aggregated driver path too, on a couple of seeds: RunMetrics
+    // derives PartialEq over raw f64s, so equality is exact.
+    let exp = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        scenario(),
+        workload(),
+    );
+    for seed in [5u64, 6] {
+        assert_eq!(exp.run_once(seed), exp.run_once(seed), "seed {seed}");
+    }
+}

@@ -44,7 +44,10 @@ fn main() {
         "perimeter watch: 12 nearest sensors to ({:.0},{:.0}), re-evaluated every 6 s\n",
         asset.x, asset.y
     );
-    println!("{:>5} {:>10} {:>8} {:>8}", "round", "completed", "joined", "left");
+    println!(
+        "{:>5} {:>10} {:>8} {:>8}",
+        "round", "completed", "joined", "left"
+    );
     let energy = sim.ctx().total_protocol_energy_j();
     let proto = sim.protocol_mut();
     for d in proto.deltas().to_vec() {

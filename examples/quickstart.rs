@@ -44,7 +44,10 @@ fn main() {
     println!("  KNNB boundary radius : {:.1} m", outcome.boundary_radius);
     println!("  final boundary radius: {:.1} m", outcome.final_radius);
     println!("  routing hops to home : {}", outcome.routing_hops);
-    println!("  sectors returned     : {}/{}", outcome.parts_returned, outcome.parts_expected);
+    println!(
+        "  sectors returned     : {}/{}",
+        outcome.parts_returned, outcome.parts_expected
+    );
     println!("  nodes explored       : {}", outcome.explored_nodes);
     println!("  latency              : {latency:.3} s");
     println!(

@@ -103,9 +103,11 @@ fn main() {
         );
     }
     // Count void detours observed in the traversal trace.
-    let mut last = std::collections::HashMap::new();
+    let mut last = std::collections::BTreeMap::new();
     for hop in &sim.protocol().token_trace {
-        let prev = last.insert((hop.qid, hop.sector), hop.frontier).unwrap_or(0.0);
+        let prev = last
+            .insert((hop.qid, hop.sector), hop.frontier)
+            .unwrap_or(0.0);
         if hop.frontier - prev > 24.0 {
             voids += 1;
         }

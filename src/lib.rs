@@ -23,6 +23,11 @@
 //!
 //! See `examples/quickstart.rs` for the 60-second tour and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
+// Shared strict-lint header (checked by `cargo xtask lint`): the
+// simulation stack must stay safe Rust, and determinism rules are enforced
+// by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
+#![forbid(unsafe_code)]
+#![deny(unused_must_use)]
 
 pub use diknn_baselines as baselines;
 pub use diknn_core as core;

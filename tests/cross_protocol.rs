@@ -72,12 +72,10 @@ fn diknn_beats_kpt_on_latency() {
 fn diknn_has_highest_accuracy_under_mobility() {
     let sc = scenario(20.0);
     let wl = workload(40);
-    let diknn = Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl)
-        .run(2, 31);
-    let kpt =
-        Experiment::new(ProtocolKind::Kpt(KptConfig::default()), sc.clone(), wl).run(2, 31);
-    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl)
-        .run(2, 31);
+    let diknn =
+        Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl).run(2, 31);
+    let kpt = Experiment::new(ProtocolKind::Kpt(KptConfig::default()), sc.clone(), wl).run(2, 31);
+    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl).run(2, 31);
     assert!(
         diknn.pre_accuracy.mean > kpt.pre_accuracy.mean,
         "DIKNN {:.3} !> KPT {:.3}",
@@ -96,10 +94,9 @@ fn diknn_has_highest_accuracy_under_mobility() {
 fn peertree_pays_maintenance_energy() {
     let sc = scenario(10.0);
     let wl = workload(20);
-    let diknn = Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl)
-        .run(1, 41);
-    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl)
-        .run(1, 41);
+    let diknn =
+        Experiment::new(ProtocolKind::Diknn(DiknnConfig::default()), sc.clone(), wl).run(1, 41);
+    let pt = Experiment::new(ProtocolKind::PeerTree(PeerTreeConfig::default()), sc, wl).run(1, 41);
     assert!(
         pt.energy_j.mean > diknn.energy_j.mean,
         "PeerTree {:.2}J should exceed DIKNN {:.2}J",

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides enough of the Criterion API for this workspace's benches to
+//! compile and run without crates.io access: benchmark groups, `Bencher`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros. It
+//! performs a simple calibrated timing loop and prints median per-iteration
+//! time — adequate for relative comparisons, with none of upstream's
+//! statistical analysis, plots, or saved baselines.
+//!
+//! This is intentionally the only place in the workspace allowed to read
+//! the wall clock (benchmarks measure real time); library crates are barred
+//! from `Instant::now` by `cargo xtask lint` and clippy `disallowed-methods`.
+
+#![forbid(unsafe_code)]
+// The one sanctioned wall-clock user (see module docs): benchmarks measure
+// real time by definition. lint: wall-clock-ok
+#![allow(clippy::disallowed_methods)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark target by running its closure repeatedly.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call, in ns.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one sample takes ≥ ~200 µs.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: R,
+    ) -> &mut Self {
+        let label = id.into().0;
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &label, b.result_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let label = id.into().0;
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &label, b.result_ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Either a string or a [`BenchmarkId`] names a benchmark.
+#[derive(Debug)]
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.label)
+    }
+}
+
+fn report(group: &str, label: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{group}/{label:<40} median {value:>10.3} {unit}/iter");
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: R) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        report("bench", name, b.result_ns);
+        self
+    }
+
+    /// Upstream parses CLI args (filters, `--bench`); this stand-in ignores
+    /// them and runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group function (both upstream syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

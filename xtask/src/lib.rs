@@ -1,0 +1,6 @@
+//! Library half of the `xtask` automation crate: exposes the lint pass so
+//! integration tests can drive it against fixture sources.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;

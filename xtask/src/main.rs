@@ -1,0 +1,85 @@
+//! Workspace automation tasks, invoked as `cargo xtask <command>`.
+//!
+//! The only command today is `lint`: a static-analysis pass over workspace
+//! sources enforcing the project invariants documented in DESIGN.md
+//! ("Determinism & static analysis") that clippy's `disallowed-types` /
+//! `disallowed-methods` cannot fully express — scoped container bans,
+//! exemption comments, per-crate unwrap budgets, and strict-header checks.
+
+#![forbid(unsafe_code)]
+
+use xtask::lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(args.get(1).map(String::as_str)),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--verbose]
+
+commands:
+  lint    statically check workspace sources for determinism violations:
+          hash containers in simulation state, wall-clock reads, ambient
+          randomness, bare float equality in protocol code, unwrap budget
+          overruns, and missing strict-lint headers";
+
+fn run_lint(flag: Option<&str>) -> ExitCode {
+    let verbose = matches!(flag, Some("--verbose" | "-v"));
+    let root = workspace_root();
+    match lint::lint_workspace(&root) {
+        Ok(report) => {
+            if verbose {
+                for (krate, count) in &report.unwrap_counts {
+                    let budget = report.budgets.get(krate).copied().unwrap_or(0);
+                    println!("unwrap/expect budget: {krate}: {count}/{budget}");
+                }
+                println!("scanned {} files", report.files_scanned);
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "xtask lint: OK ({} files, {} crates within unwrap budget)",
+                    report.files_scanned,
+                    report.unwrap_counts.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "xtask lint: {} violation(s). See DESIGN.md \"Determinism & static analysis\" \
+                     for the policy and how to add an exemption.",
+                    report.violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask crate lives one level under the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,13 @@
+// Lint fixture: ambient randomness (rule 3) and a bare float comparison in
+// protocol decision code (rule 4). Scanned as crates/diknn-core/src code;
+// never compiled.
+use rand::Rng;
+
+pub fn jitter(window: f64) -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..window)
+}
+
+pub fn is_boundary(dist: f64, radius: f64) -> bool {
+    dist == radius && radius != 0.0
+}

@@ -1,0 +1,20 @@
+// Lint fixture: simulation state kept in hash containers (rule 1) plus a
+// wall-clock read (rule 2). Scanned by tests as crates/diknn-sim/src code;
+// never compiled.
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub struct BadEngine {
+    pending: HashMap<u64, u32>,
+    cancelled: HashSet<u64>,
+}
+
+impl BadEngine {
+    pub fn tick(&mut self) {
+        let _started = Instant::now();
+        for (_id, _tx) in &self.pending {
+            // Iterating a HashMap: order differs between processes.
+        }
+        self.cancelled.clear();
+    }
+}

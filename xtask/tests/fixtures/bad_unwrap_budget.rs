@@ -1,0 +1,17 @@
+// Lint fixture: more unwrap()/expect() calls than any sane budget (rule 5).
+// Scanned as crates/diknn-mobility/src code; never compiled.
+pub fn parse_all(lines: &[&str]) -> Vec<(u64, f64)> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut parts = l.split(',');
+            let id = parts.next().unwrap().parse().unwrap();
+            let t = parts.next().expect("time field").parse().expect("float");
+            (id, t)
+        })
+        .collect()
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,82 @@
+//! Self-test of the determinism lint: seeded-violation fixtures must be
+//! caught, and the real workspace must pass clean.
+//!
+//! This is the guarantee behind trusting a green `cargo xtask lint`: the
+//! fixtures prove the pass actually fires on each rule, so silence on the
+//! real tree means absence of violations, not absence of checking.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use xtask::lint::{check_budgets, lint_workspace, scan_source};
+
+const BAD_SIM_STATE: &str = include_str!("fixtures/bad_sim_state.rs");
+const BAD_ENTROPY: &str = include_str!("fixtures/bad_entropy.rs");
+const BAD_UNWRAP: &str = include_str!("fixtures/bad_unwrap_budget.rs");
+
+fn rule_counts(path: &str, crate_name: &str, src: &str) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for v in scan_source(path, crate_name, src).violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn fixture_hash_container_in_sim_code_is_caught() {
+    let counts = rule_counts(
+        "crates/diknn-sim/src/bad_sim_state.rs",
+        "diknn-sim",
+        BAD_SIM_STATE,
+    );
+    // One `use` line naming both containers, two struct fields.
+    assert_eq!(counts.get("hash-container"), Some(&3), "{counts:?}");
+    assert_eq!(counts.get("wall-clock"), Some(&1), "{counts:?}");
+}
+
+#[test]
+fn fixture_thread_rng_and_float_eq_are_caught() {
+    let counts = rule_counts(
+        "crates/diknn-core/src/bad_entropy.rs",
+        "diknn-core",
+        BAD_ENTROPY,
+    );
+    assert_eq!(counts.get("ambient-randomness"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("float-eq"), Some(&1), "{counts:?}");
+}
+
+#[test]
+fn fixture_over_budget_unwraps_are_caught() {
+    let report = scan_source(
+        "crates/diknn-mobility/src/bad_unwrap_budget.rs",
+        "diknn-mobility",
+        BAD_UNWRAP,
+    );
+    assert_eq!(report.unwrap_count, 5);
+    let counts = BTreeMap::from([("diknn-mobility".to_string(), report.unwrap_count)]);
+    // Against its real budget the fixture must overrun.
+    let budgets = BTreeMap::from([("diknn-mobility".to_string(), 0u32)]);
+    let violations = check_budgets(&counts, &budgets);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, "unwrap-budget");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let report = lint_workspace(&root).expect("lint pass runs");
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
