@@ -20,7 +20,7 @@ use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
 use diknn_rtree::RTree;
 use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
 
-use diknn_core::{KnnProtocol, QueryOutcome, QueryRequest};
+use diknn_core::{KnnProtocol, QueryOutcome, QueryRequest, QueryStatus};
 
 const K_ISSUE: u8 = 1;
 const K_REPORT: u8 = 2;
@@ -253,6 +253,7 @@ impl Centralized {
             parts_expected: 1,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         });
         let msg = CentralMsg::Query {
             spec,
@@ -409,6 +410,10 @@ impl Protocol for Centralized {
 impl KnnProtocol for Centralized {
     fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
+    }
+
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
+        &mut self.outcomes
     }
 }
 

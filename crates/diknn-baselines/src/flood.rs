@@ -12,7 +12,7 @@ use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
 use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
 
 use diknn_core::knnb::{knnb, HopRecord};
-use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest};
+use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest, QueryStatus};
 
 const K_ISSUE: u8 = 1;
 const K_CLOSE: u8 = 2;
@@ -153,6 +153,7 @@ impl Flood {
             parts_expected: 0,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         });
         self.merged
             .insert(qid, (CandidateSet::new(req.k.max(1)), 0, ctx.now()));
@@ -402,5 +403,9 @@ impl Protocol for Flood {
 impl KnnProtocol for Flood {
     fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
+    }
+
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
+        &mut self.outcomes
     }
 }

@@ -27,7 +27,7 @@ use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
 use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
 
 use diknn_core::knnb::{knnb, kpt_conservative_radius, HopRecord};
-use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest};
+use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest, QueryStatus};
 
 const K_ISSUE: u8 = 1;
 const K_REPORT: u8 = 2;
@@ -250,6 +250,7 @@ impl Kpt {
             parts_expected: 1,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         });
         ctx.set_timer(
             req.sink,
@@ -793,6 +794,10 @@ impl Protocol for Kpt {
 impl KnnProtocol for Kpt {
     fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
+    }
+
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
+        &mut self.outcomes
     }
 }
 

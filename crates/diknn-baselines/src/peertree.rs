@@ -32,7 +32,7 @@ use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
 use diknn_rtree::RTree;
 use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
 
-use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest};
+use diknn_core::{Candidate, CandidateSet, KnnProtocol, QueryOutcome, QueryRequest, QueryStatus};
 
 const K_ISSUE: u8 = 1;
 const K_NOTIFY: u8 = 2;
@@ -460,6 +460,7 @@ impl PeerTree {
             parts_expected: 1,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         });
         ctx.set_timer(
             req.sink,
@@ -510,8 +511,12 @@ impl PeerTree {
                 stage,
             },
         );
-        if !delivered && self.is_head(at) {
+        if !delivered && self.is_head(at) && stage < 2 {
             // We are a head already; short-circuit the hierarchy locally.
+            // Stage 2 has no further level to escalate to: `query_at_head`
+            // would route right back here (mutual recursion until stack
+            // overflow when the neighbour table is starved), so a routeless
+            // final-stage query is dropped and ages out at the sink.
             self.query_at_head(ctx, at, spec, stage);
         }
     }
@@ -1167,6 +1172,10 @@ impl PeerTree {
 impl KnnProtocol for PeerTree {
     fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
+    }
+
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
+        &mut self.outcomes
     }
 }
 

@@ -77,6 +77,18 @@ pub fn run_cell(
     Experiment::new(protocol, scenario, workload).run(runs(), base_seed())
 }
 
+/// Run one experiment cell with a fault plan installed.
+pub fn run_cell_faulted(
+    protocol: ProtocolKind,
+    scenario: ScenarioConfig,
+    workload: WorkloadConfig,
+    plan: diknn_sim::FaultPlan,
+) -> Aggregate {
+    let mut exp = Experiment::new(protocol, scenario, workload);
+    exp.fault_plan = Some(plan);
+    exp.run(runs(), base_seed())
+}
+
 /// Print one row of an experiment table (human text + a `csv,` line).
 pub fn print_row(figure: &str, x_name: &str, x: f64, proto: &str, agg: &Aggregate) {
     println!(
@@ -107,6 +119,48 @@ pub fn print_csv_header() {
     println!(
         "csv,figure,x_name,x,protocol,latency_mean,latency_std,energy_mean,energy_std,\
          pre_accuracy,post_accuracy,completion_rate"
+    );
+}
+
+/// Print one row of a fault-sweep table: the usual metrics plus the
+/// degradation taxonomy (degraded rate, watchdog re-issues, sink retries,
+/// nodes lost).
+pub fn print_fault_row(figure: &str, x_name: &str, x: f64, proto: &str, agg: &Aggregate) {
+    println!(
+        "{figure} {x_name}={x:<5} {proto:10} completion={:.2} degraded={:.2} \
+         latency={:.3}±{:.3}s energy={:.3}±{:.3}J post={:.3} \
+         reissues={:.1} retries={:.1} lost_nodes={:.1}",
+        agg.completion_rate.mean,
+        agg.degraded_rate.mean,
+        agg.latency_s.mean,
+        agg.latency_s.std,
+        agg.energy_j.mean,
+        agg.energy_j.std,
+        agg.post_accuracy.mean,
+        agg.tokens_reissued.mean,
+        agg.query_retries.mean,
+        agg.nodes_failed.mean,
+    );
+    println!(
+        "csv,{figure},{x_name},{x},{proto},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+        agg.completion_rate.mean,
+        agg.degraded_rate.mean,
+        agg.latency_s.mean,
+        agg.latency_s.std,
+        agg.energy_j.mean,
+        agg.energy_j.std,
+        agg.post_accuracy.mean,
+        agg.tokens_reissued.mean,
+        agg.query_retries.mean,
+        agg.nodes_failed.mean,
+    );
+}
+
+/// Header for the fault-sweep csv columns, printed once per binary.
+pub fn print_fault_csv_header() {
+    println!(
+        "csv,figure,x_name,x,protocol,completion_rate,degraded_rate,latency_mean,latency_std,\
+         energy_mean,energy_std,post_accuracy,tokens_reissued,query_retries,nodes_failed"
     );
 }
 

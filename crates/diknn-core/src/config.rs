@@ -56,6 +56,23 @@ pub struct DiknnConfig {
     /// Give up on a query at the sink after this many seconds without all
     /// sector results (straggler sectors are simply not merged).
     pub sink_timeout: f64,
+    /// Token-loss watchdog: after handing the token off, a Q-node watches
+    /// for the sector to progress past its successor and re-issues the
+    /// token on silence (fail-stop crashes and deep fades otherwise kill
+    /// the whole sector).
+    pub token_watchdog: bool,
+    /// Seconds without durable sector progress (next handoff, sector
+    /// finish, or sink merge) before the watchdog re-issues the token. Must
+    /// comfortably exceed one collection round (contention window + polls)
+    /// so a busy-but-alive successor is not doubled.
+    pub watchdog_timeout: f64,
+    /// Re-issue budget per sector token; when exhausted the watchdog holder
+    /// salvages the token's partial result and reports it to the sink.
+    pub max_token_reissues: u32,
+    /// Whole-query retries the sink may launch when `sink_timeout` expires
+    /// with *zero* results merged (fresh dissemination, rotated itinerary
+    /// origin). Partial results are kept and never retried.
+    pub max_query_retries: u32,
 }
 
 impl Default for DiknnConfig {
@@ -74,6 +91,10 @@ impl Default for DiknnConfig {
             base_msg_bytes: 24,
             collection: CollectionScheme::Combined,
             sink_timeout: 20.0,
+            token_watchdog: true,
+            watchdog_timeout: 0.75,
+            max_token_reissues: 2,
+            max_query_retries: 1,
         }
     }
 }
@@ -96,6 +117,11 @@ impl DiknnConfig {
             self.extend_target >= 1.0 && self.extend_target <= self.early_stop_margin,
             "extend target must be in [1, early_stop_margin]"
         );
+        assert!(
+            self.watchdog_timeout > 0.0 && self.watchdog_timeout.is_finite(),
+            "watchdog timeout must be positive and finite"
+        );
+        assert!(self.sink_timeout > 0.0, "sink timeout must be positive");
     }
 }
 

@@ -188,6 +188,10 @@ impl KnnProtocol for ContinuousKnn {
     fn outcomes(&self) -> &[crate::QueryOutcome] {
         self.inner.outcomes()
     }
+
+    fn outcomes_mut(&mut self) -> &mut [crate::QueryOutcome] {
+        self.inner.outcomes_mut()
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,10 @@ pub struct QuerySpec {
     /// Requested number of nearest neighbours.
     pub k: u32,
     pub issued_at: SimTime,
+    /// Sink-side retry attempt this dissemination belongs to (0 = first
+    /// issue). Stale results from an earlier attempt still contribute
+    /// candidates at the sink but do not count towards completion.
+    pub attempt: u8,
 }
 
 /// Routing-phase message: the query travelling sink → home node, gathering
@@ -42,6 +46,9 @@ pub struct QueryMsg {
 pub struct ProbeMsg {
     pub qid: u32,
     pub sector: u8,
+    /// Retry attempt of the dissemination this probe belongs to; D-nodes
+    /// re-reply on a fresh attempt even if they answered an earlier one.
+    pub attempt: u8,
     pub qnode: NodeId,
     pub qnode_pos: Point,
     pub q: Point,
@@ -78,6 +85,8 @@ pub struct ReplyMsg {
 pub struct PollMsg {
     pub qid: u32,
     pub sector: u8,
+    /// Retry attempt (see [`ProbeMsg::attempt`]).
+    pub attempt: u8,
     pub qnode: NodeId,
     pub q: Point,
     pub radius: f64,
@@ -149,6 +158,7 @@ mod tests {
             q: Point::new(50.0, 50.0),
             k: 10,
             issued_at: SimTime::ZERO,
+            attempt: 0,
         }
     }
 

@@ -18,6 +18,38 @@ pub struct QueryRequest {
     pub k: usize,
 }
 
+/// How a query terminated — the structured degradation reason consumed by
+/// the fault-sweep harness. Every query ends in exactly one non-`Pending`
+/// state once [`KnnProtocol::finish`] has run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QueryStatus {
+    /// Still running (or [`KnnProtocol::finish`] was never called).
+    Pending,
+    /// All expected partial results were merged at the sink.
+    Completed,
+    /// The sink timed out with *some* partial results merged.
+    PartialTimeout,
+    /// The sink heard nothing at all: the query, a token, or every result
+    /// was lost and the recovery budget ran out.
+    TokenLost,
+    /// The sink itself was dead when the run ended; nobody was left to
+    /// account for the query.
+    SinkUnreachable,
+}
+
+impl QueryStatus {
+    /// Short stable label for tables and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryStatus::Pending => "pending",
+            QueryStatus::Completed => "completed",
+            QueryStatus::PartialTimeout => "partial-timeout",
+            QueryStatus::TokenLost => "token-lost",
+            QueryStatus::SinkUnreachable => "sink-unreachable",
+        }
+    }
+}
+
 /// Per-query result record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -44,6 +76,8 @@ pub struct QueryOutcome {
     pub parts_returned: u32,
     /// Total distinct nodes that reported data for this query.
     pub explored_nodes: u32,
+    /// Structured termination reason (see [`QueryStatus`]).
+    pub status: QueryStatus,
 }
 
 impl QueryOutcome {
@@ -59,6 +93,34 @@ impl QueryOutcome {
 pub trait KnnProtocol: diknn_sim::Protocol {
     /// Outcomes of all queries issued so far (finished or not).
     fn outcomes(&self) -> &[QueryOutcome];
+
+    /// Mutable access to the outcomes, for post-run classification.
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome];
+
+    /// Classify any still-`Pending` outcome after the run ended. Protocols
+    /// that finalise eagerly (a timer fired at a live sink) have already
+    /// stamped a status; this covers queries whose sink died or whose
+    /// timeout never fired before the time limit.
+    fn finish(&mut self, ctx: &diknn_sim::Ctx<Self::Msg>) {
+        for o in self.outcomes_mut() {
+            if o.status != QueryStatus::Pending {
+                continue;
+            }
+            o.status = if o.completed_at.is_some() {
+                if o.parts_returned >= o.parts_expected {
+                    QueryStatus::Completed
+                } else {
+                    QueryStatus::PartialTimeout
+                }
+            } else if !ctx.is_alive(o.sink) {
+                QueryStatus::SinkUnreachable
+            } else if o.parts_returned > 0 {
+                QueryStatus::PartialTimeout
+            } else {
+                QueryStatus::TokenLost
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,9 +143,18 @@ mod tests {
             parts_expected: 8,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         };
         assert_eq!(o.latency(), None);
         o.completed_at = Some(SimTime::from_secs_f64(2.5));
         assert!((o.latency().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn status_labels_are_stable() {
+        assert_eq!(QueryStatus::Completed.label(), "completed");
+        assert_eq!(QueryStatus::PartialTimeout.label(), "partial-timeout");
+        assert_eq!(QueryStatus::TokenLost.label(), "token-lost");
+        assert_eq!(QueryStatus::SinkUnreachable.label(), "sink-unreachable");
     }
 }

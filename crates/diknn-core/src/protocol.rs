@@ -16,11 +16,11 @@
 //! One [`Diknn`] instance drives *all* nodes; per-node protocol state is
 //! kept in maps keyed by `(query, node)`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::{angle, Point, Polyline};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
-use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime};
+use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime, TimerId};
 use rand::Rng;
 
 use crate::candidates::{Candidate, CandidateSet};
@@ -28,7 +28,7 @@ use crate::config::{CollectionScheme, DiknnConfig};
 use crate::itinerary::{sub_itinerary, ItinerarySpec};
 use crate::knnb::{knnb, HopRecord};
 use crate::messages::*;
-use crate::outcome::{KnnProtocol, QueryOutcome, QueryRequest};
+use crate::outcome::{KnnProtocol, QueryOutcome, QueryRequest, QueryStatus};
 use crate::token::{ExtendReason, SectorToken, TokenDecision};
 
 /// Timer kinds (high byte of the timer key).
@@ -36,6 +36,7 @@ const K_ISSUE: u8 = 1;
 const K_COLLECT: u8 = 2;
 const K_REPLY: u8 = 3;
 const K_SINK_TIMEOUT: u8 = 4;
+const K_WATCHDOG: u8 = 5;
 
 /// Bootstrap collection pseudo-sector (the home node collects for all
 /// sectors at once before splitting).
@@ -93,6 +94,25 @@ struct PendingReply {
     sector: u8,
 }
 
+/// The token-loss watchdog a Q-node arms after handing a token off: it
+/// keeps a copy of the token and, unless the sector makes durable progress
+/// (the successor hands the token on, finishes the sector, or the result
+/// reaches the sink) within `watchdog_timeout`, re-issues it (bumping the
+/// duplicate-suppression epoch).
+struct Watchdog {
+    /// The node keeping watch (the previous token holder).
+    holder: NodeId,
+    /// The silent successor the token was handed to.
+    sent_to: NodeId,
+    /// Token state as of the handoff.
+    token: SectorToken,
+    /// The sector traversal is over and this watch covers the result's
+    /// journey back to the sink instead of a token handoff: on silence the
+    /// holder re-sends the sector result rather than re-issuing the token.
+    finished: bool,
+    timer: TimerId,
+}
+
 struct SinkState {
     expected: u32,
     merged: CandidateSet,
@@ -101,6 +121,11 @@ struct SinkState {
     max_final_radius: f64,
     last_merge_at: SimTime,
     done: bool,
+    /// Current retry attempt (0 = the original issue).
+    attempt: u8,
+    /// `(attempt, sector)` partials already counted toward completion;
+    /// watchdog re-issues can deliver a sector result twice.
+    counted: BTreeSet<(u8, u8)>,
 }
 
 /// The DIKNN protocol instance (drives all nodes of a run).
@@ -111,12 +136,17 @@ pub struct Diknn {
     sinks: BTreeMap<u32, SinkState>,
     collecting: BTreeMap<(u32, u8), Collecting>,
     pending_replies: BTreeMap<(u32, u32), PendingReply>,
-    /// `(qid, node)` → sector the node responded to.
-    responded: BTreeMap<(u32, u32), u8>,
+    /// `(qid, node)` → `(attempt, sector)` the node responded to.
+    responded: BTreeMap<(u32, u32), (u8, u8)>,
     rdv_cache: BTreeMap<(u32, u32), Vec<(u8, u32)>>,
     token_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
     query_excludes: BTreeMap<u32, Vec<NodeId>>,
     result_excludes: BTreeMap<(u32, u8), Vec<NodeId>>,
+    /// Armed token-loss watchdogs, keyed by `(qid, sector)`.
+    watchdogs: BTreeMap<(u32, u8), Watchdog>,
+    /// Highest token epoch seen per `(qid, attempt, sector)`; lower-epoch
+    /// tokens are stale duplicates from a watchdog re-issue and are dropped.
+    token_epochs: BTreeMap<(u32, u8, u8), u32>,
     radio_range: f64,
     /// Frames sent per message kind: [query, token, probe, reply, poll,
     /// rendezvous, result]. Diagnostics for benches and tests.
@@ -159,6 +189,8 @@ impl Diknn {
             token_excludes: BTreeMap::new(),
             query_excludes: BTreeMap::new(),
             result_excludes: BTreeMap::new(),
+            watchdogs: BTreeMap::new(),
+            token_epochs: BTreeMap::new(),
             radio_range: 0.0,
             tx_by_kind: [0; 7],
             token_trace: Vec::new(),
@@ -174,9 +206,14 @@ impl Diknn {
         self.cfg.width_factor * self.radio_range
     }
 
-    /// Deterministic per-query sector origin (decorrelates queries).
-    fn origin_for(qid: u32) -> f64 {
-        angle::normalize(qid as f64 * 2.399_963_229_728_653) // golden angle
+    /// Deterministic per-query sector origin (decorrelates queries). A
+    /// retry rotates the origin by half a golden angle so the fresh
+    /// itinerary crosses different nodes than the one that went silent.
+    fn origin_for(qid: u32, attempt: u8) -> f64 {
+        // golden angle, and half of it per retry attempt
+        angle::normalize(
+            qid as f64 * 2.399_963_229_728_653 + attempt as f64 * 1.199_981_614_864_326,
+        )
     }
 
     fn kind_index(msg: &DiknnMsg) -> usize {
@@ -203,6 +240,42 @@ impl Diknn {
         ctx.broadcast(from, bytes, msg);
     }
 
+    /// Hand a sector token to the next Q-node, arming the token-loss
+    /// watchdog: the sender keeps a copy and re-issues it unless the sector
+    /// progresses past the successor — the successor's own handoff replaces
+    /// this entry (cancelling the timer), and `finish_sector` / `sink_merge`
+    /// disarm terminal hops. Probes alone do *not* disarm: a carrier that
+    /// probes and then dies mid-collection must still be recovered.
+    fn send_token(
+        &mut self,
+        ctx: &mut Ctx<DiknnMsg>,
+        from: NodeId,
+        to: NodeId,
+        token: SectorToken,
+    ) {
+        if self.cfg.token_watchdog {
+            let timer = ctx.set_timer(
+                from,
+                SimDuration::from_secs_f64(self.cfg.watchdog_timeout),
+                key(K_WATCHDOG, token.spec.qid, token.sector as u32),
+            );
+            let old = self.watchdogs.insert(
+                (token.spec.qid, token.sector),
+                Watchdog {
+                    holder: from,
+                    sent_to: to,
+                    token: token.clone(),
+                    finished: false,
+                    timer,
+                },
+            );
+            if let Some(old) = old {
+                ctx.cancel_timer(old.timer);
+            }
+        }
+        self.send(ctx, from, to, DiknnMsg::Token(Box::new(token)));
+    }
+
     // ---------- phase 1: routing --------------------------------------
 
     fn issue_query(&mut self, ctx: &mut Ctx<DiknnMsg>, req_idx: usize) {
@@ -215,6 +288,7 @@ impl Diknn {
             q: req.q,
             k: req.k.max(1) as u32,
             issued_at: ctx.now(),
+            attempt: 0,
         };
         self.outcomes.push(QueryOutcome {
             qid,
@@ -230,6 +304,7 @@ impl Diknn {
             parts_expected: self.cfg.sectors as u32,
             parts_returned: 0,
             explored_nodes: 0,
+            status: QueryStatus::Pending,
         });
         self.sinks.insert(
             qid,
@@ -241,6 +316,8 @@ impl Diknn {
                 max_final_radius: 0.0,
                 last_merge_at: ctx.now(),
                 done: false,
+                attempt: 0,
+                counted: BTreeSet::new(),
             },
         );
         ctx.set_timer(
@@ -343,7 +420,7 @@ impl Diknn {
             o.routing_hops = msg.list.len().saturating_sub(1) as u32;
         }
         let itin = ItinerarySpec {
-            origin: Self::origin_for(spec.qid),
+            origin: Self::origin_for(spec.qid, spec.attempt),
             ..ItinerarySpec::new(spec.q, radius, self.cfg.sectors, self.width())
         };
         // Bootstrap collection: one probe covering the home neighbourhood,
@@ -361,11 +438,12 @@ impl Diknn {
         let probe = ProbeMsg {
             qid: token.spec.qid,
             sector: token.sector,
+            attempt: token.spec.attempt,
             qnode: at,
             qnode_pos: ctx.position(at),
             q: token.spec.q,
             radius: token.itin.radius,
-            ref_angle: angle::normalize(Self::origin_for(token.spec.qid)),
+            ref_angle: Self::origin_for(token.spec.qid, token.spec.attempt),
             window,
             counts: if token.sector == BOOTSTRAP {
                 Vec::new()
@@ -396,23 +474,32 @@ impl Diknn {
         );
     }
 
-    /// The collection window (or poll round) of `(qid, sector)` ended.
-    fn collection_done(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32, sector: u8) {
+    /// The collection window (or poll round) of `(qid, sector)` ended at
+    /// node `at` (where the timer fired).
+    fn collection_done(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, qid: u32, sector: u8) {
+        // A watchdog re-issue or a sink retry can start a fresh collection
+        // for the same key at another node while a stale timer from the
+        // superseded one is still queued — only the current Q-node's timer
+        // may pop the entry.
+        match self.collecting.get(&(qid, sector)) {
+            Some(c) if c.node == at => {}
+            _ => return,
+        }
         let Some(mut coll) = self.collecting.remove(&(qid, sector)) else {
             return;
         };
-        let at = coll.node;
         // Combined / token-ring: poll neighbours inside the boundary that
         // have not replied yet, then wait one more round.
         if !coll.polled && self.cfg.collection != CollectionScheme::Contention {
             let neighbors = reliable(ctx, at);
             let q = coll.token.spec.q;
             let radius = coll.token.itin.radius;
+            let attempt = coll.token.spec.attempt;
             // Poll in-boundary neighbours we have not heard that either
-            // never responded, or responded to *this* sector (meaning their
-            // reply was lost to a collision and only a directed poll can
-            // recover the data). Nodes that answered another sector are
-            // left alone.
+            // never responded this attempt, or responded to *this* sector
+            // (meaning their reply was lost to a collision and only a
+            // directed poll can recover the data). Nodes that answered
+            // another sector of the same attempt are left alone.
             let targets: Vec<NodeId> = neighbors
                 .iter()
                 .filter(|n| n.position.dist(q) <= radius)
@@ -420,7 +507,7 @@ impl Diknn {
                 .filter(|n| {
                     self.responded
                         .get(&(qid, n.id.0))
-                        .is_none_or(|&s| s == sector)
+                        .is_none_or(|&(a, s)| a != attempt || s == sector)
                 })
                 .map(|n| n.id)
                 .collect();
@@ -429,6 +516,7 @@ impl Diknn {
                     let poll = PollMsg {
                         qid,
                         sector,
+                        attempt,
                         qnode: at,
                         q,
                         radius,
@@ -546,7 +634,7 @@ impl Diknn {
                             frontier: token.frontier,
                             radius: token.itin.radius,
                         });
-                        self.send(ctx, at, next, DiknnMsg::Token(Box::new(token)));
+                        self.send_token(ctx, at, next, token);
                         return;
                     }
                     RouteStep::Arrived | RouteStep::NoRoute => {
@@ -613,7 +701,7 @@ impl Diknn {
                     frontier: token.frontier,
                     radius: token.itin.radius,
                 });
-                self.send(ctx, at, n.id, DiknnMsg::Token(Box::new(token)));
+                self.send_token(ctx, at, n.id, token);
                 return;
             }
 
@@ -682,6 +770,11 @@ impl Diknn {
     }
 
     fn finish_sector(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: SectorToken) {
+        // The traversal is over; any watchdog still watching a handoff of
+        // this sector is moot.
+        if let Some(w) = self.watchdogs.remove(&(token.spec.qid, token.sector)) {
+            ctx.cancel_timer(w.timer);
+        }
         let result = ResultMsg {
             spec: token.spec,
             sector: token.sector,
@@ -691,6 +784,33 @@ impl Diknn {
             final_radius: token.itin.radius,
             itinerary_hops: token.hops,
         };
+        // The result's journey home is as mortal as the token was: keep
+        // watching until the sink merges this sector, re-sending on
+        // silence (a relay crashing mid-route otherwise loses the sector).
+        // `sink_merge` disarms; armed before routing so a synchronous
+        // merge (sink is `at` or a direct neighbour) cleans up naturally.
+        if self.cfg.token_watchdog {
+            let pending = self.sinks.get(&token.spec.qid).is_some_and(|s| {
+                !s.done && !s.counted.contains(&(token.spec.attempt, token.sector))
+            });
+            if pending {
+                let timer = ctx.set_timer(
+                    at,
+                    SimDuration::from_secs_f64(self.cfg.watchdog_timeout),
+                    key(K_WATCHDOG, token.spec.qid, token.sector as u32),
+                );
+                self.watchdogs.insert(
+                    (token.spec.qid, token.sector),
+                    Watchdog {
+                        holder: at,
+                        sent_to: at,
+                        token,
+                        finished: true,
+                        timer,
+                    },
+                );
+            }
+        }
         self.route_result(ctx, at, result, None);
     }
 
@@ -748,17 +868,28 @@ impl Diknn {
     fn sink_merge(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, msg: ResultMsg) {
         debug_assert_eq!(at, msg.spec.sink);
         let qid = msg.spec.qid;
+        // The sector reported all the way back: its watchdog is moot.
+        if let Some(w) = self.watchdogs.remove(&(qid, msg.sector)) {
+            ctx.cancel_timer(w.timer);
+        }
         let Some(state) = self.sinks.get_mut(&qid) else {
             return;
         };
         if state.done {
             return;
         }
+        // Candidates are merged from any attempt and any duplicate (the
+        // set union is idempotent and stale data is still real data), but
+        // only the first result per (current attempt, sector) counts
+        // toward completion.
         state.merged.merge(&msg.candidates);
-        state.returned += 1;
-        state.explored += msg.explored;
         state.max_final_radius = state.max_final_radius.max(msg.final_radius);
-        state.last_merge_at = ctx.now();
+        if msg.spec.attempt == state.attempt && state.counted.insert((msg.spec.attempt, msg.sector))
+        {
+            state.returned += 1;
+            state.explored += msg.explored;
+            state.last_merge_at = ctx.now();
+        }
         if state.returned >= state.expected {
             self.finalize(ctx.now(), qid, false);
         }
@@ -784,6 +915,133 @@ impl Diknn {
             // timeout itself is bookkeeping, not protocol traffic).
             outcome.completed_at = Some(if timed_out { state.last_merge_at } else { now });
         }
+        outcome.status = if state.returned >= state.expected {
+            QueryStatus::Completed
+        } else if state.returned > 0 {
+            QueryStatus::PartialTimeout
+        } else {
+            QueryStatus::TokenLost
+        };
+        // Drop any recovery state still alive for this query; pending
+        // watchdog timers become harmless no-ops without their entries.
+        self.watchdogs.retain(|&(q, _), _| q != qid);
+    }
+
+    // ---------- fault recovery ----------------------------------------
+
+    /// `sink_timeout` expired for `(qid, attempt)`. Total silence with
+    /// retry budget left launches a fresh dissemination; anything else
+    /// finalises with whatever partials arrived.
+    fn sink_timeout(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, qid: u32, attempt: u8) {
+        let retry = match self.sinks.get(&qid) {
+            Some(s) if !s.done && s.attempt == attempt => {
+                s.returned == 0 && (attempt as u32) < self.cfg.max_query_retries
+            }
+            _ => return,
+        };
+        if retry {
+            self.retry_query(ctx, at, qid);
+        } else {
+            self.finalize(ctx.now(), qid, true);
+        }
+    }
+
+    /// Re-issue a silent query from the sink's *current* position with a
+    /// rotated itinerary origin (bounded by `max_query_retries`).
+    fn retry_query(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, qid: u32) {
+        let attempt = {
+            let Some(state) = self.sinks.get_mut(&qid) else {
+                return;
+            };
+            state.attempt += 1;
+            state.attempt
+        };
+        ctx.stats_mut().query_retries += 1;
+        // Recovery state of the failed attempt must neither constrain nor
+        // resurrect the new dissemination.
+        let stale: Vec<TimerId> = self
+            .watchdogs
+            .iter()
+            .filter(|(&(q, _), _)| q == qid)
+            .map(|(_, w)| w.timer)
+            .collect();
+        for t in stale {
+            ctx.cancel_timer(t);
+        }
+        self.watchdogs.retain(|&(q, _), _| q != qid);
+        self.token_excludes.retain(|&(q, _), _| q != qid);
+        self.result_excludes.retain(|&(q, _), _| q != qid);
+        self.query_excludes.remove(&qid);
+        let (sink, q, k) = {
+            let o = &self.outcomes[qid as usize];
+            (o.sink, o.q, o.k)
+        };
+        let spec = QuerySpec {
+            qid,
+            sink,
+            sink_pos: ctx.position(sink),
+            q,
+            k: k.max(1) as u32,
+            issued_at: ctx.now(),
+            attempt,
+        };
+        ctx.set_timer(
+            at,
+            SimDuration::from_secs_f64(self.cfg.sink_timeout),
+            key(K_SINK_TIMEOUT, qid, attempt as u32),
+        );
+        let msg = QueryMsg {
+            spec,
+            gpsr: GpsrHeader::new(q),
+            list: Vec::new(),
+        };
+        self.handle_query_arrival(ctx, at, msg, None);
+    }
+
+    /// The watchdog at `at` saw no durable progress from the successor it
+    /// handed `(qid, sector)` to: re-issue the saved token, or — with the
+    /// re-issue budget exhausted — salvage its partial state.
+    fn watchdog_fire(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, qid: u32, sector: u8) {
+        let Some(w) = self.watchdogs.remove(&(qid, sector)) else {
+            return; // disarmed in time
+        };
+        if w.holder != at {
+            // A later handoff re-armed the watch elsewhere; this timer is
+            // stale.
+            self.watchdogs.insert((qid, sector), w);
+            return;
+        }
+        if self.sinks.get(&qid).is_none_or(|s| s.done) {
+            return;
+        }
+        let mut token = w.token;
+        if w.finished {
+            // The sector finished but its result never reached the sink —
+            // the carrier likely died en route. Re-send it while the
+            // re-issue budget lasts (finish_sector re-arms this watch).
+            if token.reissues >= self.cfg.max_token_reissues {
+                return; // budget gone: the sector stays partial
+            }
+            token.reissues += 1;
+            ctx.stats_mut().tokens_reissued += 1;
+            return self.finish_sector(ctx, at, token);
+        }
+        if token.reissues >= self.cfg.max_token_reissues {
+            // Budget exhausted: report what the sector had at the handoff
+            // rather than losing it outright.
+            return self.finish_sector(ctx, at, token);
+        }
+        token.reissues += 1;
+        token.epoch += 1;
+        self.token_epochs
+            .insert((qid, token.spec.attempt, sector), token.epoch);
+        ctx.stats_mut().tokens_reissued += 1;
+        // The silent successor is suspect — avoid re-selecting it.
+        self.token_excludes
+            .entry((qid, sector))
+            .or_default()
+            .push(w.sent_to);
+        self.advance_token(ctx, at, token);
     }
 }
 
@@ -808,7 +1066,9 @@ impl Protocol for Diknn {
     fn on_timer(&mut self, at: NodeId, timer_key: u64, ctx: &mut Ctx<DiknnMsg>) {
         match key_kind(timer_key) {
             K_ISSUE => self.issue_query(ctx, key_aux(timer_key) as usize),
-            K_COLLECT => self.collection_done(ctx, key_qid(timer_key), key_aux(timer_key) as u8),
+            K_COLLECT => {
+                self.collection_done(ctx, at, key_qid(timer_key), key_aux(timer_key) as u8)
+            }
             K_REPLY => {
                 let qid = key_qid(timer_key);
                 if let Some(pending) = self.pending_replies.remove(&(qid, at.0)) {
@@ -829,8 +1089,10 @@ impl Protocol for Diknn {
                 }
             }
             K_SINK_TIMEOUT => {
-                let now = ctx.now();
-                self.finalize(now, key_qid(timer_key), true);
+                self.sink_timeout(ctx, at, key_qid(timer_key), key_aux(timer_key) as u8);
+            }
+            K_WATCHDOG => {
+                self.watchdog_fire(ctx, at, key_qid(timer_key), key_aux(timer_key) as u8);
             }
             _ => unreachable!("unknown timer kind"),
         }
@@ -842,6 +1104,14 @@ impl Protocol for Diknn {
                 self.handle_query_arrival(ctx, at, m.clone(), Some(from));
             }
             DiknnMsg::Token(t) => {
+                // Duplicate suppression: a watchdog re-issue bumped the
+                // epoch, so a lower-epoch copy still roaming is stale.
+                let ek = (t.spec.qid, t.spec.attempt, t.sector);
+                let cur = self.token_epochs.get(&ek).copied().unwrap_or(0);
+                if t.epoch < cur {
+                    return;
+                }
+                self.token_epochs.insert(ek, t.epoch);
                 self.token_excludes.remove(&(t.spec.qid, t.sector));
                 self.start_collection(ctx, at, (**t).clone());
             }
@@ -865,10 +1135,10 @@ impl Protocol for Diknn {
                 if my_pos.dist(p.q) > p.radius {
                     return;
                 }
-                if self.responded.contains_key(&(p.qid, at.0)) {
-                    return; // one response per query per node
+                if matches!(self.responded.get(&(p.qid, at.0)), Some(&(a, _)) if a == p.attempt) {
+                    return; // one response per attempt per node
                 }
-                self.responded.insert((p.qid, at.0), p.sector);
+                self.responded.insert((p.qid, at.0), (p.attempt, p.sector));
                 // Contention timer ordered by the angle α from the probe's
                 // reference line (§3.3).
                 let alpha = angle::ccw_sweep(p.ref_angle, p.qnode_pos.angle_to(my_pos));
@@ -894,12 +1164,13 @@ impl Protocol for Diknn {
                 }
                 // A directed poll from the sector we responded to means
                 // that reply was lost — answer again. Polls from other
-                // sectors are not answered twice.
+                // sectors of the same attempt are not answered twice; a
+                // fresh attempt starts from a clean slate.
                 match self.responded.get(&(p.qid, at.0)) {
-                    Some(&s) if s != p.sector => return,
+                    Some(&(a, s)) if a == p.attempt && s != p.sector => return,
                     _ => {}
                 }
-                self.responded.insert((p.qid, at.0), p.sector);
+                self.responded.insert((p.qid, at.0), (p.attempt, p.sector));
                 // Cancel any still-pending contention reply to avoid
                 // answering twice.
                 self.pending_replies.remove(&(p.qid, at.0));
@@ -1006,6 +1277,10 @@ impl KnnProtocol for Diknn {
     fn outcomes(&self) -> &[QueryOutcome] {
         &self.outcomes
     }
+
+    fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
+        &mut self.outcomes
+    }
 }
 
 #[cfg(test)]
@@ -1022,10 +1297,20 @@ mod tests {
 
     #[test]
     fn origin_is_deterministic_and_spread() {
-        let a = Diknn::origin_for(1);
-        let b = Diknn::origin_for(1);
-        let c = Diknn::origin_for(2);
+        let a = Diknn::origin_for(1, 0);
+        let b = Diknn::origin_for(1, 0);
+        let c = Diknn::origin_for(2, 0);
         assert_eq!(a, b);
         assert!(diknn_geom::angle::diff(a, c) > 0.1);
+    }
+
+    #[test]
+    fn retry_attempts_rotate_the_origin() {
+        let a = Diknn::origin_for(3, 0);
+        let b = Diknn::origin_for(3, 1);
+        assert!(
+            diknn_geom::angle::diff(a, b) > 0.5,
+            "retry must take a different itinerary"
+        );
     }
 }

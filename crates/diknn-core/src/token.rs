@@ -48,6 +48,13 @@ pub struct SectorToken {
     /// with full GPSR (perimeter forwarding mode, §5.2) — `(target
     /// arc-length, routing header)`.
     pub detour: Option<(f64, diknn_routing::GpsrHeader)>,
+    /// Monotonic duplicate-suppression epoch: the token-loss watchdog bumps
+    /// this on every re-issue, and Q-nodes drop tokens whose epoch is below
+    /// the highest they have recorded for `(qid, attempt, sector)`.
+    pub epoch: u32,
+    /// Watchdog re-issues this token has survived (bounds the recovery
+    /// budget per sector).
+    pub reissues: u32,
 }
 
 /// Why a boundary extension was granted.
@@ -92,6 +99,8 @@ impl SectorToken {
             last_rendezvous: 0.0,
             hops: 0,
             detour: None,
+            epoch: 0,
+            reissues: 0,
         }
     }
 
@@ -208,6 +217,7 @@ mod tests {
             q: Point::new(50.0, 50.0),
             k,
             issued_at: SimTime::ZERO,
+            attempt: 0,
         }
     }
 

@@ -144,6 +144,7 @@ proptest! {
             q: Point::new(50.0, 50.0),
             k,
             issued_at: SimTime::ZERO,
+            attempt: 0,
         };
         let mut t = SectorToken::new(
             spec,

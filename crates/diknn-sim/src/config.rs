@@ -1,5 +1,8 @@
 //! Simulator configuration.
 
+use std::fmt;
+
+use crate::faults::FaultPlan;
 use crate::time::SimDuration;
 use diknn_geom::Rect;
 
@@ -15,6 +18,72 @@ pub enum MacMode {
     /// Used by ablations to isolate collision effects.
     ContentionFree,
 }
+
+/// A configuration invariant violation found by [`SimConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The simulation field rectangle is empty.
+    EmptyField,
+    /// The radio range is not positive.
+    NonPositiveRadioRange(f64),
+    /// The channel rate is zero.
+    ZeroChannelRate,
+    /// `loss_rate` outside `[0, 1)`.
+    LossRateOutOfRange(f64),
+    /// A power draw is negative.
+    NegativePower { tx_power_w: f64, rx_power_w: f64 },
+    /// `max_backoffs` is zero: no frame could ever be transmitted under
+    /// contention.
+    ZeroMaxBackoffs,
+    /// `time_limit` is zero: the run would end before `on_start`.
+    ZeroTimeLimit,
+    /// Beaconing is enabled but `neighbor_timeout <= beacon_interval`:
+    /// every neighbour entry would expire before it can be refreshed,
+    /// leaving tables permanently empty.
+    NeighborTimeoutTooShort {
+        neighbor_timeout: SimDuration,
+        beacon_interval: SimDuration,
+    },
+    /// A fault-plan parameter is out of range (message explains which).
+    Fault(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyField => write!(f, "empty simulation field"),
+            ConfigError::NonPositiveRadioRange(r) => {
+                write!(f, "radio range must be positive, got {r}")
+            }
+            ConfigError::ZeroChannelRate => write!(f, "channel rate must be positive"),
+            ConfigError::LossRateOutOfRange(l) => {
+                write!(f, "loss rate must be in [0, 1), got {l}")
+            }
+            ConfigError::NegativePower {
+                tx_power_w,
+                rx_power_w,
+            } => write!(
+                f,
+                "power draws must be non-negative, got tx={tx_power_w} rx={rx_power_w}"
+            ),
+            ConfigError::ZeroMaxBackoffs => {
+                write!(f, "max_backoffs must be nonzero (no frame could ever send)")
+            }
+            ConfigError::ZeroTimeLimit => write!(f, "time_limit must be nonzero"),
+            ConfigError::NeighborTimeoutTooShort {
+                neighbor_timeout,
+                beacon_interval,
+            } => write!(
+                f,
+                "neighbor_timeout ({neighbor_timeout}) must exceed beacon_interval \
+                 ({beacon_interval}) or tables can never retain an entry"
+            ),
+            ConfigError::Fault(msg) => write!(f, "fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// All physical/MAC/beacon parameters of a run.
 ///
@@ -42,7 +111,8 @@ pub struct SimConfig {
     pub unicast_retries: u32,
     /// Uniform random per-reception packet loss probability in `[0, 1)`,
     /// applied on top of collisions (models fading/interference the unit
-    /// disc cannot).
+    /// disc cannot). Ignored when the fault plan selects a
+    /// [`crate::faults::LinkLossModel::GilbertElliott`] channel.
     pub loss_rate: f64,
     /// Interval between neighbour beacons (0.5 s in the paper). A zero
     /// duration disables beaconing (neighbor tables stay empty unless the
@@ -65,6 +135,13 @@ pub struct SimConfig {
     pub rx_power_w: f64,
     /// Hard stop: no event later than this is processed.
     pub time_limit: SimDuration,
+    /// Fault injection plan (crashes, bursty loss, jamming, energy
+    /// budgets); the default plan is inert. See [`crate::faults`].
+    pub faults: FaultPlan,
+    /// Record every frame transmission start as `(time, sender)` in
+    /// [`crate::engine::Ctx::tx_trace`]. Off by default (costs memory on
+    /// long runs); fault tests use it to prove dead nodes stay silent.
+    pub trace_tx: bool,
 }
 
 impl Default for SimConfig {
@@ -87,6 +164,8 @@ impl Default for SimConfig {
             tx_power_w: 0.0522,
             rx_power_w: 0.0564,
             time_limit: SimDuration::from_secs_f64(100.0),
+            faults: FaultPlan::default(),
+            trace_tx: false,
         }
     }
 }
@@ -98,16 +177,40 @@ impl SimConfig {
         SimDuration::airtime(self.header_bytes + payload_bytes, self.bits_per_sec)
     }
 
-    /// Validate invariants; panics with a clear message on nonsense values.
-    pub fn validate(&self) {
-        assert!(!self.field.is_empty(), "empty simulation field");
-        assert!(self.radio_range > 0.0, "radio range must be positive");
-        assert!(self.bits_per_sec > 0, "channel rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.loss_rate),
-            "loss rate must be in [0, 1)"
-        );
-        assert!(self.tx_power_w >= 0.0 && self.rx_power_w >= 0.0);
+    /// Validate invariants; returns the first violation found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.field.is_empty() {
+            return Err(ConfigError::EmptyField);
+        }
+        if self.radio_range <= 0.0 || self.radio_range.is_nan() {
+            return Err(ConfigError::NonPositiveRadioRange(self.radio_range));
+        }
+        if self.bits_per_sec == 0 {
+            return Err(ConfigError::ZeroChannelRate);
+        }
+        if !(0.0..1.0).contains(&self.loss_rate) {
+            return Err(ConfigError::LossRateOutOfRange(self.loss_rate));
+        }
+        if self.tx_power_w < 0.0 || self.rx_power_w < 0.0 {
+            return Err(ConfigError::NegativePower {
+                tx_power_w: self.tx_power_w,
+                rx_power_w: self.rx_power_w,
+            });
+        }
+        if self.max_backoffs == 0 {
+            return Err(ConfigError::ZeroMaxBackoffs);
+        }
+        if self.time_limit == SimDuration::ZERO {
+            return Err(ConfigError::ZeroTimeLimit);
+        }
+        if self.beacon_interval > SimDuration::ZERO && self.neighbor_timeout <= self.beacon_interval
+        {
+            return Err(ConfigError::NeighborTimeoutTooShort {
+                neighbor_timeout: self.neighbor_timeout,
+                beacon_interval: self.beacon_interval,
+            });
+        }
+        self.faults.validate()
     }
 }
 
@@ -123,7 +226,8 @@ mod tests {
         assert_eq!(c.bits_per_sec, 250_000);
         assert_eq!(c.beacon_interval, SimDuration::from_millis(500));
         assert_eq!(c.mac, MacMode::Contention);
-        c.validate();
+        assert!(c.faults.is_inert());
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -134,12 +238,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss rate")]
     fn validate_rejects_bad_loss_rate() {
         let c = SimConfig {
             loss_rate: 1.5,
             ..SimConfig::default()
         };
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::LossRateOutOfRange(1.5)));
+    }
+
+    #[test]
+    fn validate_rejects_zero_max_backoffs() {
+        let c = SimConfig {
+            max_backoffs: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxBackoffs));
+    }
+
+    #[test]
+    fn validate_rejects_zero_time_limit() {
+        let c = SimConfig {
+            time_limit: SimDuration::ZERO,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTimeLimit));
+    }
+
+    #[test]
+    fn validate_rejects_short_neighbor_timeout() {
+        let c = SimConfig {
+            neighbor_timeout: SimDuration::from_millis(400),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NeighborTimeoutTooShort { .. })
+        ));
+        // A disabled beacon (zero interval) lifts the constraint.
+        let c = SimConfig {
+            beacon_interval: SimDuration::ZERO,
+            neighbor_timeout: SimDuration::ZERO,
+            oracle_neighbors: true,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plan() {
+        let c = SimConfig {
+            faults: crate::faults::FaultPlan::random_crashes(2.0, 0.0, 1.0),
+            ..SimConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::Fault(_))));
+        let errmsg = c.validate().unwrap_err().to_string();
+        assert!(errmsg.contains("fraction"), "{errmsg}");
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::NeighborTimeoutTooShort {
+            neighbor_timeout: SimDuration::from_millis(100),
+            beacon_interval: SimDuration::from_millis(500),
+        };
+        let s = e.to_string();
+        assert!(s.contains("neighbor_timeout"), "{s}");
     }
 }

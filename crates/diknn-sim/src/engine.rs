@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::{MacMode, SimConfig};
 use crate::energy::{EnergyMeter, TrafficClass};
+use crate::faults::LinkLossModel;
 use crate::ids::{NodeId, TimerId, TxId};
 use crate::neighbors::{Neighbor, NeighborTable};
 use crate::stats::SimStats;
@@ -104,8 +105,16 @@ struct ActiveTx {
 enum EventKind {
     MacAttempt(TxId),
     TxEnd(TxId),
-    Timer { node: NodeId, id: TimerId, key: u64 },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        key: u64,
+    },
     Beacon(NodeId),
+    /// Fault plan: fail-stop crash of a node.
+    Crash(NodeId),
+    /// Fault plan: a crashed node reboots.
+    Recover(NodeId),
 }
 
 #[derive(PartialEq, Eq)]
@@ -147,6 +156,13 @@ pub struct Ctx<M> {
     active: Vec<ActiveTx>,
     cancelled_timers: BTreeSet<u64>,
     stopped: bool,
+    /// Per-node liveness (fault plan); dead nodes neither tx nor rx.
+    alive: Vec<bool>,
+    /// Per-receiver Gilbert–Elliott channel state (true = Bad).
+    ge_bad: Vec<bool>,
+    /// `(time, sender)` of every transmission start, when
+    /// `SimConfig::trace_tx` is set.
+    tx_log: Vec<(SimTime, NodeId)>,
 }
 
 impl<M: Clone> Ctx<M> {
@@ -192,7 +208,7 @@ impl<M: Clone> Ctx<M> {
             let range2 = self.cfg.radio_range * self.cfg.radio_range;
             let t = self.now.as_secs_f64();
             return (0..self.mobility.len())
-                .filter(|&i| i != node.index())
+                .filter(|&i| i != node.index() && self.alive[i])
                 .filter_map(|i| {
                     let p = self.mobility[i].position_at(t);
                     (me.dist_sq(p) <= range2).then(|| Neighbor {
@@ -220,6 +236,31 @@ impl<M: Clone> Ctx<M> {
     #[inline]
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Mutable counters: protocols bump the protocol-level fault counters
+    /// (`tokens_reissued`, `query_retries`) through this.
+    #[inline]
+    pub fn stats_mut(&mut self) -> &mut SimStats {
+        &mut self.stats
+    }
+
+    /// Whether `node` is currently up (fault plan liveness).
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Number of currently-live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Transmission-start trace `(time, sender)`; empty unless
+    /// `SimConfig::trace_tx` was set.
+    #[inline]
+    pub fn tx_trace(&self) -> &[(SimTime, NodeId)] {
+        &self.tx_log
     }
 
     /// Energy meter of one node.
@@ -348,7 +389,7 @@ impl<M: Clone> Ctx<M> {
         let range2 = self.cfg.radio_range * self.cfg.radio_range;
         let t = self.now.as_secs_f64();
         (0..self.mobility.len())
-            .filter(|&i| i != from.index())
+            .filter(|&i| i != from.index() && self.alive[i])
             .filter(|&i| origin.dist_sq(self.mobility[i].position_at(t)) <= range2)
             .map(|i| (NodeId(i as u32), false))
             .collect()
@@ -361,6 +402,9 @@ impl<M: Clone> Ctx<M> {
             let p = self.pending.get(&id.0).expect("pending tx");
             (p.from, self.cfg.packet_airtime(p.payload_bytes))
         };
+        if self.cfg.trace_tx {
+            self.tx_log.push((self.now, from));
+        }
         let mut receivers = self.audible_set(from);
         if self.cfg.mac == MacMode::Contention {
             // Collision rule: a receiver hearing two overlapping
@@ -421,10 +465,12 @@ impl<P: Protocol> Simulator<P> {
     /// Build a simulator over `mobility` plans with the given protocol.
     /// `seed` fixes every random choice of the run.
     pub fn new(cfg: SimConfig, mobility: Vec<SharedMobility>, protocol: P, seed: u64) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         assert!(!mobility.is_empty(), "simulation needs at least one node");
         let n = mobility.len();
-        let ctx = Ctx {
+        let mut ctx = Ctx {
             cfg,
             mobility,
             tables: vec![NeighborTable::default(); n],
@@ -440,8 +486,56 @@ impl<P: Protocol> Simulator<P> {
             active: Vec::new(),
             cancelled_timers: BTreeSet::new(),
             stopped: false,
+            alive: vec![true; n],
+            ge_bad: vec![false; n],
+            tx_log: Vec::new(),
         };
+        Self::schedule_faults(&mut ctx, seed);
         Simulator { ctx, protocol }
+    }
+
+    /// Turn the fault plan into concrete Crash/Recover events. Random
+    /// crashes draw node choices and times from a generator derived from
+    /// the run seed but *distinct* from the event RNG, so enabling them
+    /// does not perturb MAC backoff draws of the fault-free prefix.
+    fn schedule_faults(ctx: &mut Ctx<P::Msg>, seed: u64) {
+        let plan = ctx.cfg.faults.clone();
+        let n = ctx.mobility.len();
+        let schedule_one = |ctx: &mut Ctx<P::Msg>,
+                            node: NodeId,
+                            at: SimDuration,
+                            recover_after: Option<SimDuration>| {
+            let at = SimTime::ZERO + at;
+            ctx.schedule(at, EventKind::Crash(node));
+            if let Some(r) = recover_after {
+                ctx.schedule(at + r, EventKind::Recover(node));
+            }
+        };
+        for c in &plan.crashes {
+            assert!(
+                (c.node as usize) < n,
+                "fault plan crashes node {} but the network has {n} nodes",
+                c.node
+            );
+            schedule_one(ctx, NodeId(c.node), c.at, c.recover_after);
+        }
+        if let Some(rc) = plan.random_crashes {
+            let mut frng = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_5EED_FA17);
+            let m = ((n as f64) * rc.fraction).round() as usize;
+            let m = m.min(n);
+            // Partial Fisher–Yates: the first `m` entries are a uniform
+            // sample of distinct nodes.
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            for i in 0..m {
+                let j = frng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            let (lo, hi) = (rc.from.as_nanos(), rc.until.as_nanos());
+            for &node in &ids[..m] {
+                let at = SimDuration::from_nanos(frng.gen_range(lo..=hi.max(lo)));
+                schedule_one(ctx, NodeId(node), at, rc.recover_after);
+            }
+        }
     }
 
     /// Immutable view of the run state.
@@ -550,20 +644,52 @@ impl<P: Protocol> Simulator<P> {
     fn dispatch(&mut self, kind: EventKind) -> Callback<P::Msg> {
         let ctx = &mut self.ctx;
         match kind {
+            EventKind::Crash(node) => {
+                if ctx.alive[node.index()] {
+                    ctx.alive[node.index()] = false;
+                    ctx.stats.nodes_crashed += 1;
+                }
+                Callback::None
+            }
+            EventKind::Recover(node) => {
+                // Only fail-stop crashes reboot; energy deaths are final
+                // (there is no battery left to boot with).
+                let exhausted = ctx
+                    .cfg
+                    .faults
+                    .energy_budget_j
+                    .is_some_and(|b| ctx.energy[node.index()].total_j() >= b);
+                if !ctx.alive[node.index()] && !exhausted {
+                    ctx.alive[node.index()] = true;
+                    ctx.stats.nodes_recovered += 1;
+                }
+                Callback::None
+            }
             EventKind::Beacon(node) => {
-                ctx.enqueue_frame(
-                    node,
-                    Destination::Broadcast,
-                    Frame::Beacon,
-                    ctx.cfg.beacon_bytes,
-                );
-                ctx.stats.beacons_sent += 1;
+                // A dead node stays silent but keeps its beacon slot so it
+                // resumes advertising right after a recovery.
+                if ctx.alive[node.index()] {
+                    ctx.enqueue_frame(
+                        node,
+                        Destination::Broadcast,
+                        Frame::Beacon,
+                        ctx.cfg.beacon_bytes,
+                    );
+                    ctx.stats.beacons_sent += 1;
+                }
                 let next = ctx.now + ctx.cfg.beacon_interval;
                 ctx.schedule(next, EventKind::Beacon(node));
                 Callback::None
             }
             EventKind::Timer { node, id, key } => {
                 if ctx.cancelled_timers.remove(&id.0) {
+                    Callback::None
+                } else if !ctx.alive[node.index()] {
+                    // A dead node's CPU is off: its timers never fire. (If
+                    // it recovers the timers stay lost — protocols must
+                    // tolerate that, which is what the token watchdog and
+                    // sink retry in diknn-core exist for.)
+                    ctx.stats.timers_suppressed += 1;
                     Callback::None
                 } else {
                     Callback::Timer { node, key }
@@ -573,6 +699,14 @@ impl<P: Protocol> Simulator<P> {
                 let Some(from) = ctx.pending.get(&id.0).map(|p| p.from) else {
                     return Callback::None;
                 };
+                if !ctx.alive[from.index()] {
+                    // Sender died while the frame sat in the MAC queue: the
+                    // frame vanishes. No SendFailed — a dead protocol
+                    // instance cannot react, that is the point.
+                    ctx.pending.remove(&id.0);
+                    ctx.stats.frames_dropped_dead += 1;
+                    return Callback::None;
+                }
                 if ctx.active.iter().any(|a| a.id == id) {
                     return Callback::None; // already on the air
                 }
@@ -621,6 +755,13 @@ impl<P: Protocol> Simulator<P> {
             retries,
             ..
         } = ctx.pending.remove(&id.0).expect("pending tx");
+        if !ctx.alive[from.index()] {
+            // Sender crashed mid-air: the frame is truncated garbage. No
+            // energy is charged (the crash froze the radio) and nothing is
+            // delivered or retried.
+            ctx.stats.frames_dropped_dead += 1;
+            return Callback::None;
+        }
         let class = match frame {
             Frame::Beacon => TrafficClass::Beacon,
             Frame::Proto(_) => TrafficClass::Protocol,
@@ -636,6 +777,9 @@ impl<P: Protocol> Simulator<P> {
         let header_airtime =
             SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(active.airtime);
         for &(r, corrupted) in &active.receivers {
+            if !ctx.alive[r.index()] {
+                continue; // died mid-reception: radio already off
+            }
             let rx_time = match dest {
                 Destination::Unicast(to) if r != to && !corrupted => header_airtime,
                 _ => active.airtime,
@@ -648,15 +792,74 @@ impl<P: Protocol> Simulator<P> {
             ctx.stats.tx_protocol_frames += 1;
         }
 
-        // Work out who actually got a clean copy.
+        // Energy-budget deaths: a node whose battery crossed the budget on
+        // this frame (sender or any receiver) dies permanently, before any
+        // delivery is processed.
+        if let Some(budget) = ctx.cfg.faults.energy_budget_j {
+            if ctx.alive[from.index()] && ctx.energy[from.index()].total_j() >= budget {
+                ctx.alive[from.index()] = false;
+                ctx.stats.energy_deaths += 1;
+            }
+            for &(r, _) in &active.receivers {
+                if ctx.alive[r.index()] && ctx.energy[r.index()].total_j() >= budget {
+                    ctx.alive[r.index()] = false;
+                    ctx.stats.energy_deaths += 1;
+                }
+            }
+        }
+
+        // Work out who actually got a clean copy. Per-receiver drop order:
+        // dead radio → collision corruption → jamming zone → link-loss
+        // model (uniform or Gilbert–Elliott). Receivers are visited in
+        // `receivers` order (ascending id), so every RNG draw is
+        // deterministic.
+        let t_now = ctx.now.since(SimTime::ZERO);
         let mut successes: Vec<NodeId> = Vec::with_capacity(active.receivers.len());
         for &(r, corrupted) in &active.receivers {
+            if !ctx.alive[r.index()] {
+                continue;
+            }
             if corrupted {
                 continue; // already counted in stats.collisions
             }
-            if ctx.cfg.loss_rate > 0.0 && ctx.rng.gen::<f64>() < ctx.cfg.loss_rate {
-                ctx.stats.random_losses += 1;
-                continue;
+            if !ctx.cfg.faults.jam_zones.is_empty() {
+                let pos = ctx.position(r);
+                let jam = ctx
+                    .cfg
+                    .faults
+                    .jam_zones
+                    .iter()
+                    .filter(|z| z.from <= t_now && t_now <= z.until && z.region.contains(pos))
+                    .map(|z| z.loss)
+                    .fold(0.0_f64, f64::max);
+                if jam > 0.0 && ctx.rng.gen::<f64>() < jam {
+                    ctx.stats.frames_jammed += 1;
+                    continue;
+                }
+            }
+            match ctx.cfg.faults.link_loss {
+                LinkLossModel::Uniform => {
+                    if ctx.cfg.loss_rate > 0.0 && ctx.rng.gen::<f64>() < ctx.cfg.loss_rate {
+                        ctx.stats.random_losses += 1;
+                        continue;
+                    }
+                }
+                LinkLossModel::GilbertElliott(ge) => {
+                    // Step this receiver's two-state chain, then draw the
+                    // loss for the resulting state.
+                    let bad = &mut ctx.ge_bad[r.index()];
+                    let flip = ctx.rng.gen::<f64>();
+                    *bad = if *bad {
+                        flip >= ge.p_bg
+                    } else {
+                        flip < ge.p_gb
+                    };
+                    let p = if *bad { ge.bad_loss } else { ge.good_loss };
+                    if p > 0.0 && ctx.rng.gen::<f64>() < p {
+                        ctx.stats.burst_losses += 1;
+                        continue;
+                    }
+                }
             }
             successes.push(r);
         }

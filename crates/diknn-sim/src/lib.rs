@@ -64,13 +64,17 @@
 pub mod config;
 pub mod energy;
 mod engine;
+pub mod faults;
 mod ids;
 pub mod neighbors;
 mod stats;
 pub mod time;
 
-pub use config::{MacMode, SimConfig};
+pub use config::{ConfigError, MacMode, SimConfig};
 pub use engine::{Ctx, Destination, Protocol, SharedMobility, Simulator};
+pub use faults::{
+    CrashSpec, FaultPlan, FaultRegion, GilbertElliott, JamZone, LinkLossModel, RandomCrashes,
+};
 pub use ids::{NodeId, TimerId};
 pub use neighbors::Neighbor;
 pub use stats::SimStats;

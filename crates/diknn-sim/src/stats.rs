@@ -30,6 +30,30 @@ pub struct SimStats {
     pub beacons_sent: u64,
     /// Total events processed by the engine.
     pub events: u64,
+
+    // ----- fault injection (see `crate::faults`) ------------------------
+    /// Fail-stop crashes executed (scheduled + random; excludes energy
+    /// deaths).
+    pub nodes_crashed: u64,
+    /// Crashed nodes that rebooted.
+    pub nodes_recovered: u64,
+    /// Nodes that died by exhausting their energy budget.
+    pub energy_deaths: u64,
+    /// Receptions dropped inside an active jamming zone.
+    pub frames_jammed: u64,
+    /// Receptions dropped by the Gilbert–Elliott bursty-loss chain.
+    pub burst_losses: u64,
+    /// Frames silently discarded because their sender was dead at
+    /// transmission time.
+    pub frames_dropped_dead: u64,
+    /// Protocol timers that came due at a dead node and were suppressed.
+    pub timers_suppressed: u64,
+    /// Itinerary tokens re-issued by the token-loss watchdog
+    /// (protocol-level; incremented via [`crate::Ctx::stats_mut`]).
+    pub tokens_reissued: u64,
+    /// Whole-query retries issued by a sink after a silent timeout
+    /// (protocol-level).
+    pub query_retries: u64,
 }
 
 #[cfg(test)]

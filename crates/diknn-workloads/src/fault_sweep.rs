@@ -1,0 +1,102 @@
+//! Pre-packaged fault-sweep cells: how each protocol degrades under node
+//! churn and bursty links.
+//!
+//! The sweep axes mirror the robustness questions the paper's §5 leaves
+//! open: DIKNN's itinerary is a single travelling token per sector, so a
+//! crashed carrier or a loss burst on the handoff link can silently kill a
+//! sector. These helpers build the [`FaultPlan`]s the `fault_sweep` bench
+//! binary (and the acceptance tests) sweep over; the recovery machinery
+//! under test is the token watchdog + sink retry in `diknn-core`.
+
+use diknn_sim::{FaultPlan, GilbertElliott, LinkLossModel};
+
+/// One point of a fault sweep: the x-axis value plus the plan it installs.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// Swept parameter (crash fraction or burst severity).
+    pub x: f64,
+    pub plan: FaultPlan,
+}
+
+/// Window (as fractions of the run) in which scheduled crashes land: the
+/// middle of the run, so queries exist both before and after the churn.
+const CRASH_WINDOW: (f64, f64) = (0.2, 0.8);
+
+/// Fail-stop crash sweep: for each `fraction`, a plan that crashes that
+/// share of nodes (uniformly inside the middle of a `duration`-second run,
+/// no recovery). `0.0` yields the inert plan.
+pub fn crash_cells(fractions: &[f64], duration: f64) -> Vec<FaultCell> {
+    fractions
+        .iter()
+        .map(|&f| FaultCell {
+            x: f,
+            plan: if f > 0.0 {
+                FaultPlan::random_crashes(f, CRASH_WINDOW.0 * duration, CRASH_WINDOW.1 * duration)
+            } else {
+                FaultPlan::default()
+            },
+        })
+        .collect()
+}
+
+/// Bursty-link sweep: Gilbert–Elliott loss of growing `severity` in
+/// `[0, 1]`. `0.0` yields the inert plan (Bernoulli loss from the
+/// `SimConfig` stays in charge).
+pub fn burst_cells(severities: &[f64]) -> Vec<FaultCell> {
+    severities
+        .iter()
+        .map(|&s| FaultCell {
+            x: s,
+            plan: if s > 0.0 {
+                FaultPlan::bursty(s)
+            } else {
+                FaultPlan::default()
+            },
+        })
+        .collect()
+}
+
+/// The combined stress plan used by the acceptance tests: 20% of nodes
+/// crash mid-run *and* links burst at half severity. Under this plan every
+/// query must still terminate with a (possibly degraded) status.
+pub fn churn_and_bursts(duration: f64) -> FaultPlan {
+    let mut plan =
+        FaultPlan::random_crashes(0.2, CRASH_WINDOW.0 * duration, CRASH_WINDOW.1 * duration);
+    plan.link_loss = LinkLossModel::GilbertElliott(GilbertElliott::with_severity(0.5));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_points_are_inert() {
+        let cells = crash_cells(&[0.0, 0.2], 100.0);
+        assert!(cells[0].plan.is_inert());
+        assert!(!cells[1].plan.is_inert());
+        let cells = burst_cells(&[0.0, 0.5]);
+        assert!(cells[0].plan.is_inert());
+        assert!(!cells[1].plan.is_inert());
+    }
+
+    #[test]
+    fn plans_validate() {
+        for c in crash_cells(&[0.0, 0.1, 0.3], 60.0) {
+            c.plan.validate().expect("crash plan");
+        }
+        for c in burst_cells(&[0.0, 0.5, 1.0]) {
+            c.plan.validate().expect("burst plan");
+        }
+        churn_and_bursts(60.0).validate().expect("combined plan");
+    }
+
+    #[test]
+    fn crash_window_sits_inside_the_run() {
+        let cells = crash_cells(&[0.25], 50.0);
+        let rc = cells[0].plan.random_crashes.as_ref().expect("spec");
+        assert!(rc.from.as_secs_f64() >= 0.0);
+        assert!(rc.until.as_secs_f64() <= 50.0);
+        assert!(rc.from < rc.until);
+    }
+}

@@ -13,6 +13,8 @@
 //!   rate, averaged over seeded runs.
 //! * [`Experiment`] / [`ProtocolKind`] — the driver that runs any of the
 //!   four protocols (DIKNN, KPT+KNNB, Peer-tree, Flood) over a scenario.
+//! * [`fault_sweep`] — packaged fault-plan sweeps (node churn, bursty
+//!   links) for the robustness experiments.
 //!
 //! # Example
 //!
@@ -35,14 +37,16 @@
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
 
+pub mod fault_sweep;
 mod metrics;
 mod oracle;
 mod runner;
 mod scenario;
 pub mod workload;
 
-pub use metrics::{Aggregate, RunMetrics, Stat};
+pub use fault_sweep::FaultCell;
+pub use metrics::{status_index, Aggregate, RunMetrics, Stat};
 pub use oracle::GroundTruth;
-pub use runner::{run_protocol_once, Experiment, ProtocolKind};
+pub use runner::{run_protocol_once, run_protocol_once_faulted, Experiment, ProtocolKind};
 pub use scenario::{HerdSetup, PlacementKind, ScenarioConfig};
 pub use workload::WorkloadConfig;

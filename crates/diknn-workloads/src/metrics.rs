@@ -2,7 +2,7 @@
 //! quantities (§5.1): query latency, energy consumption, pre-/post-
 //! accuracy — plus completion rate and traffic diagnostics.
 
-use diknn_core::QueryOutcome;
+use diknn_core::{QueryOutcome, QueryStatus};
 use diknn_sim::SimStats;
 
 use crate::oracle::GroundTruth;
@@ -31,6 +31,29 @@ pub struct RunMetrics {
     pub tx_frames: u64,
     /// Receptions destroyed by collisions.
     pub collisions: u64,
+    /// Queries per termination status: `[completed, partial-timeout,
+    /// token-lost, sink-unreachable, pending]` (see
+    /// [`diknn_core::QueryStatus`]). `pending` should be 0 after
+    /// [`diknn_core::KnnProtocol::finish`]; a nonzero count flags a bug.
+    pub status_counts: [usize; 5],
+    /// Itinerary tokens re-issued by the token-loss watchdog.
+    pub tokens_reissued: u64,
+    /// Whole-query retries launched by sinks after silent timeouts.
+    pub query_retries: u64,
+    /// Nodes lost during the run (crashes plus energy deaths, minus
+    /// recoveries).
+    pub nodes_failed: u64,
+}
+
+/// Index of a [`QueryStatus`] in [`RunMetrics::status_counts`].
+pub fn status_index(s: QueryStatus) -> usize {
+    match s {
+        QueryStatus::Completed => 0,
+        QueryStatus::PartialTimeout => 1,
+        QueryStatus::TokenLost => 2,
+        QueryStatus::SinkUnreachable => 3,
+        QueryStatus::Pending => 4,
+    }
 }
 
 impl RunMetrics {
@@ -48,9 +71,11 @@ impl RunMetrics {
         let mut post_sum = 0.0;
         let mut radius_sum = 0.0;
         let mut explored_sum = 0.0;
+        let mut status_counts = [0usize; 5];
         for o in outcomes {
             radius_sum += o.boundary_radius;
             explored_sum += o.explored_nodes as f64;
+            status_counts[status_index(o.status)] += 1;
             if let Some(done) = o.completed_at {
                 completed += 1;
                 latency_sum += (done - o.issued_at).as_secs_f64();
@@ -74,7 +99,19 @@ impl RunMetrics {
             explored: explored_sum / qn,
             tx_frames: stats.tx_protocol_frames,
             collisions: stats.collisions,
+            status_counts,
+            tokens_reissued: stats.tokens_reissued,
+            query_retries: stats.query_retries,
+            nodes_failed: (stats.nodes_crashed + stats.energy_deaths)
+                .saturating_sub(stats.nodes_recovered),
         }
+    }
+
+    /// Fraction of queries that ended with a degraded (non-completed)
+    /// status.
+    pub fn degraded_rate(&self) -> f64 {
+        let degraded: usize = self.status_counts[1..].iter().sum();
+        degraded as f64 / self.queries.max(1) as f64
     }
 }
 
@@ -117,6 +154,14 @@ pub struct Aggregate {
     pub completion_rate: Stat,
     pub boundary_radius_m: Stat,
     pub explored: Stat,
+    /// Fraction of queries per run that ended degraded (non-completed).
+    pub degraded_rate: Stat,
+    /// Watchdog token re-issues per run.
+    pub tokens_reissued: Stat,
+    /// Sink-side whole-query retries per run.
+    pub query_retries: Stat,
+    /// Nodes lost per run (crashes + energy deaths − recoveries).
+    pub nodes_failed: Stat,
 }
 
 impl Aggregate {
@@ -133,6 +178,10 @@ impl Aggregate {
             ),
             boundary_radius_m: stat(runs.iter().map(|r| r.boundary_radius_m)),
             explored: stat(runs.iter().map(|r| r.explored)),
+            degraded_rate: stat(runs.iter().map(|r| r.degraded_rate())),
+            tokens_reissued: stat(runs.iter().map(|r| r.tokens_reissued as f64)),
+            query_retries: stat(runs.iter().map(|r| r.query_retries as f64)),
+            nodes_failed: stat(runs.iter().map(|r| r.nodes_failed as f64)),
         }
     }
 }
@@ -153,7 +202,18 @@ mod tests {
             explored: 42.0,
             tx_frames: 100,
             collisions: 5,
+            status_counts: [9, 1, 0, 0, 0],
+            tokens_reissued: 0,
+            query_retries: 0,
+            nodes_failed: 0,
         }
+    }
+
+    #[test]
+    fn degraded_rate_counts_non_completed() {
+        let mut m = rm(1.0, 0.4);
+        m.status_counts = [6, 2, 1, 1, 0];
+        assert!((m.degraded_rate() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -165,6 +225,8 @@ mod tests {
         // Sample std of {1, 2} = 0.7071…
         assert!((agg.latency_s.std - 0.707).abs() < 1e-3);
         assert!((agg.completion_rate.mean - 0.9).abs() < 1e-12);
+        assert!((agg.degraded_rate.mean - 0.1).abs() < 1e-12);
+        assert_eq!(agg.tokens_reissued.mean, 0.0);
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct Experiment {
     /// Overrides applied to the scenario's [`SimConfig`] (e.g. loss rate);
     /// `None` keeps the scenario defaults.
     pub sim_tweak: Option<fn(&mut SimConfig)>,
+    /// Fault-injection plan installed into the [`SimConfig`] (crashes,
+    /// bursty loss, jamming, energy budgets); `None` keeps the scenario's
+    /// (inert) plan. Applied after `sim_tweak`.
+    pub fault_plan: Option<diknn_sim::FaultPlan>,
 }
 
 impl Experiment {
@@ -53,6 +57,7 @@ impl Experiment {
             scenario,
             workload,
             sim_tweak: None,
+            fault_plan: None,
         }
     }
 
@@ -75,6 +80,9 @@ impl Experiment {
         let mut sim_cfg = scenario.sim_config();
         if let Some(tweak) = self.sim_tweak {
             tweak(&mut sim_cfg);
+        }
+        if let Some(plan) = &self.fault_plan {
+            sim_cfg.faults = plan.clone();
         }
         match &self.protocol {
             ProtocolKind::Diknn(cfg) => execute(
@@ -139,9 +147,12 @@ where
     // as a long-running network would be.
     sim.warm_neighbor_tables();
     sim.run();
-    let energy = sim.ctx().total_protocol_energy_j();
-    let stats = *sim.ctx().stats();
-    RunMetrics::compute(sim.protocol().outcomes(), &stats, energy, oracle)
+    let (mut protocol, ctx) = sim.into_parts();
+    // Classify queries that never finalised (dead sink, suppressed timer).
+    protocol.finish(&ctx);
+    let energy = ctx.total_protocol_energy_j();
+    let stats = *ctx.stats();
+    RunMetrics::compute(protocol.outcomes(), &stats, energy, oracle)
 }
 
 /// Convenience used by tests and benches: run all requests and return the
@@ -151,6 +162,17 @@ pub fn run_protocol_once(
     scenario: &ScenarioConfig,
     requests: Vec<QueryRequest>,
     seed: u64,
+) -> (Vec<diknn_core::QueryOutcome>, f64) {
+    run_protocol_once_faulted(protocol, scenario, requests, seed, None)
+}
+
+/// [`run_protocol_once`] with a fault plan installed into the simulation.
+pub fn run_protocol_once_faulted(
+    protocol: ProtocolKind,
+    scenario: &ScenarioConfig,
+    requests: Vec<QueryRequest>,
+    seed: u64,
+    fault_plan: Option<diknn_sim::FaultPlan>,
 ) -> (Vec<diknn_core::QueryOutcome>, f64) {
     let mut scenario = scenario.clone();
     match &protocol {
@@ -163,14 +185,19 @@ pub fn run_protocol_once(
         _ => {}
     }
     let plans = scenario.build(seed);
-    let sim_cfg = scenario.sim_config();
+    let mut sim_cfg = scenario.sim_config();
+    if let Some(plan) = fault_plan {
+        sim_cfg.faults = plan;
+    }
     macro_rules! go {
         ($p:expr) => {{
             let mut sim = Simulator::new(sim_cfg, plans, $p, seed);
             sim.warm_neighbor_tables();
             sim.run();
-            let e = sim.ctx().total_protocol_energy_j();
-            (sim.protocol().outcomes().to_vec(), e)
+            let (mut proto, ctx) = sim.into_parts();
+            proto.finish(&ctx);
+            let e = ctx.total_protocol_energy_j();
+            (proto.outcomes().to_vec(), e)
         }};
     }
     match protocol {
