@@ -8,7 +8,7 @@ use diknn_baselines::{Flood, FloodConfig, Kpt, KptBoundary, KptConfig, PeerTree,
 use diknn_core::{KnnProtocol, QueryRequest};
 use diknn_geom::{Point, Rect};
 use diknn_mobility::{placement, RandomWaypoint, RwpConfig, StaticMobility};
-use diknn_sim::{NodeId, Protocol, SharedMobility, SimConfig, SimDuration, Simulator};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator, TraceConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -51,11 +51,12 @@ fn accuracy(answer: &[NodeId], truth: &[usize]) -> f64 {
 fn sim_config(seconds: f64) -> SimConfig {
     SimConfig {
         time_limit: SimDuration::from_secs_f64(seconds),
+        trace: TraceConfig::enabled(),
         ..SimConfig::default()
     }
 }
 
-fn run_protocol<P: Protocol>(
+fn run_protocol<P: KnnProtocol>(
     nodes: Vec<SharedMobility>,
     protocol: P,
     seed: u64,
@@ -64,6 +65,11 @@ fn run_protocol<P: Protocol>(
     let mut sim = Simulator::new(sim_config(seconds), nodes, protocol, seed);
     sim.warm_neighbor_tables();
     sim.run();
+    // Classify anything still pending and replay the flight-recorder trace
+    // against the protocol laws before any assertion looks at metrics.
+    let (proto, ctx) = sim.split_mut();
+    proto.finish(ctx);
+    diknn_workloads::invariants::assert_clean(ctx.trace(), proto.outcomes());
     sim
 }
 

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::{angle, Point, Polyline};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
-use diknn_sim::{Ctx, NodeId, Protocol, SimDuration, SimTime, TimerId};
+use diknn_sim::{Ctx, NodeId, ProtoEvent, Protocol, SimDuration, SimTime, TimerId};
 use rand::Rng;
 
 use crate::candidates::{Candidate, CandidateSet};
@@ -273,6 +273,17 @@ impl Diknn {
                 ctx.cancel_timer(old.timer);
             }
         }
+        ctx.record_proto(
+            from,
+            ProtoEvent::TokenHandoff {
+                qid: token.spec.qid,
+                attempt: token.spec.attempt,
+                sector: token.sector,
+                epoch: token.epoch,
+                to,
+                frontier: token.frontier,
+            },
+        );
         self.send(ctx, from, to, DiknnMsg::Token(Box::new(token)));
     }
 
@@ -324,6 +335,14 @@ impl Diknn {
             req.sink,
             SimDuration::from_secs_f64(self.cfg.sink_timeout),
             key(K_SINK_TIMEOUT, qid, 0),
+        );
+        ctx.record_proto(
+            req.sink,
+            ProtoEvent::QueryIssued {
+                qid,
+                attempt: 0,
+                k: spec.k,
+            },
         );
         let msg = QueryMsg {
             spec,
@@ -414,6 +433,14 @@ impl Diknn {
         let field = ctx.config().field;
         let max_r = (field.width().powi(2) + field.height().powi(2)).sqrt();
         let radius = boundary.radius.clamp(self.radio_range * 0.5, max_r);
+        ctx.record_proto(
+            home,
+            ProtoEvent::BoundaryEstimated {
+                qid: spec.qid,
+                attempt: spec.attempt,
+                radius,
+            },
+        );
         if let Some(o) = self.outcomes.get_mut(spec.qid as usize) {
             o.boundary_radius = radius;
             o.final_radius = radius;
@@ -593,6 +620,16 @@ impl Diknn {
                         ExtendReason::Assurance => token.assured = true,
                         ExtendReason::UnderCount => token.explored_at_extend = Some(token.explored),
                     }
+                    ctx.record_proto(
+                        at,
+                        ProtoEvent::BoundaryExtended {
+                            qid,
+                            attempt: token.spec.attempt,
+                            sector,
+                            old_radius: token.itin.radius,
+                            new_radius: r,
+                        },
+                    );
                     token.itin.radius = r;
                     poly = self.polyline_for(&token);
                 }
@@ -770,6 +807,15 @@ impl Diknn {
     }
 
     fn finish_sector(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: SectorToken) {
+        ctx.record_proto(
+            at,
+            ProtoEvent::SectorFinished {
+                qid: token.spec.qid,
+                attempt: token.spec.attempt,
+                sector: token.sector,
+                epoch: token.epoch,
+            },
+        );
         // The traversal is over; any watchdog still watching a handoff of
         // this sector is moot.
         if let Some(w) = self.watchdogs.remove(&(token.spec.qid, token.sector)) {
@@ -890,13 +936,22 @@ impl Diknn {
             state.explored += msg.explored;
             state.last_merge_at = ctx.now();
         }
-        if state.returned >= state.expected {
-            self.finalize(ctx.now(), qid, false);
+        let done = state.returned >= state.expected;
+        ctx.record_proto(
+            at,
+            ProtoEvent::SinkMerge {
+                qid,
+                attempt: msg.spec.attempt,
+                sector: msg.sector,
+            },
+        );
+        if done {
+            self.finalize(ctx, qid, false);
         }
     }
 
     /// Complete a query: all parts arrived, or the sink timeout fired.
-    fn finalize(&mut self, now: SimTime, qid: u32, timed_out: bool) {
+    fn finalize(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32, timed_out: bool) {
         let Some(state) = self.sinks.get_mut(&qid) else {
             return;
         };
@@ -913,7 +968,11 @@ impl Diknn {
         if state.returned > 0 {
             // Completion moment: when the last merged partial arrived (the
             // timeout itself is bookkeeping, not protocol traffic).
-            outcome.completed_at = Some(if timed_out { state.last_merge_at } else { now });
+            outcome.completed_at = Some(if timed_out {
+                state.last_merge_at
+            } else {
+                ctx.now()
+            });
         }
         outcome.status = if state.returned >= state.expected {
             QueryStatus::Completed
@@ -922,6 +981,14 @@ impl Diknn {
         } else {
             QueryStatus::TokenLost
         };
+        ctx.record_proto(
+            outcome.sink,
+            ProtoEvent::QueryDone {
+                qid,
+                status: outcome.status.label(),
+                answer: outcome.answer.clone(),
+            },
+        );
         // Drop any recovery state still alive for this query; pending
         // watchdog timers become harmless no-ops without their entries.
         self.watchdogs.retain(|&(q, _), _| q != qid);
@@ -942,7 +1009,7 @@ impl Diknn {
         if retry {
             self.retry_query(ctx, at, qid);
         } else {
-            self.finalize(ctx.now(), qid, true);
+            self.finalize(ctx, qid, true);
         }
     }
 
@@ -990,6 +1057,14 @@ impl Diknn {
             SimDuration::from_secs_f64(self.cfg.sink_timeout),
             key(K_SINK_TIMEOUT, qid, attempt as u32),
         );
+        ctx.record_proto(
+            at,
+            ProtoEvent::QueryIssued {
+                qid,
+                attempt,
+                k: spec.k,
+            },
+        );
         let msg = QueryMsg {
             spec,
             gpsr: GpsrHeader::new(q),
@@ -1036,6 +1111,15 @@ impl Diknn {
         self.token_epochs
             .insert((qid, token.spec.attempt, sector), token.epoch);
         ctx.stats_mut().tokens_reissued += 1;
+        ctx.record_proto(
+            at,
+            ProtoEvent::TokenReissued {
+                qid,
+                attempt: token.spec.attempt,
+                sector,
+                epoch: token.epoch,
+            },
+        );
         // The silent successor is suspect — avoid re-selecting it.
         self.token_excludes
             .entry((qid, sector))
@@ -1202,6 +1286,17 @@ impl Protocol for Diknn {
                     position: r.position,
                     dist: r.position.dist(coll.token.spec.q),
                 };
+                ctx.record_proto(
+                    at,
+                    ProtoEvent::CandidateHeard {
+                        qid: r.qid,
+                        attempt: coll.token.spec.attempt,
+                        sector: r.sector,
+                        responder: r.responder,
+                        dist: cand.dist,
+                        radius: coll.token.itin.radius,
+                    },
+                );
                 if !coll.heard.contains(&r.responder) {
                     coll.heard.push(r.responder);
                     if ckey.1 == BOOTSTRAP {

@@ -1,0 +1,66 @@
+//! Protocol-side plumbing for the flight recorder (see `diknn_sim::trace`).
+//!
+//! The simulator owns the event stream; protocol implementations emit their
+//! trace points through the [`TraceSink`] trait so the same instrumented
+//! code path serves both a live [`Ctx`] (events land in the simulator's
+//! ring buffer, interleaved with radio/fault events) and simulator-free
+//! unit tests (a [`VecSink`] captures them for direct assertions).
+
+use diknn_sim::{Ctx, NodeId, ProtoEvent};
+
+/// A consumer of protocol-level trace events.
+pub trait TraceSink {
+    /// Record that `ev` happened at `node` "now" (the sink supplies the
+    /// clock — the simulator stamps its current time).
+    fn proto_event(&mut self, node: NodeId, ev: ProtoEvent);
+}
+
+impl<M: Clone> TraceSink for Ctx<M> {
+    fn proto_event(&mut self, node: NodeId, ev: ProtoEvent) {
+        self.record_proto(node, ev);
+    }
+}
+
+/// A capturing sink for simulator-free tests.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    pub events: Vec<(NodeId, ProtoEvent)>,
+}
+
+impl TraceSink for VecSink {
+    fn proto_event(&mut self, node: NodeId, ev: ProtoEvent) {
+        self.events.push((node, ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_captures_in_order() {
+        let mut sink = VecSink::default();
+        sink.proto_event(
+            NodeId(1),
+            ProtoEvent::QueryIssued {
+                qid: 0,
+                attempt: 0,
+                k: 3,
+            },
+        );
+        sink.proto_event(
+            NodeId(2),
+            ProtoEvent::SinkMerge {
+                qid: 0,
+                attempt: 0,
+                sector: 1,
+            },
+        );
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].0, NodeId(1));
+        assert!(matches!(
+            sink.events[1].1,
+            ProtoEvent::SinkMerge { sector: 1, .. }
+        ));
+    }
+}

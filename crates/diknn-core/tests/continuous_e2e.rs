@@ -6,9 +6,17 @@ use std::sync::Arc;
 use diknn_core::{ContinuousKnn, DiknnConfig, KnnProtocol, MonitorRequest};
 use diknn_geom::{Point, Rect};
 use diknn_mobility::{placement, RandomWaypoint, RwpConfig, StaticMobility};
-use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator, TraceConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Classify still-pending rounds, then replay the recorded trace against
+/// all protocol laws. Call after every `sim.run()`.
+fn finish_and_check<P: KnnProtocol>(sim: &mut Simulator<P>) {
+    let (proto, ctx) = sim.split_mut();
+    proto.finish(ctx);
+    diknn_workloads::invariants::assert_clean(ctx.trace(), proto.outcomes());
+}
 
 const FIELD: Rect = Rect {
     min_x: 0.0,
@@ -46,6 +54,7 @@ fn run_monitor(speed: f64, seed: u64) -> (usize, usize, f64) {
     };
     let cfg = SimConfig {
         time_limit: SimDuration::from_secs_f64(60.0),
+        trace: TraceConfig::enabled(),
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(
@@ -56,6 +65,7 @@ fn run_monitor(speed: f64, seed: u64) -> (usize, usize, f64) {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let completed = sim
         .protocol()
         .outcomes()
@@ -108,6 +118,7 @@ fn first_round_delta_is_the_full_answer() {
     };
     let cfg = SimConfig {
         time_limit: SimDuration::from_secs_f64(30.0),
+        trace: TraceConfig::enabled(),
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(
@@ -118,6 +129,7 @@ fn first_round_delta_is_the_full_answer() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let proto = sim.protocol_mut();
     let deltas = proto.deltas().to_vec();
     let first = &deltas[0];

@@ -1,14 +1,26 @@
 //! End-to-end DIKNN runs over the simulator: accuracy against exact ground
-//! truth, mobility behaviour, configuration variants, determinism.
+//! truth, mobility behaviour, configuration variants, determinism. Every
+//! run records a flight-recorder trace and is replayed against the
+//! protocol invariants (`diknn_workloads::invariants`) before any metric
+//! assertion — a wrong-but-lucky execution fails here even if the answer
+//! happens to be accurate.
 
 use std::sync::Arc;
 
 use diknn_core::{CollectionScheme, Diknn, DiknnConfig, KnnProtocol, QueryRequest};
 use diknn_geom::{Point, Rect};
 use diknn_mobility::{placement, RandomWaypoint, RwpConfig, StaticMobility};
-use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator, TraceConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Classify still-pending queries, then replay the recorded trace against
+/// all protocol laws. Call after every `sim.run()`.
+fn finish_and_check<P: KnnProtocol>(sim: &mut Simulator<P>) {
+    let (proto, ctx) = sim.split_mut();
+    proto.finish(ctx);
+    diknn_workloads::invariants::assert_clean(ctx.trace(), proto.outcomes());
+}
 
 const FIELD: Rect = Rect {
     min_x: 0.0,
@@ -67,6 +79,7 @@ fn accuracy(answer: &[NodeId], truth: &[usize]) -> f64 {
 fn sim_config(seconds: f64) -> SimConfig {
     SimConfig {
         time_limit: SimDuration::from_secs_f64(seconds),
+        trace: TraceConfig::enabled(),
         ..SimConfig::default()
     }
 }
@@ -90,6 +103,7 @@ fn static_network_high_accuracy() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     assert!(o.completed_at.is_some(), "query never completed");
     let truth = exact_knn(&pts, q, k, None);
@@ -117,6 +131,7 @@ fn several_queries_static_accuracy_above_90_percent() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let outcomes = sim.protocol().outcomes();
     assert_eq!(outcomes.len(), 5);
     let mut accs = Vec::new();
@@ -146,6 +161,7 @@ fn latency_is_subsecond_scale_on_static_network() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     let lat = o.latency().expect("completed");
     // The paper reports DIKNN latencies of roughly 0.5–2 s for k up to 100;
@@ -174,6 +190,7 @@ fn mobile_network_still_answers_with_good_accuracy() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     assert!(o.completed_at.is_some(), "mobile query never completed");
     // Post-accuracy: ground truth at completion time.
@@ -202,6 +219,7 @@ fn deterministic_outcomes_per_seed() {
         );
         sim.warm_neighbor_tables();
         sim.run();
+        finish_and_check(&mut sim);
         let o = &sim.protocol().outcomes()[0];
         (o.answer.clone(), o.completed_at, o.boundary_radius)
     };
@@ -229,6 +247,7 @@ fn boundary_radius_grows_with_k() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let radii: Vec<f64> = sim
         .protocol()
         .outcomes()
@@ -260,6 +279,7 @@ fn all_collection_schemes_work() {
         let mut sim = Simulator::new(sim_config(30.0), mob, Diknn::new(cfg, vec![req]), 77);
         sim.warm_neighbor_tables();
         sim.run();
+        finish_and_check(&mut sim);
         let o = &sim.protocol().outcomes()[0];
         assert!(
             o.completed_at.is_some(),
@@ -288,6 +308,7 @@ fn rendezvous_off_still_completes() {
     let mut sim = Simulator::new(sim_config(30.0), mob, Diknn::new(cfg, vec![req]), 88);
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     assert!(o.completed_at.is_some());
     let truth = exact_knn(&pts, q, 15, None);
@@ -312,6 +333,7 @@ fn different_sector_counts_work() {
         let mut sim = Simulator::new(sim_config(40.0), mob, Diknn::new(cfg, vec![req]), 101);
         sim.warm_neighbor_tables();
         sim.run();
+        finish_and_check(&mut sim);
         let o = &sim.protocol().outcomes()[0];
         assert!(o.completed_at.is_some(), "S={sectors}: incomplete");
         let truth = exact_knn(&pts, q, 10, None);
@@ -340,6 +362,7 @@ fn query_at_field_corner_completes() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     assert!(o.completed_at.is_some(), "corner query never completed");
     let truth = exact_knn(&pts, q, 10, None);
@@ -364,6 +387,7 @@ fn packet_loss_degrades_gracefully() {
     let mut sim = Simulator::new(cfg, mob, Diknn::new(DiknnConfig::default(), vec![req]), 131);
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let o = &sim.protocol().outcomes()[0];
     // Under 15% loss the query should still complete (ARQ + timeout), with
     // possibly reduced accuracy — but never a crash or hang.
@@ -391,6 +415,7 @@ fn energy_and_traffic_are_attributed_to_protocol() {
     );
     sim.warm_neighbor_tables();
     sim.run();
+    finish_and_check(&mut sim);
     let e = sim.ctx().total_protocol_energy_j();
     assert!(e > 0.0, "no protocol energy recorded");
     assert!(e < 5.0, "energy {e} J out of scale for one query");
@@ -415,6 +440,7 @@ fn larger_k_costs_more_energy_and_latency() {
         );
         sim.warm_neighbor_tables();
         sim.run();
+        finish_and_check(&mut sim);
         let o = &sim.protocol().outcomes()[0];
         (
             o.latency().unwrap_or(f64::INFINITY),

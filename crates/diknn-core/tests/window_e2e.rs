@@ -5,7 +5,7 @@ use std::sync::Arc;
 use diknn_core::{WindowQuery, WindowRequest};
 use diknn_geom::{Point, Rect};
 use diknn_mobility::{placement, StaticMobility};
-use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator};
+use diknn_sim::{NodeId, SharedMobility, SimConfig, SimDuration, Simulator, TraceConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -29,11 +29,15 @@ fn run_window(window: Rect, seed: u64) -> (Vec<NodeId>, Vec<Point>, Option<f64>)
     };
     let cfg = SimConfig {
         time_limit: SimDuration::from_secs_f64(30.0),
+        trace: TraceConfig::enabled(),
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(cfg, mob, WindowQuery::new(vec![req]), seed);
     sim.warm_neighbor_tables();
     sim.run();
+    // `WindowQuery` has its own outcome type, so only the engine-level
+    // laws (dead silence, energy monotonicity, trace completeness) apply.
+    diknn_workloads::invariants::assert_clean(sim.ctx().trace(), &[]);
     let o = &sim.protocol().outcomes()[0];
     (
         o.members.iter().map(|c| c.id).collect(),

@@ -1,0 +1,202 @@
+//! Perimeter-mode edge cases: degenerate geometry into the planarizer and
+//! full greedy→perimeter→greedy recovery walks over explicit topologies.
+//!
+//! `routing_paths.rs` covers random connected networks statistically; the
+//! point here is *constructed* worst cases — collinear and duplicate
+//! points (witness exactly on the Gabriel circle), a concave wall that
+//! forces a face walk, and a ring around an unreachable destination.
+
+use diknn_geom::Point;
+use diknn_routing::{gabriel_neighbors, plan_next_hop, GpsrHeader, GpsrMode, RouteStep};
+use diknn_sim::{Neighbor, NodeId, SimTime};
+
+const RADIO_RANGE: f64 = 15.0;
+
+fn nb(id: u32, x: f64, y: f64) -> Neighbor {
+    Neighbor {
+        id: NodeId(id),
+        position: Point::new(x, y),
+        speed: 0.0,
+        heard_at: SimTime::ZERO,
+    }
+}
+
+// ---------- planarization degeneracies --------------------------------
+
+#[test]
+fn collinear_witness_drops_the_far_edge() {
+    // u, w, v collinear: w sits strictly inside the circle over (u, v),
+    // so only the near edge survives — the face walk never shortcuts
+    // across a node it should route through.
+    let u = Point::ORIGIN;
+    let far = nb(1, 10.0, 0.0);
+    let near = nb(2, 5.0, 0.0);
+    let nbs = vec![&far, &near];
+    let ids: Vec<u32> = gabriel_neighbors(u, &nbs).iter().map(|n| n.id.0).collect();
+    assert_eq!(ids, vec![2]);
+}
+
+#[test]
+fn collinear_chain_keeps_only_nearest() {
+    let u = Point::ORIGIN;
+    let a = nb(1, 4.0, 0.0);
+    let b = nb(2, 8.0, 0.0);
+    let c = nb(3, 12.0, 0.0);
+    let nbs = vec![&a, &b, &c];
+    let ids: Vec<u32> = gabriel_neighbors(u, &nbs).iter().map(|n| n.id.0).collect();
+    assert_eq!(ids, vec![1], "chain must planarize to the nearest link");
+}
+
+#[test]
+fn duplicate_point_neighbors_both_survive() {
+    // Two beacons claiming the same position (stale table during a crash
+    // + re-placement): the duplicate witness lies exactly ON the circle
+    // (|mw| = radius), the strict criterion keeps both, and ties stay
+    // deterministic downstream via the id order.
+    let u = Point::ORIGIN;
+    let a = nb(1, 5.0, 5.0);
+    let b = nb(2, 5.0, 5.0);
+    let nbs = vec![&a, &b];
+    let kept = gabriel_neighbors(u, &nbs);
+    assert_eq!(kept.len(), 2);
+}
+
+#[test]
+fn neighbor_at_own_position_does_not_break_planning() {
+    // A neighbour co-located with this node (zero-length edge) must be
+    // survivable: the planner filters it from the right-hand sweep rather
+    // than dividing an angle by a zero-length vector.
+    let header = GpsrHeader::new(Point::new(100.0, 0.0));
+    let me = Point::new(10.0, 0.0);
+    let nbs = vec![nb(1, 10.0, 0.0), nb(2, 20.0, 0.0)];
+    let step = plan_next_hop(NodeId(0), me, &header, &nbs, None, &[], 0.0);
+    match step {
+        RouteStep::Forward { next, .. } => assert_eq!(next, NodeId(2)),
+        other => panic!("expected forward to the real neighbour, got {other:?}"),
+    }
+}
+
+#[test]
+fn only_colocated_neighbor_terminates_cleanly() {
+    // Pathological: the co-located node is the ONLY neighbour. Greedy has
+    // no progress, the planar sweep has no usable edge — the route must
+    // end here, not loop or panic.
+    let header = GpsrHeader::new(Point::new(100.0, 0.0));
+    let me = Point::new(10.0, 0.0);
+    let nbs = vec![nb(1, 10.0, 0.0)];
+    let step = plan_next_hop(NodeId(0), me, &header, &nbs, None, &[], 0.0);
+    assert_eq!(step, RouteStep::Arrived);
+}
+
+// ---------- full walks over constructed topologies ---------------------
+
+/// Walk a packet over a static topology until it stops; returns the node
+/// ids visited (starting node first) and whether perimeter mode was ever
+/// entered / left again.
+fn walk(nodes: &[Point], start: usize, dest: Point, home_radius: f64) -> (Vec<usize>, bool, bool) {
+    let neighbor_table = |of: usize| -> Vec<Neighbor> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != of && p.dist(nodes[of]) <= RADIO_RANGE)
+            .map(|(i, p)| nb(i as u32, p.x, p.y))
+            .collect()
+    };
+    let mut header = GpsrHeader::new(dest);
+    let mut cur = start;
+    let mut prev: Option<(NodeId, Point)> = None;
+    let mut visited = vec![start];
+    let mut entered_perimeter = false;
+    let mut recovered_to_greedy = false;
+    for _ in 0..nodes.len() * 4 {
+        let step = plan_next_hop(
+            NodeId(cur as u32),
+            nodes[cur],
+            &header,
+            &neighbor_table(cur),
+            prev,
+            &[],
+            home_radius,
+        );
+        match step {
+            RouteStep::Forward { next, header: h } => {
+                match (header.mode, h.mode) {
+                    (GpsrMode::Greedy, GpsrMode::Perimeter { .. }) => entered_perimeter = true,
+                    (GpsrMode::Perimeter { .. }, GpsrMode::Greedy) => recovered_to_greedy = true,
+                    _ => {}
+                }
+                prev = Some((NodeId(cur as u32), nodes[cur]));
+                header = h;
+                cur = next.index();
+                visited.push(cur);
+            }
+            RouteStep::Arrived => return (visited, entered_perimeter, recovered_to_greedy),
+            RouteStep::NoRoute => panic!("isolated node mid-route at {cur}"),
+        }
+    }
+    panic!("route did not terminate: {visited:?}");
+}
+
+#[test]
+fn wall_forces_perimeter_then_recovers_to_greedy() {
+    // A straight corridor toward the destination blocked by a concave
+    // wall; the only way around climbs *away* from the destination first.
+    // Greedy must stall at the wall foot, perimeter mode must carry the
+    // packet over the top, and greedy must resume on the far side.
+    let nodes: Vec<Point> = [
+        (0.0, 0.0),   // 0: source
+        (10.0, 0.0),  // 1
+        (20.0, 0.0),  // 2
+        (30.0, 0.0),  // 3: wall foot (local minimum)
+        (24.0, 12.0), // 4: climbs backwards
+        (30.0, 24.0), // 5
+        (42.0, 30.0), // 6: over the top (progress resumes here)
+        (54.0, 24.0), // 7
+        (60.0, 12.0), // 8
+        (60.0, 0.0),  // 9
+        (70.0, 0.0),  // 10
+        (80.0, 0.0),  // 11
+        (90.0, 0.0),  // 12
+        (100.0, 0.0), // 13: destination node
+    ]
+    .iter()
+    .map(|&(x, y)| Point::new(x, y))
+    .collect();
+    let dest = nodes[13];
+
+    let (visited, entered, recovered) = walk(&nodes, 0, dest, RADIO_RANGE);
+    assert!(entered, "route never entered perimeter mode: {visited:?}");
+    assert!(recovered, "route never recovered to greedy: {visited:?}");
+    assert_eq!(
+        *visited.last().expect("nonempty"),
+        13,
+        "route must reach the destination node: {visited:?}"
+    );
+    assert!(
+        visited.contains(&3) && visited.contains(&4),
+        "route must stall at the wall foot and climb it: {visited:?}"
+    );
+}
+
+#[test]
+fn ring_around_unreachable_destination_terminates() {
+    // Sparse ring, destination in the (empty) middle and farther than any
+    // radio disc: every node is a local minimum, the perimeter walk laps
+    // the ring once, and the first-edge loop rule stops it — no infinite
+    // face walk, no TTL exhaustion needed.
+    let n = 16;
+    let ring: Vec<Point> = (0..n)
+        .map(|i| {
+            let a = diknn_geom::TAU * i as f64 / n as f64;
+            Point::new(50.0 + 30.0 * a.cos(), 50.0 + 30.0 * a.sin())
+        })
+        .collect();
+    let dest = Point::new(50.0, 50.0);
+
+    let (visited, entered, _) = walk(&ring, 0, dest, 0.0);
+    assert!(entered, "void probe must enter perimeter mode");
+    assert!(
+        visited.len() <= n + 2,
+        "walk should stop after at most one lap: {visited:?}"
+    );
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::faults::FaultPlan;
 use crate::time::SimDuration;
+use crate::trace::TraceConfig;
 use diknn_geom::Rect;
 
 /// MAC behaviour modes.
@@ -46,6 +47,9 @@ pub enum ConfigError {
     },
     /// A fault-plan parameter is out of range (message explains which).
     Fault(String),
+    /// The flight recorder is enabled with a zero-capacity ring buffer:
+    /// every event would be evicted the moment it is recorded.
+    ZeroTraceCapacity,
 }
 
 impl fmt::Display for ConfigError {
@@ -79,6 +83,9 @@ impl fmt::Display for ConfigError {
                  ({beacon_interval}) or tables can never retain an entry"
             ),
             ConfigError::Fault(msg) => write!(f, "fault plan: {msg}"),
+            ConfigError::ZeroTraceCapacity => {
+                write!(f, "trace capacity must be nonzero when tracing is enabled")
+            }
         }
     }
 }
@@ -138,9 +145,13 @@ pub struct SimConfig {
     /// Fault injection plan (crashes, bursty loss, jamming, energy
     /// budgets); the default plan is inert. See [`crate::faults`].
     pub faults: FaultPlan,
-    /// Record every frame transmission start as `(time, sender)` in
-    /// [`crate::engine::Ctx::tx_trace`]. Off by default (costs memory on
-    /// long runs); fault tests use it to prove dead nodes stay silent.
+    /// Flight recorder settings (see [`crate::trace`]): typed, ring-buffered
+    /// event traces for golden files and the invariant checker. Disabled by
+    /// default.
+    pub trace: TraceConfig,
+    /// Legacy switch: enable the flight recorder so transmission starts are
+    /// recorded. Superseded by [`SimConfig::trace`]; setting this is
+    /// equivalent to `trace.enabled = true`.
     pub trace_tx: bool,
 }
 
@@ -165,6 +176,7 @@ impl Default for SimConfig {
             rx_power_w: 0.0564,
             time_limit: SimDuration::from_secs_f64(100.0),
             faults: FaultPlan::default(),
+            trace: TraceConfig::default(),
             trace_tx: false,
         }
     }
@@ -209,6 +221,9 @@ impl SimConfig {
                 neighbor_timeout: self.neighbor_timeout,
                 beacon_interval: self.beacon_interval,
             });
+        }
+        if (self.trace.enabled || self.trace_tx) && self.trace.capacity == 0 {
+            return Err(ConfigError::ZeroTraceCapacity);
         }
         self.faults.validate()
     }
@@ -293,6 +308,30 @@ mod tests {
         assert!(matches!(c.validate(), Err(ConfigError::Fault(_))));
         let errmsg = c.validate().unwrap_err().to_string();
         assert!(errmsg.contains("fraction"), "{errmsg}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_trace_capacity() {
+        let c = SimConfig {
+            trace: TraceConfig {
+                enabled: true,
+                capacity: 0,
+                verbose: false,
+            },
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTraceCapacity));
+        // The legacy switch routes through the same recorder.
+        let c = SimConfig {
+            trace: TraceConfig {
+                enabled: false,
+                capacity: 0,
+                verbose: false,
+            },
+            trace_tx: true,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTraceCapacity));
     }
 
     #[test]

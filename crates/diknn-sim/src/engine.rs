@@ -31,6 +31,7 @@ use crate::ids::{NodeId, TimerId, TxId};
 use crate::neighbors::{Neighbor, NeighborTable};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, EventTrace, ProtoEvent, TraceKind};
 
 /// A mobility plan shared between the simulator and the ground-truth oracle.
 pub type SharedMobility = Arc<dyn Mobility>;
@@ -160,9 +161,9 @@ pub struct Ctx<M> {
     alive: Vec<bool>,
     /// Per-receiver Gilbert–Elliott channel state (true = Bad).
     ge_bad: Vec<bool>,
-    /// `(time, sender)` of every transmission start, when
-    /// `SimConfig::trace_tx` is set.
-    tx_log: Vec<(SimTime, NodeId)>,
+    /// The flight recorder (see [`crate::trace`]); disabled unless
+    /// `SimConfig::trace.enabled` (or the legacy `trace_tx`) is set.
+    trace: EventTrace,
 }
 
 impl<M: Clone> Ctx<M> {
@@ -256,11 +257,22 @@ impl<M: Clone> Ctx<M> {
         self.alive.iter().filter(|&&a| a).count()
     }
 
-    /// Transmission-start trace `(time, sender)`; empty unless
-    /// `SimConfig::trace_tx` was set.
+    /// The recorded event trace; empty unless tracing was enabled via
+    /// `SimConfig::trace` (or the legacy `trace_tx`).
     #[inline]
-    pub fn tx_trace(&self) -> &[(SimTime, NodeId)] {
-        &self.tx_log
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// Transmission-start trace `(time, sender)`, derived from the typed
+    /// event trace; empty unless tracing was enabled.
+    #[deprecated(note = "use `Ctx::trace()` and filter `TraceKind::TxStart` events")]
+    pub fn tx_trace(&self) -> Vec<(SimTime, NodeId)> {
+        self.trace
+            .events()
+            .filter(|e| matches!(e.kind, TraceKind::TxStart { .. }))
+            .map(|e| (e.time, e.node))
+            .collect()
     }
 
     /// Energy meter of one node.
@@ -336,6 +348,43 @@ impl<M: Clone> Ctx<M> {
         self.stopped = true;
     }
 
+    // ----- flight recorder ----------------------------------------------
+
+    /// Record a protocol-level trace event at `node` (no-op while the
+    /// flight recorder is disabled). Protocol implementations reach this
+    /// through the `TraceSink` trait in `diknn-core`.
+    pub fn record_proto(&mut self, node: NodeId, ev: ProtoEvent) {
+        self.trace_event(node, TraceKind::Proto(ev));
+    }
+
+    #[inline]
+    fn trace_event(&mut self, node: NodeId, kind: TraceKind) {
+        if self.trace.is_enabled() {
+            self.trace.record(self.now, node, kind);
+            self.stats.trace_events += 1;
+        }
+    }
+
+    /// Record a chatty per-reception event (kept only in verbose mode).
+    #[inline]
+    fn trace_verbose(&mut self, node: NodeId, kind: TraceKind) {
+        if self.trace.is_verbose() {
+            self.trace.record(self.now, node, kind);
+            self.stats.trace_events += 1;
+        }
+    }
+
+    /// Record the node's running energy total after a charge. Only done
+    /// under an energy budget, where the invariant checker needs the
+    /// series; unbudgeted runs would drown the ring in meter samples.
+    #[inline]
+    fn trace_energy(&mut self, node: NodeId) {
+        if self.trace.is_enabled() && self.cfg.faults.energy_budget_j.is_some() {
+            let spent_j = self.energy[node.index()].total_j();
+            self.trace_event(node, TraceKind::Energy { spent_j });
+        }
+    }
+
     // ----- internals ----------------------------------------------------
 
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
@@ -398,13 +447,26 @@ impl<M: Clone> Ctx<M> {
     /// Begin transmitting pending frame `id`: mark collisions and schedule
     /// the end-of-frame event.
     fn start_transmission(&mut self, id: TxId) {
-        let (from, airtime) = {
+        let (from, airtime, dest, beacon) = {
             let p = self.pending.get(&id.0).expect("pending tx");
-            (p.from, self.cfg.packet_airtime(p.payload_bytes))
+            (
+                p.from,
+                self.cfg.packet_airtime(p.payload_bytes),
+                p.dest,
+                matches!(p.frame, Frame::Beacon),
+            )
         };
-        if self.cfg.trace_tx {
-            self.tx_log.push((self.now, from));
-        }
+        let tx_dest = match dest {
+            Destination::Broadcast => None,
+            Destination::Unicast(to) => Some(to),
+        };
+        self.trace_event(
+            from,
+            TraceKind::TxStart {
+                dest: tx_dest,
+                beacon,
+            },
+        );
         let mut receivers = self.audible_set(from);
         if self.cfg.mac == MacMode::Contention {
             // Collision rule: a receiver hearing two overlapping
@@ -470,6 +532,10 @@ impl<P: Protocol> Simulator<P> {
         }
         assert!(!mobility.is_empty(), "simulation needs at least one node");
         let n = mobility.len();
+        // The legacy `trace_tx` switch routes through the flight recorder.
+        let mut trace_cfg = cfg.trace.clone();
+        trace_cfg.enabled |= cfg.trace_tx;
+        let trace = EventTrace::new(&trace_cfg);
         let mut ctx = Ctx {
             cfg,
             mobility,
@@ -488,7 +554,7 @@ impl<P: Protocol> Simulator<P> {
             stopped: false,
             alive: vec![true; n],
             ge_bad: vec![false; n],
-            tx_log: Vec::new(),
+            trace,
         };
         Self::schedule_faults(&mut ctx, seed);
         Simulator { ctx, protocol }
@@ -555,6 +621,13 @@ impl<P: Protocol> Simulator<P> {
 
     pub fn protocol_mut(&mut self) -> &mut P {
         &mut self.protocol
+    }
+
+    /// Split borrow: mutable protocol alongside the (immutable) context.
+    /// Lets post-run accounting (`KnnProtocol::finish`) and trace replay
+    /// run without consuming the simulator.
+    pub fn split_mut(&mut self) -> (&mut P, &Ctx<P::Msg>) {
+        (&mut self.protocol, &self.ctx)
     }
 
     /// Consume the simulator, returning the protocol and final context.
@@ -648,6 +721,7 @@ impl<P: Protocol> Simulator<P> {
                 if ctx.alive[node.index()] {
                     ctx.alive[node.index()] = false;
                     ctx.stats.nodes_crashed += 1;
+                    ctx.trace_event(node, TraceKind::Crash);
                 }
                 Callback::None
             }
@@ -662,6 +736,7 @@ impl<P: Protocol> Simulator<P> {
                 if !ctx.alive[node.index()] && !exhausted {
                     ctx.alive[node.index()] = true;
                     ctx.stats.nodes_recovered += 1;
+                    ctx.trace_event(node, TraceKind::Recover);
                 }
                 Callback::None
             }
@@ -690,8 +765,10 @@ impl<P: Protocol> Simulator<P> {
                     // tolerate that, which is what the token watchdog and
                     // sink retry in diknn-core exist for.)
                     ctx.stats.timers_suppressed += 1;
+                    ctx.trace_verbose(node, TraceKind::TimerSuppressed { key });
                     Callback::None
                 } else {
+                    ctx.trace_verbose(node, TraceKind::TimerFired { key });
                     Callback::Timer { node, key }
                 }
             }
@@ -705,6 +782,13 @@ impl<P: Protocol> Simulator<P> {
                     // instance cannot react, that is the point.
                     ctx.pending.remove(&id.0);
                     ctx.stats.frames_dropped_dead += 1;
+                    ctx.trace_verbose(
+                        from,
+                        TraceKind::Drop {
+                            from: None,
+                            reason: DropReason::DeadSender,
+                        },
+                    );
                     return Callback::None;
                 }
                 if ctx.active.iter().any(|a| a.id == id) {
@@ -716,6 +800,13 @@ impl<P: Protocol> Simulator<P> {
                     if p.backoffs > ctx.cfg.max_backoffs {
                         ctx.stats.mac_drops += 1;
                         let p = ctx.pending.remove(&id.0).expect("pending tx");
+                        ctx.trace_verbose(
+                            p.from,
+                            TraceKind::Drop {
+                                from: None,
+                                reason: DropReason::MacBusy,
+                            },
+                        );
                         if let (Destination::Unicast(to), Frame::Proto(msg)) = (p.dest, p.frame) {
                             return Callback::SendFailed {
                                 from: p.from,
@@ -760,6 +851,13 @@ impl<P: Protocol> Simulator<P> {
             // energy is charged (the crash froze the radio) and nothing is
             // delivered or retried.
             ctx.stats.frames_dropped_dead += 1;
+            ctx.trace_verbose(
+                from,
+                TraceKind::Drop {
+                    from: None,
+                    reason: DropReason::DeadSender,
+                },
+            );
             return Callback::None;
         }
         let class = match frame {
@@ -774,6 +872,7 @@ impl<P: Protocol> Simulator<P> {
         // corrupted copies are received in full — the radio cannot know.
         let (tx_p, rx_p) = (ctx.cfg.tx_power_w, ctx.cfg.rx_power_w);
         ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
+        ctx.trace_energy(from);
         let header_airtime =
             SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(active.airtime);
         for &(r, corrupted) in &active.receivers {
@@ -785,6 +884,7 @@ impl<P: Protocol> Simulator<P> {
                 _ => active.airtime,
             };
             ctx.energy[r.index()].charge_rx(rx_p, rx_time, class);
+            ctx.trace_energy(r);
         }
         ctx.stats.tx_frames += 1;
         ctx.stats.tx_bytes += (ctx.cfg.header_bytes + payload_bytes) as u64;
@@ -799,11 +899,13 @@ impl<P: Protocol> Simulator<P> {
             if ctx.alive[from.index()] && ctx.energy[from.index()].total_j() >= budget {
                 ctx.alive[from.index()] = false;
                 ctx.stats.energy_deaths += 1;
+                ctx.trace_event(from, TraceKind::EnergyDeath);
             }
             for &(r, _) in &active.receivers {
                 if ctx.alive[r.index()] && ctx.energy[r.index()].total_j() >= budget {
                     ctx.alive[r.index()] = false;
                     ctx.stats.energy_deaths += 1;
+                    ctx.trace_event(r, TraceKind::EnergyDeath);
                 }
             }
         }
@@ -820,7 +922,9 @@ impl<P: Protocol> Simulator<P> {
                 continue;
             }
             if corrupted {
-                continue; // already counted in stats.collisions
+                // Already counted in stats.collisions.
+                ctx.trace_verbose(r, TraceKind::Collision { from });
+                continue;
             }
             if !ctx.cfg.faults.jam_zones.is_empty() {
                 let pos = ctx.position(r);
@@ -834,6 +938,13 @@ impl<P: Protocol> Simulator<P> {
                     .fold(0.0_f64, f64::max);
                 if jam > 0.0 && ctx.rng.gen::<f64>() < jam {
                     ctx.stats.frames_jammed += 1;
+                    ctx.trace_verbose(
+                        r,
+                        TraceKind::Drop {
+                            from: Some(from),
+                            reason: DropReason::Jammed,
+                        },
+                    );
                     continue;
                 }
             }
@@ -841,6 +952,13 @@ impl<P: Protocol> Simulator<P> {
                 LinkLossModel::Uniform => {
                     if ctx.cfg.loss_rate > 0.0 && ctx.rng.gen::<f64>() < ctx.cfg.loss_rate {
                         ctx.stats.random_losses += 1;
+                        ctx.trace_verbose(
+                            r,
+                            TraceKind::Drop {
+                                from: Some(from),
+                                reason: DropReason::RandomLoss,
+                            },
+                        );
                         continue;
                     }
                 }
@@ -857,6 +975,13 @@ impl<P: Protocol> Simulator<P> {
                     let p = if *bad { ge.bad_loss } else { ge.good_loss };
                     if p > 0.0 && ctx.rng.gen::<f64>() < p {
                         ctx.stats.burst_losses += 1;
+                        ctx.trace_verbose(
+                            r,
+                            TraceKind::Drop {
+                                from: Some(from),
+                                reason: DropReason::BurstLoss,
+                            },
+                        );
                         continue;
                     }
                 }
@@ -874,6 +999,7 @@ impl<P: Protocol> Simulator<P> {
                 let entry_speed = ctx.speed(from);
                 for r in successes {
                     ctx.stats.rx_deliveries += 1;
+                    ctx.trace_verbose(r, TraceKind::RxDeliver { from });
                     ctx.tables[r.index()].record(Neighbor {
                         id: from,
                         position: entry_pos,
@@ -886,6 +1012,9 @@ impl<P: Protocol> Simulator<P> {
             Frame::Proto(msg) => match dest {
                 Destination::Broadcast => {
                     ctx.stats.rx_deliveries += successes.len() as u64;
+                    for &r in &successes {
+                        ctx.trace_verbose(r, TraceKind::RxDeliver { from });
+                    }
                     if successes.is_empty() {
                         Callback::None
                     } else {
@@ -899,6 +1028,7 @@ impl<P: Protocol> Simulator<P> {
                 Destination::Unicast(to) => {
                     if successes.contains(&to) {
                         ctx.stats.rx_deliveries += 1;
+                        ctx.trace_verbose(to, TraceKind::RxDeliver { from });
                         Callback::Deliveries {
                             from,
                             msg,
@@ -927,6 +1057,13 @@ impl<P: Protocol> Simulator<P> {
                         Callback::None
                     } else {
                         ctx.stats.unicast_failures += 1;
+                        ctx.trace_verbose(
+                            from,
+                            TraceKind::Drop {
+                                from: None,
+                                reason: DropReason::UnicastFailed,
+                            },
+                        );
                         Callback::SendFailed { from, to, msg }
                     }
                 }

@@ -69,6 +69,7 @@ mod ids;
 pub mod neighbors;
 mod stats;
 pub mod time;
+pub mod trace;
 
 pub use config::{ConfigError, MacMode, SimConfig};
 pub use engine::{Ctx, Destination, Protocol, SharedMobility, Simulator};
@@ -79,3 +80,4 @@ pub use ids::{NodeId, TimerId};
 pub use neighbors::Neighbor;
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};
+pub use trace::{DropReason, EventTrace, ProtoEvent, TraceConfig, TraceEvent, TraceKind};

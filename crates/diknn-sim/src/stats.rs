@@ -54,6 +54,9 @@ pub struct SimStats {
     /// Whole-query retries issued by a sink after a silent timeout
     /// (protocol-level).
     pub query_retries: u64,
+    /// Events recorded by the flight recorder (see [`crate::trace`]);
+    /// zero unless tracing is enabled.
+    pub trace_events: u64,
 }
 
 #[cfg(test)]

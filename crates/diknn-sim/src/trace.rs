@@ -1,0 +1,558 @@
+//! The flight recorder: a typed, ring-buffered event trace.
+//!
+//! End-state metrics (accuracy, energy, status counts) cannot distinguish a
+//! correct execution from a wrong-but-lucky one. The flight recorder makes
+//! *protocol behaviour over time* machine-checkable, in the same spirit as
+//! the ns-2 packet traces the paper's methodology relies on: every
+//! protocol-relevant event is recorded as a [`TraceEvent`] stamped with
+//! [`SimTime`] + [`NodeId`], and the stream can be
+//!
+//! * replayed by an invariant checker (`diknn-workloads::invariants`), and
+//! * serialised to a deterministic line format for golden-trace files
+//!   ([`EventTrace::render`]).
+//!
+//! Two event families share the one stream:
+//!
+//! * **Engine events** ([`TraceKind`] radio/timer/fault variants) recorded
+//!   by the event engine itself: transmission starts, deliveries,
+//!   collisions, drops (with a [`DropReason`]), timer firings and
+//!   suppressions, crashes, recoveries, and energy readings under a budget.
+//! * **Protocol events** ([`ProtoEvent`], wrapped in [`TraceKind::Proto`])
+//!   emitted by protocol implementations through the `TraceSink` trait in
+//!   `diknn-core`: query issue, itinerary handoffs, boundary changes,
+//!   sector completion, token re-issue epochs, sink merges, final answers.
+//!
+//! Recording is opt-in via [`crate::SimConfig::trace`] and costs nothing
+//! when disabled. The buffer is a bounded ring: once `capacity` events are
+//! held, the oldest event is evicted and counted in
+//! [`EventTrace::dropped_events`] — checkers treat a non-zero drop count as
+//! "trace incomplete" rather than silently passing.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Flight-recorder configuration (a field of [`crate::SimConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off by default: long runs would otherwise pay memory
+    /// for a trace nobody reads.
+    pub enabled: bool,
+    /// Ring-buffer capacity in events; the oldest events are evicted (and
+    /// counted) beyond this. Must be nonzero when `enabled`.
+    pub capacity: usize,
+    /// Also record the chatty per-reception events (deliveries, collisions,
+    /// drops, timer firings). Off, the trace holds transmission starts,
+    /// fault events, energy readings and protocol events only — enough for
+    /// every invariant, at a fraction of the volume.
+    pub verbose: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 1 << 20,
+            verbose: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// An enabled recorder with the default capacity.
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// An enabled recorder that also keeps per-reception events.
+    pub fn verbose() -> Self {
+        TraceConfig {
+            enabled: true,
+            verbose: true,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Why a reception (or a queued frame) was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Receiver inside an active jamming zone.
+    Jammed,
+    /// Uniform random link loss.
+    RandomLoss,
+    /// Gilbert–Elliott bursty-loss chain in a losing state.
+    BurstLoss,
+    /// The sender died before or during the transmission.
+    DeadSender,
+    /// The MAC never found the channel idle within its backoff budget.
+    MacBusy,
+    /// A unicast exhausted its ARQ retries without reaching the addressee.
+    UnicastFailed,
+}
+
+impl DropReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Jammed => "jam",
+            DropReason::RandomLoss => "random",
+            DropReason::BurstLoss => "burst",
+            DropReason::DeadSender => "dead-sender",
+            DropReason::MacBusy => "mac-busy",
+            DropReason::UnicastFailed => "unicast-failed",
+        }
+    }
+}
+
+/// Protocol-level trace points, emitted by protocol implementations via the
+/// `TraceSink` trait in `diknn-core`. The vocabulary lives here so the sim
+/// engine, the protocols and the invariant checker share one event stream
+/// without a dependency cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoEvent {
+    /// A KNN query was issued (attempt 0) or retried (attempt > 0) at the
+    /// sink.
+    QueryIssued { qid: u32, attempt: u8, k: u32 },
+    /// The home node fixed the KNNB boundary for this attempt (radius after
+    /// clamping).
+    BoundaryEstimated { qid: u32, attempt: u8, radius: f64 },
+    /// A sector token was handed from the event's node to `to`.
+    TokenHandoff {
+        qid: u32,
+        attempt: u8,
+        sector: u8,
+        epoch: u32,
+        to: NodeId,
+        /// Itinerary arc-length progress at the moment of the handoff.
+        frontier: f64,
+    },
+    /// A sector token extended its boundary radius (KNNB expand).
+    BoundaryExtended {
+        qid: u32,
+        attempt: u8,
+        sector: u8,
+        old_radius: f64,
+        new_radius: f64,
+    },
+    /// A Q-node accepted a candidate reply during collection. `dist` is the
+    /// candidate's distance to the query point, `radius` the boundary in
+    /// force at collection time.
+    CandidateHeard {
+        qid: u32,
+        attempt: u8,
+        sector: u8,
+        responder: NodeId,
+        dist: f64,
+        radius: f64,
+    },
+    /// A sector traversal completed and its partial result left for the
+    /// sink.
+    SectorFinished {
+        qid: u32,
+        attempt: u8,
+        sector: u8,
+        epoch: u32,
+    },
+    /// The token-loss watchdog re-issued a sector token under a new epoch.
+    TokenReissued {
+        qid: u32,
+        attempt: u8,
+        sector: u8,
+        epoch: u32,
+    },
+    /// The sink merged one sector's partial result.
+    SinkMerge { qid: u32, attempt: u8, sector: u8 },
+    /// The query reached a terminal status; `answer` is the final KNN id
+    /// list reported to the application.
+    QueryDone {
+        qid: u32,
+        status: &'static str,
+        answer: Vec<NodeId>,
+    },
+}
+
+/// What happened (the payload of a [`TraceEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// The node put a frame on the air. `dest` is `None` for broadcasts;
+    /// `beacon` marks engine beacon traffic.
+    TxStart { dest: Option<NodeId>, beacon: bool },
+    /// A clean copy of a frame from `from` was delivered to the node
+    /// (verbose only).
+    RxDeliver { from: NodeId },
+    /// The node's copy of a frame from `from` was destroyed by an
+    /// overlapping transmission (verbose only).
+    Collision { from: NodeId },
+    /// A frame (from `from`, or queued at the node itself when `from` is
+    /// `None`) was dropped (verbose only).
+    Drop {
+        from: Option<NodeId>,
+        reason: DropReason,
+    },
+    /// A protocol timer fired at the node (verbose only).
+    TimerFired { key: u64 },
+    /// A protocol timer came due at a dead node and was suppressed
+    /// (verbose only).
+    TimerSuppressed { key: u64 },
+    /// Fail-stop crash.
+    Crash,
+    /// A crashed node rebooted.
+    Recover,
+    /// The node exhausted its energy budget and died permanently.
+    EnergyDeath,
+    /// Cumulative radio energy spent by the node, in joules, sampled after
+    /// a charge. Recorded only under an energy budget.
+    Energy { spent_j: f64 },
+    /// A protocol-level event (see [`ProtoEvent`]).
+    Proto(ProtoEvent),
+}
+
+/// One recorded event: when, where, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub node: NodeId,
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    /// The deterministic line format used for golden files: integer
+    /// nanoseconds, then the node, then a keyword with `key=value` fields.
+    /// Floats are rendered with three decimals — exact enough to pin
+    /// behaviour, coarse enough to survive formatting.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} ", self.time.as_nanos(), self.node)?;
+        match &self.kind {
+            TraceKind::TxStart { dest, beacon } => {
+                match dest {
+                    Some(to) => write!(f, "tx dest={to}")?,
+                    None => write!(f, "tx dest=bcast")?,
+                }
+                if *beacon {
+                    write!(f, " beacon")?;
+                }
+                Ok(())
+            }
+            TraceKind::RxDeliver { from } => write!(f, "rx from={from}"),
+            TraceKind::Collision { from } => write!(f, "collision from={from}"),
+            TraceKind::Drop { from, reason } => {
+                write!(f, "drop reason={}", reason.label())?;
+                if let Some(from) = from {
+                    write!(f, " from={from}")?;
+                }
+                Ok(())
+            }
+            TraceKind::TimerFired { key } => write!(f, "timer key={key:#018x}"),
+            TraceKind::TimerSuppressed { key } => {
+                write!(f, "timer-suppressed key={key:#018x}")
+            }
+            TraceKind::Crash => write!(f, "crash"),
+            TraceKind::Recover => write!(f, "recover"),
+            TraceKind::EnergyDeath => write!(f, "energy-death"),
+            TraceKind::Energy { spent_j } => write!(f, "energy spent_j={spent_j:.9}"),
+            TraceKind::Proto(p) => match p {
+                ProtoEvent::QueryIssued { qid, attempt, k } => {
+                    write!(f, "proto query-issued qid={qid} attempt={attempt} k={k}")
+                }
+                ProtoEvent::BoundaryEstimated {
+                    qid,
+                    attempt,
+                    radius,
+                } => write!(
+                    f,
+                    "proto boundary qid={qid} attempt={attempt} radius={radius:.3}"
+                ),
+                ProtoEvent::TokenHandoff {
+                    qid,
+                    attempt,
+                    sector,
+                    epoch,
+                    to,
+                    frontier,
+                } => write!(
+                    f,
+                    "proto handoff qid={qid} attempt={attempt} sector={sector} \
+                     epoch={epoch} to={to} frontier={frontier:.3}"
+                ),
+                ProtoEvent::BoundaryExtended {
+                    qid,
+                    attempt,
+                    sector,
+                    old_radius,
+                    new_radius,
+                } => write!(
+                    f,
+                    "proto extend qid={qid} attempt={attempt} sector={sector} \
+                     old={old_radius:.3} new={new_radius:.3}"
+                ),
+                ProtoEvent::CandidateHeard {
+                    qid,
+                    attempt,
+                    sector,
+                    responder,
+                    dist,
+                    radius,
+                } => write!(
+                    f,
+                    "proto heard qid={qid} attempt={attempt} sector={sector} \
+                     responder={responder} dist={dist:.3} radius={radius:.3}"
+                ),
+                ProtoEvent::SectorFinished {
+                    qid,
+                    attempt,
+                    sector,
+                    epoch,
+                } => write!(
+                    f,
+                    "proto sector-finished qid={qid} attempt={attempt} \
+                     sector={sector} epoch={epoch}"
+                ),
+                ProtoEvent::TokenReissued {
+                    qid,
+                    attempt,
+                    sector,
+                    epoch,
+                } => write!(
+                    f,
+                    "proto reissue qid={qid} attempt={attempt} sector={sector} \
+                     epoch={epoch}"
+                ),
+                ProtoEvent::SinkMerge {
+                    qid,
+                    attempt,
+                    sector,
+                } => write!(
+                    f,
+                    "proto sink-merge qid={qid} attempt={attempt} sector={sector}"
+                ),
+                ProtoEvent::QueryDone {
+                    qid,
+                    status,
+                    answer,
+                } => {
+                    write!(f, "proto query-done qid={qid} status={status} answer=[")?;
+                    for (i, id) in answer.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{id}")?;
+                    }
+                    write!(f, "]")
+                }
+            },
+        }
+    }
+}
+
+/// The ring-buffered flight recorder owned by [`crate::Ctx`].
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    verbose: bool,
+    /// Events evicted after the ring filled.
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Build from the run configuration.
+    pub fn new(cfg: &TraceConfig) -> Self {
+        EventTrace {
+            events: VecDeque::new(),
+            capacity: cfg.capacity.max(1),
+            enabled: cfg.enabled,
+            verbose: cfg.verbose,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled recorder (records nothing).
+    pub fn disabled() -> Self {
+        EventTrace::new(&TraceConfig::default())
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether chatty per-reception events are being kept.
+    #[inline]
+    pub fn is_verbose(&self) -> bool {
+        self.enabled && self.verbose
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring after it filled; a checker seeing a
+    /// nonzero count must not certify the run (the evidence is incomplete).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over the held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Record one event (no-op while disabled). Public so tests and
+    /// external tools can assemble synthetic traces for the invariant
+    /// checker; during a run the engine is the only writer.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, node: NodeId, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { time, node, kind });
+    }
+
+    /// Render the whole trace in the deterministic line format, one event
+    /// per line (oldest first), with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render only the protocol-level and fault events — the compact,
+    /// behaviour-defining subset used by golden-trace files.
+    pub fn render_protocol(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            if matches!(
+                e.kind,
+                TraceKind::Proto(_)
+                    | TraceKind::Crash
+                    | TraceKind::Recover
+                    | TraceKind::EnergyDeath
+            ) {
+                out.push_str(&e.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(nanos: u64, node: u32, kind: TraceKind) -> (SimTime, NodeId, TraceKind) {
+        (SimTime::from_nanos(nanos), NodeId(node), kind)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut t = EventTrace::disabled();
+        let (at, n, k) = ev(5, 1, TraceKind::Crash);
+        t.record(at, n, k);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped_events(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut t = EventTrace::new(&TraceConfig {
+            enabled: true,
+            capacity: 2,
+            verbose: false,
+        });
+        for i in 0..5u64 {
+            let (at, n, k) = ev(i, i as u32, TraceKind::Crash);
+            t.record(at, n, k);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped_events(), 3);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.time.as_nanos(), 3);
+    }
+
+    #[test]
+    fn line_format_is_stable() {
+        let e = TraceEvent {
+            time: SimTime::from_nanos(1_500_000_000),
+            node: NodeId(7),
+            kind: TraceKind::TxStart {
+                dest: Some(NodeId(9)),
+                beacon: false,
+            },
+        };
+        assert_eq!(e.to_string(), "1500000000 n7 tx dest=n9");
+        let e = TraceEvent {
+            time: SimTime::ZERO,
+            node: NodeId(0),
+            kind: TraceKind::Proto(ProtoEvent::QueryDone {
+                qid: 3,
+                status: "completed",
+                answer: vec![NodeId(1), NodeId(2)],
+            }),
+        };
+        assert_eq!(
+            e.to_string(),
+            "0 n0 proto query-done qid=3 status=completed answer=[n1,n2]"
+        );
+        let e = TraceEvent {
+            time: SimTime::from_nanos(12),
+            node: NodeId(4),
+            kind: TraceKind::Drop {
+                from: Some(NodeId(2)),
+                reason: DropReason::BurstLoss,
+            },
+        };
+        assert_eq!(e.to_string(), "12 n4 drop reason=burst from=n2");
+    }
+
+    #[test]
+    fn render_protocol_filters_engine_noise() {
+        let mut t = EventTrace::new(&TraceConfig::verbose());
+        let (at, n, k) = ev(
+            1,
+            0,
+            TraceKind::TxStart {
+                dest: None,
+                beacon: true,
+            },
+        );
+        t.record(at, n, k);
+        let (at, n, k) = ev(2, 1, TraceKind::Crash);
+        t.record(at, n, k);
+        let (at, n, k) = ev(
+            3,
+            2,
+            TraceKind::Proto(ProtoEvent::QueryIssued {
+                qid: 0,
+                attempt: 0,
+                k: 5,
+            }),
+        );
+        t.record(at, n, k);
+        let full = t.render();
+        let proto = t.render_protocol();
+        assert_eq!(full.lines().count(), 3);
+        assert_eq!(proto.lines().count(), 2);
+        assert!(proto.contains("crash"));
+        assert!(proto.contains("query-issued"));
+        assert!(!proto.contains("tx "));
+    }
+}

@@ -7,7 +7,7 @@ use diknn_geom::Point;
 use diknn_mobility::StaticMobility;
 use diknn_sim::{
     faults, CrashSpec, Ctx, FaultPlan, FaultRegion, GilbertElliott, JamZone, LinkLossModel, NodeId,
-    Protocol, SharedMobility, SimConfig, SimDuration, Simulator,
+    Protocol, SharedMobility, SimConfig, SimDuration, Simulator, TraceConfig, TraceKind,
 };
 
 fn static_nodes(points: &[(f64, f64)]) -> Vec<SharedMobility> {
@@ -59,7 +59,7 @@ impl Protocol for Ticker {
 fn crashed_sender_goes_silent_and_timers_are_suppressed() {
     let mut cfg = quiet_config();
     cfg.time_limit = SimDuration::from_secs_f64(12.0);
-    cfg.trace_tx = true;
+    cfg.trace = TraceConfig::enabled();
     let crash_at = SimDuration::from_secs_f64(5.0);
     cfg.faults.crashes = vec![CrashSpec {
         node: 0,
@@ -77,15 +77,28 @@ fn crashed_sender_goes_silent_and_timers_are_suppressed() {
     assert!(stats.timers_suppressed >= 45, "{stats:?}");
     assert!(!sim.ctx().is_alive(NodeId(0)));
     assert_eq!(sim.ctx().alive_count(), 1);
-    // The tx trace proves radio silence after the crash instant.
-    for &(t, from) in sim.ctx().tx_trace() {
-        if from == NodeId(0) {
+    // The event trace proves radio silence after the crash instant.
+    let trace = sim.ctx().trace();
+    assert!(trace.dropped_events() == 0, "trace ring overflowed");
+    let mut tx_starts = 0;
+    for e in trace.events() {
+        if !matches!(e.kind, TraceKind::TxStart { .. }) {
+            continue;
+        }
+        tx_starts += 1;
+        if e.node == NodeId(0) {
             assert!(
-                t.since(diknn_sim::SimTime::ZERO) <= crash_at,
-                "dead node transmitted at {t}"
+                e.time.since(diknn_sim::SimTime::ZERO) <= crash_at,
+                "dead node transmitted at {}",
+                e.time
             );
         }
     }
+    assert!(tx_starts > 0, "trace recorded no transmissions");
+    // The deprecated compat accessor derives the same (time, sender) list.
+    #[allow(deprecated)]
+    let legacy = sim.ctx().tx_trace();
+    assert_eq!(legacy.len(), tx_starts);
 }
 
 #[test]

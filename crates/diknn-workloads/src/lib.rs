@@ -38,6 +38,7 @@
 #![deny(unused_must_use)]
 
 pub mod fault_sweep;
+pub mod invariants;
 mod metrics;
 mod oracle;
 mod runner;
@@ -45,6 +46,7 @@ mod scenario;
 pub mod workload;
 
 pub use fault_sweep::FaultCell;
+pub use invariants::{assert_clean, check, check_with, CheckOptions, Violation};
 pub use metrics::{status_index, Aggregate, RunMetrics, Stat};
 pub use oracle::GroundTruth;
 pub use runner::{run_protocol_once, run_protocol_once_faulted, Experiment, ProtocolKind};

@@ -5,8 +5,9 @@ use diknn_baselines::{
     Centralized, CentralizedConfig, Flood, FloodConfig, Kpt, KptConfig, PeerTree, PeerTreeConfig,
 };
 use diknn_core::{Diknn, DiknnConfig, KnnProtocol, QueryRequest};
-use diknn_sim::{Protocol, SimConfig, Simulator};
+use diknn_sim::{Protocol, SimConfig, Simulator, TraceConfig};
 
+use crate::invariants;
 use crate::metrics::{Aggregate, RunMetrics};
 use crate::oracle::GroundTruth;
 use crate::scenario::ScenarioConfig;
@@ -48,6 +49,11 @@ pub struct Experiment {
     /// bursty loss, jamming, energy budgets); `None` keeps the scenario's
     /// (inert) plan. Applied after `sim_tweak`.
     pub fault_plan: Option<diknn_sim::FaultPlan>,
+    /// Record a flight-recorder trace during each run and fail loudly
+    /// (panic) if any protocol invariant is violated (see
+    /// [`crate::invariants`]). On by default: every experiment doubles as a
+    /// correctness check. Disable for benchmark timing runs.
+    pub check_invariants: bool,
 }
 
 impl Experiment {
@@ -58,6 +64,7 @@ impl Experiment {
             workload,
             sim_tweak: None,
             fault_plan: None,
+            check_invariants: true,
         }
     }
 
@@ -84,6 +91,10 @@ impl Experiment {
         if let Some(plan) = &self.fault_plan {
             sim_cfg.faults = plan.clone();
         }
+        if self.check_invariants {
+            sim_cfg.trace = TraceConfig::enabled();
+        }
+        let check = self.check_invariants;
         match &self.protocol {
             ProtocolKind::Diknn(cfg) => execute(
                 sim_cfg,
@@ -91,6 +102,7 @@ impl Experiment {
                 Diknn::new(cfg.clone(), requests),
                 seed,
                 &oracle,
+                check,
             ),
             ProtocolKind::Kpt(cfg) => execute(
                 sim_cfg,
@@ -98,6 +110,7 @@ impl Experiment {
                 Kpt::new(cfg.clone(), requests),
                 seed,
                 &oracle,
+                check,
             ),
             ProtocolKind::PeerTree(cfg) => execute(
                 sim_cfg,
@@ -105,6 +118,7 @@ impl Experiment {
                 PeerTree::new(cfg.clone(), scenario.field, scenario.nodes, requests),
                 seed,
                 &oracle,
+                check,
             ),
             ProtocolKind::Flood(cfg) => execute(
                 sim_cfg,
@@ -112,6 +126,7 @@ impl Experiment {
                 Flood::new(cfg.clone(), requests),
                 seed,
                 &oracle,
+                check,
             ),
             ProtocolKind::Centralized(cfg) => execute(
                 sim_cfg,
@@ -119,6 +134,7 @@ impl Experiment {
                 Centralized::new(cfg.clone(), scenario.field, scenario.nodes, requests),
                 seed,
                 &oracle,
+                check,
             ),
         }
     }
@@ -138,6 +154,7 @@ fn execute<P>(
     protocol: P,
     seed: u64,
     oracle: &GroundTruth,
+    check: bool,
 ) -> RunMetrics
 where
     P: Protocol + KnnProtocol,
@@ -150,6 +167,9 @@ where
     let (mut protocol, ctx) = sim.into_parts();
     // Classify queries that never finalised (dead sink, suppressed timer).
     protocol.finish(&ctx);
+    if check {
+        invariants::assert_clean(ctx.trace(), protocol.outcomes());
+    }
     let energy = ctx.total_protocol_energy_j();
     let stats = *ctx.stats();
     RunMetrics::compute(protocol.outcomes(), &stats, energy, oracle)
@@ -189,6 +209,9 @@ pub fn run_protocol_once_faulted(
     if let Some(plan) = fault_plan {
         sim_cfg.faults = plan;
     }
+    // Every one-shot run is also an invariant check: record a trace and
+    // replay it against the outcomes before handing them back.
+    sim_cfg.trace = TraceConfig::enabled();
     macro_rules! go {
         ($p:expr) => {{
             let mut sim = Simulator::new(sim_cfg, plans, $p, seed);
@@ -196,6 +219,7 @@ pub fn run_protocol_once_faulted(
             sim.run();
             let (mut proto, ctx) = sim.into_parts();
             proto.finish(&ctx);
+            invariants::assert_clean(ctx.trace(), proto.outcomes());
             let e = ctx.total_protocol_energy_j();
             (proto.outcomes().to_vec(), e)
         }};

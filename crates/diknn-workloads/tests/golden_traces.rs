@@ -1,0 +1,126 @@
+//! Golden-trace regression tests for the flight recorder.
+//!
+//! Two pinned scenarios (a clean static network and one under scheduled
+//! node churn) are run with tracing enabled; the protocol-level view of
+//! the trace (`EventTrace::render_protocol`) must match a committed golden
+//! file line for line. Any change to protocol event ordering, the trace
+//! line format, or simulation determinism shows up as a readable diff.
+//!
+//! When a change is *intentional*, regenerate the golden files with:
+//!
+//! ```text
+//! DIKNN_REGEN_GOLDEN=1 cargo test -p diknn-workloads --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use diknn_core::{Diknn, DiknnConfig, KnnProtocol, QueryRequest};
+use diknn_geom::Point;
+use diknn_sim::{EventTrace, FaultPlan, NodeId, Simulator, TraceConfig};
+use diknn_workloads::{invariants, ScenarioConfig};
+
+const SEED: u64 = 2007;
+
+fn pinned_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 120,
+        max_speed: 0.0,
+        duration: 25.0,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn pinned_requests() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest {
+            at: 2.0,
+            sink: NodeId(0),
+            q: Point::new(57.0, 57.0),
+            k: 5,
+        },
+        QueryRequest {
+            at: 6.0,
+            sink: NodeId(3),
+            q: Point::new(90.0, 25.0),
+            k: 8,
+        },
+    ]
+}
+
+/// Run the pinned scenario and return the completed simulation's trace
+/// (invariant-checked, so a golden file can never pin a lawless run).
+fn run_pinned(fault_plan: Option<FaultPlan>) -> EventTrace {
+    let scenario = pinned_scenario();
+    let plans = scenario.build(SEED);
+    let mut sim_cfg = scenario.sim_config();
+    sim_cfg.trace = TraceConfig::enabled();
+    if let Some(plan) = fault_plan {
+        sim_cfg.faults = plan;
+    }
+    let mut sim = Simulator::new(
+        sim_cfg,
+        plans,
+        Diknn::new(DiknnConfig::default(), pinned_requests()),
+        SEED,
+    );
+    sim.warm_neighbor_tables();
+    sim.run();
+    let (mut proto, ctx) = sim.into_parts();
+    proto.finish(&ctx);
+    invariants::assert_clean(ctx.trace(), proto.outcomes());
+    ctx.trace().clone()
+}
+
+fn churn_plan() -> FaultPlan {
+    FaultPlan::random_crashes(0.15, 1.0, 12.0)
+}
+
+/// Compare against (or, under `DIKNN_REGEN_GOLDEN=1`, rewrite) the golden
+/// file at `tests/golden/<name>`.
+fn assert_matches_golden(name: &str, committed: &str, actual: &str) {
+    if std::env::var_os("DIKNN_REGEN_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        return;
+    }
+    assert_eq!(
+        actual, committed,
+        "golden trace {name} drifted; if the change is intentional run \
+         DIKNN_REGEN_GOLDEN=1 cargo test -p diknn-workloads --test golden_traces \
+         and review the diff"
+    );
+}
+
+#[test]
+fn same_seed_traces_are_bit_identical() {
+    let a = run_pinned(Some(churn_plan()));
+    let b = run_pinned(Some(churn_plan()));
+    assert!(!a.is_empty(), "pinned run recorded no events");
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn static_scenario_matches_golden() {
+    let trace = run_pinned(None);
+    let rendered = trace.render_protocol();
+    assert!(
+        rendered.contains("query-issued") && rendered.contains("query-done"),
+        "protocol view missing expected events:\n{rendered}"
+    );
+    assert_matches_golden(
+        "static.trace",
+        include_str!("golden/static.trace"),
+        &rendered,
+    );
+}
+
+#[test]
+fn churn_scenario_matches_golden() {
+    let trace = run_pinned(Some(churn_plan()));
+    let rendered = trace.render_protocol();
+    assert!(
+        rendered.contains("crash"),
+        "churn run recorded no crashes:\n{rendered}"
+    );
+    assert_matches_golden("churn.trace", include_str!("golden/churn.trace"), &rendered);
+}
