@@ -1,0 +1,421 @@
+//! `scale_bench` — node-count scaling of the radio hot path and the sweep
+//! harness (BENCH JSON emission).
+//!
+//! Sweeps node count × neighbor index {grid, brute-force} × sweep threads
+//! {1, all}. Every cell runs the same seeded DIKNN runs (constant node
+//! degree 20, so the field grows with the node count) and reports a
+//! per-phase wall-time breakdown:
+//!
+//! * `setup` — mobility-plan build + workload generation,
+//! * `warm`  — `Simulator::new` (includes the grid build) plus the warm
+//!   beacon round (`warm_neighbor_tables`), the paper-setup phase whose
+//!   all-pairs cost the spatial grid removes,
+//! * `run`   — the event loop proper,
+//!
+//! plus events/sec over the run phase and a behaviour fingerprint
+//! (`SimStats` + total energy bits) per run. The grid is a pure index:
+//! every cell of the same node count must produce **bit-identical**
+//! fingerprints whatever the index or thread count; the binary exits
+//! non-zero if they diverge (CI's bench-smoke job relies on this).
+//!
+//! Output: a human table on stdout and machine-readable
+//! `results/BENCH_scale.json`.
+//!
+//! Knobs (this binary defaults smaller than the paper bins — the default
+//! matrix is 4 node counts × 2 indexes × up to 2 thread counts):
+//!
+//! * `DIKNN_RUNS`        — seeded runs per cell (default 3)
+//! * `DIKNN_SEED`        — base seed (default 1000)
+//! * `DIKNN_DURATION`    — simulated seconds per run (default 30)
+//! * `DIKNN_THREADS`     — "all threads" axis (default: available cores)
+//! * `DIKNN_SCALE_NODES` — comma-separated node counts
+//!   (default `250,500,1000,2000`)
+
+// Wall-clock timing is the entire point of this binary; it never feeds
+// back into simulation state, so the determinism ban is lifted here (the
+// xtask pass is exempted per call site with `// lint: wall-clock-ok`).
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant; // lint: wall-clock-ok (host-side benchmark timing)
+
+use diknn_bench::{base_seed, threads};
+use diknn_core::{Diknn, DiknnConfig};
+use diknn_sim::{NeighborIndex, SimStats, Simulator};
+use diknn_workloads::{workload, Experiment, ParallelSweep, ScenarioConfig, WorkloadConfig};
+
+/// Radio range (m); matches `SimConfig::default` and sizes the grid cells.
+const RADIO_RANGE: f64 = 20.0;
+/// Constant node degree: the field grows as `sqrt(n)` so local density —
+/// and thus per-node work — stays fixed while global work scales.
+const NODE_DEGREE: f64 = 20.0;
+/// RWP speed cap (m/s); nonzero so the grid's incremental refresh and
+/// drift padding are on the measured path.
+const MAX_SPEED: f64 = 5.0;
+
+/// Timings and behaviour fingerprint of one seeded run.
+struct RunOut {
+    setup_s: f64,
+    warm_s: f64,
+    run_s: f64,
+    stats: SimStats,
+    energy_bits: u64,
+}
+
+/// One benchmark cell: node count × index × thread count, `runs` seeds.
+struct Cell {
+    nodes: usize,
+    index: NeighborIndex,
+    threads: usize,
+    /// Wall time of the whole sweep (what parallelism improves).
+    wall_s: f64,
+    /// Per-phase times summed over runs (CPU-side cost of each phase).
+    setup_s: f64,
+    warm_s: f64,
+    run_s: f64,
+    events: u64,
+    fingerprints: Vec<(SimStats, u64)>,
+}
+
+impl Cell {
+    fn index_name(&self) -> &'static str {
+        index_name(self.index)
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        if self.run_s > 0.0 {
+            self.events as f64 / self.run_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn index_name(index: NeighborIndex) -> &'static str {
+    match index {
+        NeighborIndex::Grid => "grid",
+        NeighborIndex::BruteForce => "brute",
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Node counts from `DIKNN_SCALE_NODES` (comma-separated).
+fn scale_nodes() -> Vec<usize> {
+    let default = vec![250, 500, 1000, 2000];
+    match std::env::var("DIKNN_SCALE_NODES") {
+        Ok(raw) => {
+            let parsed: Vec<usize> = raw
+                .split(',')
+                .filter_map(|tok| tok.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect();
+            if parsed.is_empty() {
+                default
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default,
+    }
+}
+
+/// One seeded DIKNN run with per-phase timing. Identical inputs to the
+/// sequential experiment driver for the same `(scenario, workload, seed)`;
+/// only the neighbor index differs between grid and brute cells.
+fn run_one(
+    scenario: &ScenarioConfig,
+    wl: &WorkloadConfig,
+    index: NeighborIndex,
+    seed: u64,
+) -> RunOut {
+    let t0 = Instant::now(); // lint: wall-clock-ok
+    let plans = scenario.build(seed);
+    let requests = workload::generate(scenario, wl, seed);
+    let mut cfg = scenario.sim_config();
+    cfg.neighbor_index = index;
+    let setup_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now(); // lint: wall-clock-ok
+    let mut sim = Simulator::new(
+        cfg,
+        plans,
+        Diknn::new(DiknnConfig::default(), requests),
+        seed,
+    );
+    sim.warm_neighbor_tables();
+    let warm_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now(); // lint: wall-clock-ok
+    sim.run();
+    let run_s = t2.elapsed().as_secs_f64();
+
+    let (_protocol, ctx) = sim.into_parts();
+    RunOut {
+        setup_s,
+        warm_s,
+        run_s,
+        stats: *ctx.stats(),
+        energy_bits: ctx.total_energy_j().to_bits(),
+    }
+}
+
+fn bench_cell(
+    scenario: &ScenarioConfig,
+    wl: &WorkloadConfig,
+    index: NeighborIndex,
+    thread_count: usize,
+    runs: usize,
+    seed: u64,
+) -> Cell {
+    let sweep = ParallelSweep::new(thread_count);
+    let t0 = Instant::now(); // lint: wall-clock-ok
+    let outs = sweep.map(runs, |i| {
+        run_one(scenario, wl, index, Experiment::sweep_seed(seed, i))
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    Cell {
+        nodes: scenario.nodes,
+        index,
+        threads: sweep.threads(),
+        wall_s,
+        setup_s: outs.iter().map(|o| o.setup_s).sum(),
+        warm_s: outs.iter().map(|o| o.warm_s).sum(),
+        run_s: outs.iter().map(|o| o.run_s).sum(),
+        events: outs.iter().map(|o| o.stats.events).sum(),
+        fingerprints: outs.iter().map(|o| (o.stats, o.energy_bits)).collect(),
+    }
+}
+
+fn print_cell(cell: &Cell) {
+    println!(
+        "scale nodes={:<5} index={:<5} threads={:<2} wall={:>8.3}s setup={:>7.3}s \
+         warm={:>7.3}s run={:>8.3}s events={:>9} ({:>9.0} ev/s)",
+        cell.nodes,
+        cell.index_name(),
+        cell.threads,
+        cell.wall_s,
+        cell.setup_s,
+        cell.warm_s,
+        cell.run_s,
+        cell.events,
+        cell.events_per_sec(),
+    );
+}
+
+fn cell_json(cell: &Cell) -> String {
+    format!(
+        "    {{\"nodes\": {}, \"index\": \"{}\", \"threads\": {}, \"runs\": {}, \
+         \"wall_s\": {:.6}, \"setup_s\": {:.6}, \"warm_s\": {:.6}, \"run_s\": {:.6}, \
+         \"events\": {}, \"events_per_sec\": {:.1}}}",
+        cell.nodes,
+        cell.index_name(),
+        cell.threads,
+        cell.fingerprints.len(),
+        cell.wall_s,
+        cell.setup_s,
+        cell.warm_s,
+        cell.run_s,
+        cell.events,
+        cell.events_per_sec(),
+    )
+}
+
+/// Grid-vs-brute and parallel-vs-serial ratios for one node count,
+/// computed from the finished cells.
+struct Speedup {
+    nodes: usize,
+    warm_grid_vs_brute: f64,
+    run_grid_vs_brute: f64,
+    wall_grid_vs_brute: f64,
+    sweep_parallel_vs_serial_grid: f64,
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn compute_speedup(cells: &[Cell], nodes: usize, t_max: usize) -> Speedup {
+    let find = |index: NeighborIndex, threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.nodes == nodes && c.index == index && c.threads == threads)
+    };
+    let grid_1 = find(NeighborIndex::Grid, 1);
+    let brute_1 = find(NeighborIndex::BruteForce, 1);
+    let grid_t = find(NeighborIndex::Grid, t_max);
+    match (grid_1, brute_1) {
+        (Some(g), Some(b)) => Speedup {
+            nodes,
+            warm_grid_vs_brute: ratio(b.warm_s, g.warm_s),
+            run_grid_vs_brute: ratio(b.run_s, g.run_s),
+            wall_grid_vs_brute: ratio(b.wall_s, g.wall_s),
+            sweep_parallel_vs_serial_grid: match grid_t {
+                Some(gt) if t_max > 1 => ratio(g.wall_s, gt.wall_s),
+                _ => 1.0,
+            },
+        },
+        _ => Speedup {
+            nodes,
+            warm_grid_vs_brute: 0.0,
+            run_grid_vs_brute: 0.0,
+            wall_grid_vs_brute: 0.0,
+            sweep_parallel_vs_serial_grid: 1.0,
+        },
+    }
+}
+
+fn speedup_json(s: &Speedup) -> String {
+    format!(
+        "    {{\"nodes\": {}, \"warm_grid_vs_brute\": {:.3}, \"run_grid_vs_brute\": {:.3}, \
+         \"wall_grid_vs_brute\": {:.3}, \"sweep_parallel_vs_serial_grid\": {:.3}}}",
+        s.nodes,
+        s.warm_grid_vs_brute,
+        s.run_grid_vs_brute,
+        s.wall_grid_vs_brute,
+        s.sweep_parallel_vs_serial_grid,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    runs: usize,
+    seed: u64,
+    duration: f64,
+    t_max: usize,
+    node_counts: &[usize],
+    cells: &[Cell],
+    speedups: &[Speedup],
+    equivalent: bool,
+) -> String {
+    let nodes_list: Vec<String> = node_counts.iter().map(|n| n.to_string()).collect();
+    let cell_rows: Vec<String> = cells.iter().map(cell_json).collect();
+    let speedup_rows: Vec<String> = speedups.iter().map(speedup_json).collect();
+    format!(
+        "{{\n  \"bench\": \"scale_bench\",\n  \"schema_version\": 1,\n  \"config\": {{\
+         \"runs\": {runs}, \"base_seed\": {seed}, \"duration_s\": {duration:.1}, \
+         \"node_degree\": {NODE_DEGREE:.1}, \"radio_range\": {RADIO_RANGE:.1}, \
+         \"max_speed\": {MAX_SPEED:.1}, \"threads_max\": {t_max}, \
+         \"node_counts\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ],\n  \
+         \"equivalence\": {{\"all_variants_bit_identical\": {equivalent}}}\n}}\n",
+        nodes_list.join(", "),
+        cell_rows.join(",\n"),
+        speedup_rows.join(",\n"),
+    )
+}
+
+fn main() {
+    let runs = env_usize("DIKNN_RUNS", 3).max(1);
+    let seed = base_seed();
+    let duration = env_f64("DIKNN_DURATION", 30.0).max(1.0);
+    let t_max = threads();
+    let node_counts = scale_nodes();
+    // On a single-core box the {1, all} thread axis collapses to {1}; the
+    // JSON records threads_max so multicore runs carry the full matrix.
+    let thread_counts: Vec<usize> = if t_max > 1 { vec![1, t_max] } else { vec![1] };
+
+    println!("scale_bench: radio-index (grid vs brute) and sweep (1 vs {t_max} threads) scaling");
+    println!(
+        "runs={runs} base_seed={seed} duration={duration}s degree={NODE_DEGREE} \
+         range={RADIO_RANGE}m max_speed={MAX_SPEED}m/s nodes={node_counts:?}"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut equivalent = true;
+    for &n in &node_counts {
+        let scenario = ScenarioConfig {
+            nodes: n,
+            max_speed: MAX_SPEED,
+            duration,
+            ..ScenarioConfig::default()
+        }
+        .with_node_degree(NODE_DEGREE, RADIO_RANGE);
+        let wl = WorkloadConfig {
+            last_at: (duration - 5.0).max(duration * 0.5),
+            ..WorkloadConfig::default()
+        };
+        let group_start = cells.len();
+        for index in [NeighborIndex::Grid, NeighborIndex::BruteForce] {
+            for &tc in &thread_counts {
+                let cell = bench_cell(&scenario, &wl, index, tc, runs, seed);
+                print_cell(&cell);
+                cells.push(cell);
+            }
+        }
+        // The index is a pure lookup structure and the sweep a pure
+        // executor: every variant must have produced the same runs.
+        let (reference, rest) = cells[group_start..].split_at(1);
+        for cell in rest {
+            if cell.fingerprints != reference[0].fingerprints {
+                equivalent = false;
+                eprintln!(
+                    "DIVERGENCE at nodes={n}: index={} threads={} disagrees with index={} \
+                     threads={}",
+                    cell.index_name(),
+                    cell.threads,
+                    reference[0].index_name(),
+                    reference[0].threads,
+                );
+            }
+        }
+    }
+
+    let speedups: Vec<Speedup> = node_counts
+        .iter()
+        .map(|&n| compute_speedup(&cells, n, t_max))
+        .collect();
+    for s in &speedups {
+        println!(
+            "speedup nodes={:<5} warm grid/brute={:>6.2}x run grid/brute={:>6.2}x \
+             wall grid/brute={:>6.2}x sweep 1->{} threads={:>5.2}x",
+            s.nodes,
+            s.warm_grid_vs_brute,
+            s.run_grid_vs_brute,
+            s.wall_grid_vs_brute,
+            t_max,
+            s.sweep_parallel_vs_serial_grid,
+        );
+    }
+
+    let json = render_json(
+        runs,
+        seed,
+        duration,
+        t_max,
+        &node_counts,
+        &cells,
+        &speedups,
+        equivalent,
+    );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: could not create results/: {e}");
+    }
+    match std::fs::write("results/BENCH_scale.json", &json) {
+        Ok(()) => println!("wrote results/BENCH_scale.json"),
+        Err(e) => {
+            eprintln!("error: writing results/BENCH_scale.json: {e}");
+            std::process::exit(2);
+        }
+    }
+    if equivalent {
+        println!("OK: all index/thread variants produced bit-identical run fingerprints");
+    } else {
+        eprintln!("FAIL: neighbor-index or thread variants diverged — see above");
+        std::process::exit(1);
+    }
+}

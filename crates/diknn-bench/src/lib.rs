@@ -10,6 +10,7 @@
 //! * `DIKNN_RUNS`   — seeded runs per cell (paper: 20; default: 5)
 //! * `DIKNN_SEED`   — base seed (default 1000)
 //! * `DIKNN_DURATION` — simulated seconds per run (paper: 100; default 100)
+//! * `DIKNN_THREADS` — sweep worker threads (default: all available cores)
 // Shared strict-lint header (checked by `cargo xtask lint`): the
 // simulation stack must stay safe Rust, and determinism rules are enforced
 // by clippy `disallowed-types`/`disallowed-methods` plus `cargo xtask lint`.
@@ -43,6 +44,17 @@ pub fn duration() -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(100.0)
+}
+
+/// Sweep worker threads from `DIKNN_THREADS` (default: the machine's
+/// available parallelism, floor 1). Parallelism never changes results —
+/// see `diknn_workloads::parallel` — so this is purely a wall-time knob.
+pub fn threads() -> usize {
+    std::env::var("DIKNN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| diknn_workloads::ParallelSweep::available().threads())
+        .max(1)
 }
 
 /// The paper's default scenario with the configured duration.
@@ -174,6 +186,7 @@ mod tests {
         // process); just check the defaults parse path.
         assert!(runs() >= 1);
         assert!(duration() > 0.0);
+        assert!(threads() >= 1);
         let _ = base_seed();
     }
 

@@ -7,6 +7,22 @@ use crate::time::SimDuration;
 use crate::trace::TraceConfig;
 use diknn_geom::Rect;
 
+/// How the engine answers "which nodes are within radio range?".
+///
+/// Both answers are bit-identical by construction (the grid is a
+/// candidate superset, exact-checked with the same predicate and sorted
+/// the same way — see `crate::grid`); only the cost differs. The brute
+/// scan is kept as the test oracle the grid is proptested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborIndex {
+    /// Bucketed spatial grid, cell size = radio range: O(degree) per
+    /// query. The default.
+    #[default]
+    Grid,
+    /// Full O(n) scan over all mobility plans per query. Test oracle.
+    BruteForce,
+}
+
 /// MAC behaviour modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MacMode {
@@ -130,6 +146,11 @@ pub struct SimConfig {
     /// Neighbour entries older than this are ignored; defaults to 2.2×
     /// the beacon interval so one lost beacon does not evict a neighbour.
     pub neighbor_timeout: SimDuration,
+    /// Spatial index answering range queries on the radio hot path
+    /// (deliveries, oracle neighbours, table warm-up, jam-zone
+    /// membership). [`NeighborIndex::Grid`] by default;
+    /// [`NeighborIndex::BruteForce`] keeps the O(n) scan as an oracle.
+    pub neighbor_index: NeighborIndex,
     /// If true, neighbour tables are fed directly from the mobility oracle
     /// (perfect, instantaneous neighbourhood knowledge, no beacon traffic).
     /// Used by unit tests and by ablations that want to isolate protocol
@@ -171,6 +192,7 @@ impl Default for SimConfig {
             beacon_interval,
             beacon_bytes: 20,
             neighbor_timeout: beacon_interval.mul_f64(2.2),
+            neighbor_index: NeighborIndex::default(),
             oracle_neighbors: false,
             tx_power_w: 0.0522,
             rx_power_w: 0.0564,
@@ -241,6 +263,7 @@ mod tests {
         assert_eq!(c.bits_per_sec, 250_000);
         assert_eq!(c.beacon_interval, SimDuration::from_millis(500));
         assert_eq!(c.mac, MacMode::Contention);
+        assert_eq!(c.neighbor_index, NeighborIndex::Grid);
         assert!(c.faults.is_inert());
         assert_eq!(c.validate(), Ok(()));
     }

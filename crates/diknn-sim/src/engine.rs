@@ -24,9 +24,10 @@ use diknn_mobility::Mobility;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{MacMode, SimConfig};
+use crate::config::{MacMode, NeighborIndex, SimConfig};
 use crate::energy::{EnergyMeter, TrafficClass};
 use crate::faults::LinkLossModel;
+use crate::grid::SpatialGrid;
 use crate::ids::{NodeId, TimerId, TxId};
 use crate::neighbors::{Neighbor, NeighborTable};
 use crate::stats::SimStats;
@@ -161,6 +162,11 @@ pub struct Ctx<M> {
     alive: Vec<bool>,
     /// Per-receiver Gilbert–Elliott channel state (true = Bad).
     ge_bad: Vec<bool>,
+    /// Spatial index over node positions for the radio hot path; `None`
+    /// under [`NeighborIndex::BruteForce`]. Grid answers are candidate
+    /// supersets, always exact-checked against true positions, so both
+    /// settings produce bit-identical runs (see [`crate::grid`]).
+    grid: Option<SpatialGrid>,
     /// The flight recorder (see [`crate::trace`]); disabled unless
     /// `SimConfig::trace.enabled` (or the legacy `trace_tx`) is set.
     trace: EventTrace,
@@ -203,34 +209,78 @@ impl<M: Clone> Ctx<M> {
     ///
     /// With `oracle_neighbors` the snapshot is computed from ground truth
     /// instead — perfect knowledge, for tests and ablations.
+    ///
+    /// Takes `&mut self` because pruning is a behavioural side effect: it
+    /// decides where a later-re-heard neighbour lands in the table's
+    /// insertion order. Protocol decision paths keep calling this; pure
+    /// observers can use the read-only [`Ctx::neighbors_snapshot`].
     pub fn neighbors(&mut self, node: NodeId) -> Vec<Neighbor> {
         if self.cfg.oracle_neighbors {
-            let me = self.position(node);
-            let range2 = self.cfg.radio_range * self.cfg.radio_range;
-            let t = self.now.as_secs_f64();
-            return (0..self.mobility.len())
-                .filter(|&i| i != node.index() && self.alive[i])
-                .filter_map(|i| {
-                    let p = self.mobility[i].position_at(t);
-                    (me.dist_sq(p) <= range2).then(|| Neighbor {
-                        id: NodeId(i as u32),
-                        position: p,
-                        speed: self.mobility[i].speed_at(t),
-                        heard_at: self.now,
-                    })
-                })
-                .collect();
+            return self.neighbors_snapshot(node);
         }
-        let cutoff = if self.now.as_nanos() > self.cfg.neighbor_timeout.as_nanos() {
-            SimTime::from_nanos(self.now.as_nanos() - self.cfg.neighbor_timeout.as_nanos())
-        } else {
-            SimTime::ZERO
-        };
+        let cutoff = self.neighbor_cutoff();
         let table = &mut self.tables[node.index()];
         if self.now > SimTime::ZERO + self.cfg.neighbor_timeout {
             table.expire(cutoff);
         }
         table.entries().to_vec()
+    }
+
+    /// Read-only view of `node`'s neighbourhood: the same entries
+    /// [`Ctx::neighbors`] returns, without the table-pruning side effect.
+    ///
+    /// Under `oracle_neighbors` this is the ground-truth in-range set
+    /// (grid-accelerated when the grid index is enabled), ascending by
+    /// id. Otherwise it filters the beacon table on the fly.
+    pub fn neighbors_snapshot(&self, node: NodeId) -> Vec<Neighbor> {
+        if self.cfg.oracle_neighbors {
+            let me = self.position(node);
+            let range2 = self.cfg.radio_range * self.cfg.radio_range;
+            let t = self.now.as_secs_f64();
+            let neighbor_of = |i: usize| -> Option<Neighbor> {
+                if i == node.index() || !self.alive[i] {
+                    return None;
+                }
+                let p = self.mobility[i].position_at(t);
+                (me.dist_sq(p) <= range2).then(|| Neighbor {
+                    id: NodeId(i as u32),
+                    position: p,
+                    speed: self.mobility[i].speed_at(t),
+                    heard_at: self.now,
+                })
+            };
+            if let Some(grid) = &self.grid {
+                let mut cand = Vec::new();
+                grid.candidates_near(me, self.cfg.radio_range, self.now, &mut cand);
+                cand.sort_unstable();
+                return cand
+                    .into_iter()
+                    .filter_map(|i| neighbor_of(i as usize))
+                    .collect();
+            }
+            return (0..self.mobility.len()).filter_map(neighbor_of).collect();
+        }
+        let table = &self.tables[node.index()];
+        if self.now > SimTime::ZERO + self.cfg.neighbor_timeout {
+            let cutoff = self.neighbor_cutoff();
+            table
+                .entries()
+                .iter()
+                .filter(|e| e.heard_at > cutoff)
+                .copied()
+                .collect()
+        } else {
+            table.entries().to_vec()
+        }
+    }
+
+    /// Beacon entries heard at or before this time are stale.
+    fn neighbor_cutoff(&self) -> SimTime {
+        if self.now.as_nanos() > self.cfg.neighbor_timeout.as_nanos() {
+            SimTime::from_nanos(self.now.as_nanos() - self.cfg.neighbor_timeout.as_nanos())
+        } else {
+            SimTime::ZERO
+        }
     }
 
     /// Engine counters so far.
@@ -262,17 +312,6 @@ impl<M: Clone> Ctx<M> {
     #[inline]
     pub fn trace(&self) -> &EventTrace {
         &self.trace
-    }
-
-    /// Transmission-start trace `(time, sender)`, derived from the typed
-    /// event trace; empty unless tracing was enabled.
-    #[deprecated(note = "use `Ctx::trace()` and filter `TraceKind::TxStart` events")]
-    pub fn tx_trace(&self) -> Vec<(SimTime, NodeId)> {
-        self.trace
-            .events()
-            .filter(|e| matches!(e.kind, TraceKind::TxStart { .. }))
-            .map(|e| (e.time, e.node))
-            .collect()
     }
 
     /// Energy meter of one node.
@@ -437,11 +476,40 @@ impl<M: Clone> Ctx<M> {
         let origin = self.position(from);
         let range2 = self.cfg.radio_range * self.cfg.radio_range;
         let t = self.now.as_secs_f64();
+        let in_range = |i: usize| -> bool {
+            i != from.index()
+                && self.alive[i]
+                && origin.dist_sq(self.mobility[i].position_at(t)) <= range2
+        };
+        if let Some(grid) = &self.grid {
+            let mut cand = Vec::new();
+            grid.candidates_near(origin, self.cfg.radio_range, self.now, &mut cand);
+            cand.sort_unstable();
+            return cand
+                .into_iter()
+                .filter(|&i| in_range(i as usize))
+                .map(|i| (NodeId(i), false))
+                .collect();
+        }
         (0..self.mobility.len())
-            .filter(|&i| i != from.index() && self.alive[i])
-            .filter(|&i| origin.dist_sq(self.mobility[i].position_at(t)) <= range2)
+            .filter(|&i| in_range(i))
             .map(|i| (NodeId(i as u32), false))
             .collect()
+    }
+
+    /// Incrementally re-bucket the spatial grid once accumulated node
+    /// drift could exceed the refresh slack. Called by the run loop on
+    /// every event; a cheap no-op while fresh, and always for static
+    /// scenarios (`vmax = 0` never drifts).
+    fn refresh_grid_if_stale(&mut self) {
+        let now = self.now;
+        let mobility = &self.mobility;
+        if let Some(grid) = self.grid.as_mut() {
+            if grid.needs_refresh(now) {
+                let t = now.as_secs_f64();
+                grid.refresh(|i| mobility[i].position_at(t), now);
+            }
+        }
     }
 
     /// Begin transmitting pending frame `id`: mark collisions and schedule
@@ -554,8 +622,25 @@ impl<P: Protocol> Simulator<P> {
             stopped: false,
             alive: vec![true; n],
             ge_bad: vec![false; n],
+            grid: None,
             trace,
         };
+        if ctx.cfg.neighbor_index == NeighborIndex::Grid {
+            let vmax = ctx
+                .mobility
+                .iter()
+                .map(|m| m.max_speed())
+                .fold(0.0_f64, f64::max);
+            let positions: Vec<Point> = ctx.mobility.iter().map(|m| m.position_at(0.0)).collect();
+            ctx.grid = Some(SpatialGrid::build(
+                ctx.cfg.field,
+                ctx.cfg.radio_range,
+                &positions,
+                vmax,
+                0.5 * ctx.cfg.radio_range,
+                SimTime::ZERO,
+            ));
+        }
         Self::schedule_faults(&mut ctx, seed);
         Simulator { ctx, protocol }
     }
@@ -640,22 +725,33 @@ impl<P: Protocol> Simulator<P> {
     /// t=0 instead of being blind for the first beacon interval.
     pub fn warm_neighbor_tables(&mut self) {
         let n = self.ctx.node_count();
+        let mut cand: Vec<u32> = Vec::new();
         for i in 0..n {
             let entries = {
                 let me = self.ctx.position(NodeId(i as u32));
                 let range2 = self.ctx.cfg.radio_range * self.ctx.cfg.radio_range;
-                (0..n)
-                    .filter(|&j| j != i)
-                    .filter_map(|j| {
-                        let p = self.ctx.position(NodeId(j as u32));
-                        (me.dist_sq(p) <= range2).then(|| Neighbor {
-                            id: NodeId(j as u32),
-                            position: p,
-                            speed: self.ctx.speed(NodeId(j as u32)),
-                            heard_at: SimTime::ZERO,
-                        })
+                let neighbor_of = |j: usize| -> Option<Neighbor> {
+                    if j == i {
+                        return None;
+                    }
+                    let p = self.ctx.position(NodeId(j as u32));
+                    (me.dist_sq(p) <= range2).then(|| Neighbor {
+                        id: NodeId(j as u32),
+                        position: p,
+                        speed: self.ctx.speed(NodeId(j as u32)),
+                        heard_at: SimTime::ZERO,
                     })
-                    .collect::<Vec<_>>()
+                };
+                if let Some(grid) = &self.ctx.grid {
+                    cand.clear();
+                    grid.candidates_near(me, self.ctx.cfg.radio_range, self.ctx.now, &mut cand);
+                    cand.sort_unstable();
+                    cand.iter()
+                        .filter_map(|&j| neighbor_of(j as usize))
+                        .collect::<Vec<_>>()
+                } else {
+                    (0..n).filter_map(neighbor_of).collect::<Vec<_>>()
+                }
             };
             let table = &mut self.ctx.tables[i];
             for e in entries {
@@ -687,6 +783,7 @@ impl<P: Protocol> Simulator<P> {
                 break;
             }
             self.ctx.now = ev.time;
+            self.ctx.refresh_grid_if_stale();
             self.ctx.stats.events += 1;
             match self.dispatch(ev.kind) {
                 Callback::None => {}
@@ -916,6 +1013,35 @@ impl<P: Protocol> Simulator<P> {
         // `receivers` order (ascending id), so every RNG draw is
         // deterministic.
         let t_now = ctx.now.since(SimTime::ZERO);
+        // Jam-zone membership: with the grid index, pre-filter to nodes
+        // whose cell could overlap a time-active zone, then exact-check
+        // with `FaultRegion::contains`; without it, each receiver is
+        // checked against every zone. Membership and the max loss per
+        // node are identical either way (the grid query is a superset and
+        // the containment predicate is shared), so the per-receiver RNG
+        // draw sequence below is unchanged.
+        let jam_map: Option<BTreeMap<u32, f64>> = match &ctx.grid {
+            Some(grid) if !ctx.cfg.faults.jam_zones.is_empty() => {
+                let mut map = BTreeMap::new();
+                let mut cand: Vec<u32> = Vec::new();
+                let t = ctx.now.as_secs_f64();
+                for z in &ctx.cfg.faults.jam_zones {
+                    if !(z.from <= t_now && t_now <= z.until) {
+                        continue;
+                    }
+                    cand.clear();
+                    grid.candidates_in_rect(&z.region.bounding_rect(), ctx.now, &mut cand);
+                    for &i in &cand {
+                        if z.region.contains(ctx.mobility[i as usize].position_at(t)) {
+                            let e = map.entry(i).or_insert(0.0_f64);
+                            *e = e.max(z.loss);
+                        }
+                    }
+                }
+                Some(map)
+            }
+            _ => None,
+        };
         let mut successes: Vec<NodeId> = Vec::with_capacity(active.receivers.len());
         for &(r, corrupted) in &active.receivers {
             if !ctx.alive[r.index()] {
@@ -927,15 +1053,21 @@ impl<P: Protocol> Simulator<P> {
                 continue;
             }
             if !ctx.cfg.faults.jam_zones.is_empty() {
-                let pos = ctx.position(r);
-                let jam = ctx
-                    .cfg
-                    .faults
-                    .jam_zones
-                    .iter()
-                    .filter(|z| z.from <= t_now && t_now <= z.until && z.region.contains(pos))
-                    .map(|z| z.loss)
-                    .fold(0.0_f64, f64::max);
+                let jam = match &jam_map {
+                    Some(map) => map.get(&r.0).copied().unwrap_or(0.0),
+                    None => {
+                        let pos = ctx.position(r);
+                        ctx.cfg
+                            .faults
+                            .jam_zones
+                            .iter()
+                            .filter(|z| {
+                                z.from <= t_now && t_now <= z.until && z.region.contains(pos)
+                            })
+                            .map(|z| z.loss)
+                            .fold(0.0_f64, f64::max)
+                    }
+                };
                 if jam > 0.0 && ctx.rng.gen::<f64>() < jam {
                     ctx.stats.frames_jammed += 1;
                     ctx.trace_verbose(
@@ -1070,4 +1202,20 @@ impl<P: Protocol> Simulator<P> {
             },
         }
     }
+}
+
+// Compile-time audit that a whole simulator run can be moved to a worker
+// thread: every field of `Ctx` (mobility `Arc<dyn Mobility>` — the trait
+// requires `Send + Sync` — RNG, queue, trace ring) is `Send`, so
+// `Simulator<P>: Send` whenever the protocol and its messages are. The
+// `ParallelSweep` executor in `diknn-workloads` relies on this.
+#[allow(dead_code)]
+fn assert_simulator_is_send<P>()
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    fn is_send<T: Send>() {}
+    is_send::<Simulator<P>>();
+    is_send::<Ctx<P::Msg>>();
 }

@@ -65,17 +65,19 @@ pub mod config;
 pub mod energy;
 mod engine;
 pub mod faults;
+pub mod grid;
 mod ids;
 pub mod neighbors;
 mod stats;
 pub mod time;
 pub mod trace;
 
-pub use config::{ConfigError, MacMode, SimConfig};
+pub use config::{ConfigError, MacMode, NeighborIndex, SimConfig};
 pub use engine::{Ctx, Destination, Protocol, SharedMobility, Simulator};
 pub use faults::{
     CrashSpec, FaultPlan, FaultRegion, GilbertElliott, JamZone, LinkLossModel, RandomCrashes,
 };
+pub use grid::SpatialGrid;
 pub use ids::{NodeId, TimerId};
 pub use neighbors::Neighbor;
 pub use stats::SimStats;

@@ -95,10 +95,6 @@ fn crashed_sender_goes_silent_and_timers_are_suppressed() {
         }
     }
     assert!(tx_starts > 0, "trace recorded no transmissions");
-    // The deprecated compat accessor derives the same (time, sender) list.
-    #[allow(deprecated)]
-    let legacy = sim.ctx().tx_trace();
-    assert_eq!(legacy.len(), tx_starts);
 }
 
 #[test]

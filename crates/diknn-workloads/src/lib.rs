@@ -15,6 +15,9 @@
 //!   four protocols (DIKNN, KPT+KNNB, Peer-tree, Flood) over a scenario.
 //! * [`fault_sweep`] — packaged fault-plan sweeps (node churn, bursty
 //!   links) for the robustness experiments.
+//! * [`ParallelSweep`] — the sanctioned scoped-thread executor; seed
+//!   sweeps run across cores with bit-identical aggregates (see
+//!   [`parallel`] for the determinism argument).
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod fault_sweep;
 pub mod invariants;
 mod metrics;
 mod oracle;
+pub mod parallel;
 mod runner;
 mod scenario;
 pub mod workload;
@@ -49,6 +53,7 @@ pub use fault_sweep::FaultCell;
 pub use invariants::{assert_clean, check, check_with, CheckOptions, Violation};
 pub use metrics::{status_index, Aggregate, RunMetrics, Stat};
 pub use oracle::GroundTruth;
+pub use parallel::ParallelSweep;
 pub use runner::{run_protocol_once, run_protocol_once_faulted, Experiment, ProtocolKind};
 pub use scenario::{HerdSetup, PlacementKind, ScenarioConfig};
 pub use workload::WorkloadConfig;

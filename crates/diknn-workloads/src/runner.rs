@@ -10,6 +10,7 @@ use diknn_sim::{Protocol, SimConfig, Simulator, TraceConfig};
 use crate::invariants;
 use crate::metrics::{Aggregate, RunMetrics};
 use crate::oracle::GroundTruth;
+use crate::parallel::ParallelSweep;
 use crate::scenario::ScenarioConfig;
 use crate::workload::{self, WorkloadConfig};
 
@@ -139,11 +140,29 @@ impl Experiment {
         }
     }
 
+    /// The seed of the `i`-th run of a sweep starting at `base_seed`.
+    /// Shared by [`Experiment::run`] and [`Experiment::run_parallel`] so
+    /// the two paths are seed-for-seed identical by construction.
+    #[inline]
+    pub fn sweep_seed(base_seed: u64, i: usize) -> u64 {
+        base_seed.wrapping_add(i as u64 * 7919)
+    }
+
     /// Run `runs` seeds (the paper averages 20) and aggregate.
     pub fn run(&self, runs: usize, base_seed: u64) -> Aggregate {
         let metrics: Vec<RunMetrics> = (0..runs)
-            .map(|i| self.run_once(base_seed.wrapping_add(i as u64 * 7919)))
+            .map(|i| self.run_once(Self::sweep_seed(base_seed, i)))
             .collect();
+        Aggregate::from_runs(&metrics)
+    }
+
+    /// [`Experiment::run`] across a worker pool. Per-run seeds are derived
+    /// exactly as the sequential path derives them and results are
+    /// aggregated in seed order, so the returned [`Aggregate`] is
+    /// bit-identical to `self.run(runs, base_seed)` — parallelism changes
+    /// wall time, never results (see [`crate::parallel`]).
+    pub fn run_parallel(&self, runs: usize, base_seed: u64, sweep: &ParallelSweep) -> Aggregate {
+        let metrics = sweep.map(runs, |i| self.run_once(Self::sweep_seed(base_seed, i)));
         Aggregate::from_runs(&metrics)
     }
 }

@@ -1,0 +1,73 @@
+//! Parallel sweep equivalence: `Experiment::run_parallel` must return an
+//! [`Aggregate`] bit-identical to the sequential `Experiment::run` for
+//! the same `(runs, base_seed)` — same per-run seeds, same collection
+//! order, same float summation order. Aggregates are compared with full
+//! `PartialEq` (every mean/min/max/stddev field), so any reordering or
+//! seed drift in the parallel path shows up immediately.
+
+use diknn_core::DiknnConfig;
+use diknn_sim::{NeighborIndex, SimConfig};
+use diknn_workloads::{
+    fault_sweep, Experiment, ParallelSweep, ProtocolKind, ScenarioConfig, WorkloadConfig,
+};
+
+fn pinned_experiment() -> Experiment {
+    Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        ScenarioConfig {
+            nodes: 120,
+            duration: 25.0,
+            max_speed: 2.0,
+            ..ScenarioConfig::default()
+        },
+        WorkloadConfig {
+            k: 10,
+            first_at: 2.0,
+            last_at: 10.0,
+            mean_interval: 4.0,
+            ..WorkloadConfig::default()
+        },
+    )
+}
+
+#[test]
+fn parallel_aggregate_is_bit_identical_to_sequential() {
+    let exp = pinned_experiment();
+    let sequential = exp.run(4, 42);
+    for threads in [2, 8] {
+        let parallel = exp.run_parallel(4, 42, &ParallelSweep::new(threads));
+        assert_eq!(
+            parallel, sequential,
+            "{threads}-thread sweep diverged from the sequential aggregate"
+        );
+    }
+    // One worker *is* the sequential loop.
+    assert_eq!(exp.run_parallel(4, 42, &ParallelSweep::new(1)), sequential);
+}
+
+#[test]
+fn faulted_parallel_sweep_matches_sequential() {
+    // Fault plans draw from seed-derived RNG streams; the parallel path
+    // must reproduce them run for run.
+    let mut exp = pinned_experiment();
+    exp.fault_plan = Some(fault_sweep::churn_and_bursts(25.0));
+    let sequential = exp.run(3, 7);
+    let parallel = exp.run_parallel(3, 7, &ParallelSweep::new(3));
+    assert_eq!(parallel, sequential);
+}
+
+#[test]
+fn grid_and_brute_force_aggregates_agree() {
+    // The spatial grid changes cost, not behaviour: the whole experiment
+    // pipeline (warm tables, MAC, faults, metrics) aggregates identically
+    // under either index, sequentially or in parallel.
+    let grid_exp = pinned_experiment();
+    let mut brute_exp = pinned_experiment();
+    fn force_brute(cfg: &mut SimConfig) {
+        cfg.neighbor_index = NeighborIndex::BruteForce;
+    }
+    brute_exp.sim_tweak = Some(force_brute);
+    let grid = grid_exp.run_parallel(3, 11, &ParallelSweep::new(2));
+    let brute = brute_exp.run(3, 11);
+    assert_eq!(grid, brute);
+}

@@ -31,6 +31,12 @@
 //!    is consciously raised in review.
 //! 6. `strict-header` — every workspace crate root must carry
 //!    `#![forbid(unsafe_code)]`.
+//! 7. `raw-thread` — no `thread::spawn`/`thread::scope`/`thread::Builder`
+//!    in library code outside the sanctioned executor module
+//!    (`crates/diknn-workloads/src/parallel.rs`): ad-hoc threads are how
+//!    nondeterministic collection order sneaks in. All parallelism funnels
+//!    through `ParallelSweep`, whose index-ordered collection keeps sweeps
+//!    bit-identical to sequential runs. No exemption.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -47,6 +53,10 @@ const ORDERED_STATE_CRATES: &[&str] = &[
 
 /// Crates whose library code may not compare floats with `==`/`!=` (rule 4).
 const FLOAT_EQ_CRATES: &[&str] = &["diknn-core", "diknn-routing"];
+
+/// The one module allowed to touch `std::thread` (rule 7): the sanctioned
+/// deterministic executor everything else must go through.
+const SANCTIONED_THREAD_MODULE: &str = "crates/diknn-workloads/src/parallel.rs";
 
 /// One finding of the pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -367,6 +377,25 @@ pub fn scan_source(rel_path: &str, crate_name: &str, content: &str) -> FileRepor
             }
         }
 
+        // ---- rule 7: raw threads (no exemption) ---------------------
+        if rel_path != SANCTIONED_THREAD_MODULE {
+            for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if code.contains(needle) {
+                    report.violations.push(Violation {
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        rule: "raw-thread",
+                        message: format!(
+                            "`{needle}` outside the sanctioned executor; route all \
+                             parallelism through `diknn_workloads::ParallelSweep` \
+                             ({SANCTIONED_THREAD_MODULE}), whose index-ordered collection \
+                             keeps results bit-identical to sequential (no exemption)"
+                        ),
+                    });
+                }
+            }
+        }
+
         // ---- rule 5: unwrap counting --------------------------------
         report.unwrap_count +=
             count_occurrences(code, ".unwrap()") + count_occurrences(code, ".expect(");
@@ -527,6 +556,34 @@ mod tests {
         let src = "let x = thread_rng(); // lint: order-independent, wall-clock-ok\n";
         let r = scan_source("crates/diknn-core/src/a.rs", "diknn-core", src);
         assert_eq!(rules(&r), vec!["ambient-randomness"]);
+    }
+
+    #[test]
+    fn flags_raw_threads_outside_the_sanctioned_executor() {
+        let src = "let h = std::thread::spawn(|| work());\n";
+        let r = scan_source("crates/diknn-bench/src/lib.rs", "diknn-bench", src);
+        assert_eq!(rules(&r), vec!["raw-thread"]);
+        // The executor module itself is the one sanctioned call site.
+        let r = scan_source(
+            "crates/diknn-workloads/src/parallel.rs",
+            "diknn-workloads",
+            src,
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // No exemption comment silences the rule.
+        let r = scan_source(
+            "crates/diknn-sim/src/x.rs",
+            "diknn-sim",
+            "std::thread::scope(|s| {}); // lint: wall-clock-ok, order-independent\n",
+        );
+        assert_eq!(rules(&r), vec!["raw-thread"]);
+        // Non-spawning thread APIs (sleep, available_parallelism) are fine.
+        let r = scan_source(
+            "crates/diknn-sim/src/x.rs",
+            "diknn-sim",
+            "std::thread::sleep(d);\nlet n = std::thread::available_parallelism();\n",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]

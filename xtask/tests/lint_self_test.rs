@@ -13,6 +13,7 @@ use xtask::lint::{check_budgets, lint_workspace, scan_source};
 const BAD_SIM_STATE: &str = include_str!("fixtures/bad_sim_state.rs");
 const BAD_ENTROPY: &str = include_str!("fixtures/bad_entropy.rs");
 const BAD_UNWRAP: &str = include_str!("fixtures/bad_unwrap_budget.rs");
+const BAD_THREAD: &str = include_str!("fixtures/bad_thread.rs");
 
 fn rule_counts(path: &str, crate_name: &str, src: &str) -> BTreeMap<&'static str, usize> {
     let mut counts = BTreeMap::new();
@@ -59,6 +60,24 @@ fn fixture_over_budget_unwraps_are_caught() {
     let violations = check_budgets(&counts, &budgets);
     assert_eq!(violations.len(), 1);
     assert_eq!(violations[0].rule, "unwrap-budget");
+}
+
+#[test]
+fn fixture_raw_threads_are_caught_outside_the_executor() {
+    let counts = rule_counts(
+        "crates/diknn-bench/src/bad_thread.rs",
+        "diknn-bench",
+        BAD_THREAD,
+    );
+    // spawn + scope + Builder.
+    assert_eq!(counts.get("raw-thread"), Some(&3), "{counts:?}");
+    // The identical source inside the sanctioned executor module is clean.
+    let counts = rule_counts(
+        "crates/diknn-workloads/src/parallel.rs",
+        "diknn-workloads",
+        BAD_THREAD,
+    );
+    assert_eq!(counts.get("raw-thread"), None, "{counts:?}");
 }
 
 #[test]
