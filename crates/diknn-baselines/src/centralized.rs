@@ -92,6 +92,15 @@ pub enum CentralMsg {
 }
 
 impl CentralMsg {
+    /// Query id for per-query energy attribution; position `Report`s are
+    /// index-maintenance traffic owned by no query.
+    fn qid(&self) -> Option<u32> {
+        match self {
+            CentralMsg::Report { .. } => None,
+            CentralMsg::Query { spec, .. } | CentralMsg::Answer { spec, .. } => Some(spec.qid),
+        }
+    }
+
     fn wire_bytes(&self, cfg: &CentralizedConfig) -> usize {
         match self {
             CentralMsg::Report { .. } => cfg.base_msg_bytes,
@@ -152,7 +161,8 @@ impl Centralized {
 
     fn send(&self, ctx: &mut Ctx<CentralMsg>, from: NodeId, to: NodeId, msg: CentralMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.unicast(from, to, bytes, msg);
+        let flow = msg.qid();
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     /// Geo-route `msg` toward the header's destination, delivering to

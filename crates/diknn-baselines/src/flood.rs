@@ -90,6 +90,16 @@ pub enum FloodMsg {
 }
 
 impl FloodMsg {
+    /// Query id for per-query energy attribution (every flood frame is
+    /// query-scoped).
+    fn qid(&self) -> Option<u32> {
+        match self {
+            FloodMsg::Query { spec, .. }
+            | FloodMsg::Flood { spec, .. }
+            | FloodMsg::Response { spec, .. } => Some(spec.qid),
+        }
+    }
+
     fn wire_bytes(&self, cfg: &FloodConfig) -> usize {
         match self {
             FloodMsg::Query { list, .. } => cfg.base_msg_bytes + 10 * list.len(),
@@ -125,7 +135,8 @@ impl Flood {
 
     fn send(&self, ctx: &mut Ctx<FloodMsg>, from: NodeId, to: NodeId, msg: FloodMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.unicast(from, to, bytes, msg);
+        let flow = msg.qid();
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     fn issue(&mut self, ctx: &mut Ctx<FloodMsg>, idx: usize) {
@@ -246,7 +257,7 @@ impl Flood {
         // sink after a random share of the jitter budget.
         let flood = FloodMsg::Flood { spec, radius };
         let bytes = flood.wire_bytes(&self.cfg);
-        ctx.broadcast(at, bytes, flood);
+        ctx.broadcast_flow(at, bytes, flood, Some(spec.qid));
         self.pending.insert((spec.qid, at.0), spec);
         let jitter: f64 = {
             use rand::Rng;

@@ -145,6 +145,17 @@ pub enum KptMsg {
 }
 
 impl KptMsg {
+    /// Query id for per-query energy attribution (every KPT frame is
+    /// query-scoped).
+    fn qid(&self) -> Option<u32> {
+        match self {
+            KptMsg::Query { spec, .. }
+            | KptMsg::TreeBuild { spec, .. }
+            | KptMsg::Result { spec, .. } => Some(spec.qid),
+            KptMsg::Report { qid, .. } => Some(*qid),
+        }
+    }
+
     fn wire_bytes(&self, cfg: &KptConfig) -> usize {
         match self {
             KptMsg::Query { list, .. } => cfg.base_msg_bytes + 10 * list.len(),
@@ -217,12 +228,14 @@ impl Kpt {
 
     fn send(&self, ctx: &mut Ctx<KptMsg>, from: NodeId, to: NodeId, msg: KptMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.unicast(from, to, bytes, msg);
+        let flow = msg.qid();
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     fn broadcast(&self, ctx: &mut Ctx<KptMsg>, from: NodeId, msg: KptMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.broadcast(from, bytes, msg);
+        let flow = msg.qid();
+        ctx.broadcast_flow(from, bytes, msg, flow);
     }
 
     fn issue(&mut self, ctx: &mut Ctx<KptMsg>, idx: usize) {

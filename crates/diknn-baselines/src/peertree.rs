@@ -174,6 +174,19 @@ pub enum PtMsg {
 }
 
 impl PtMsg {
+    /// Query id for per-query energy attribution; `Notify` is maintenance
+    /// traffic owned by no query.
+    fn qid(&self) -> Option<u32> {
+        match self {
+            PtMsg::Notify { .. } => None,
+            PtMsg::Query { spec, .. } | PtMsg::Result { spec, .. } => Some(spec.qid),
+            PtMsg::SubQuery { qid, .. }
+            | PtMsg::SubReply { qid, .. }
+            | PtMsg::Collect { qid, .. }
+            | PtMsg::CollectReply { qid, .. } => Some(*qid),
+        }
+    }
+
     fn wire_bytes(&self, cfg: &PeerTreeConfig) -> usize {
         match self {
             PtMsg::Notify { .. } => cfg.base_msg_bytes,
@@ -318,7 +331,8 @@ impl PeerTree {
 
     fn send(&self, ctx: &mut Ctx<PtMsg>, from: NodeId, to: NodeId, msg: PtMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.unicast(from, to, bytes, msg);
+        let flow = msg.qid();
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     /// Geo-route `msg` toward `dest_pos`, delivering when `dest` is

@@ -1,0 +1,378 @@
+//! `query_load` — the concurrent multi-query engine under sustained load.
+//!
+//! Sweeps arrival rate × k × mobility at a fixed node count (default 500),
+//! driving DIKNN with the deterministic Poisson-like arrival process of
+//! [`diknn_workloads::QueryLoad`]. Rates well above `1 / typical latency`
+//! keep many queries in flight at once; every run is invariant-checked
+//! (all six per-query laws plus the cross-query custody law) by the
+//! experiment driver. Per cell the binary reports:
+//!
+//! * sustained throughput (completed queries per simulated second),
+//! * p50 / p95 / mean query latency,
+//! * pre-/post-mobility accuracy and completion rate,
+//! * flow-attributed energy per query,
+//! * the peak number of concurrently in-flight queries.
+//!
+//! Three hard checks decide the exit code (CI's bench-smoke relies on
+//! them):
+//!
+//! 1. every issued query reaches a terminal [`QueryStatus`] in every run,
+//! 2. at least one cell sustains `DIKNN_LOAD_MIN_INFLIGHT` (default 8)
+//!    concurrent in-flight queries,
+//! 3. the first cell re-run through `ParallelSweep` is bit-identical to
+//!    its sequential metrics (per-query rows included).
+//!
+//! Output: a human table on stdout, the same table in
+//! `results/query_load.txt`, and machine-readable
+//! `results/BENCH_query_load.json`.
+//!
+//! Knobs:
+//!
+//! * `DIKNN_RUNS`              — seeded runs per cell (default 3)
+//! * `DIKNN_SEED`              — base seed (default 1000)
+//! * `DIKNN_DURATION`          — simulated seconds per run (default 40)
+//! * `DIKNN_THREADS`           — sweep worker threads (default: all cores)
+//! * `DIKNN_LOAD_NODES`        — node count (default 500)
+//! * `DIKNN_LOAD_RATES`        — comma-separated arrival rates in
+//!   queries/sec (default `2,10,25`)
+//! * `DIKNN_LOAD_KS`           — comma-separated k values (default `10,40`)
+//! * `DIKNN_LOAD_SPEEDS`       — comma-separated max speeds in m/s
+//!   (default `0,5`)
+//! * `DIKNN_LOAD_MIN_INFLIGHT` — in-flight queries some cell must sustain
+//!   (default 8)
+
+// Wall-clock timing never feeds back into simulation state, so the
+// determinism ban is lifted here (the xtask pass is exempted per call site
+// with `// lint: wall-clock-ok`).
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant; // lint: wall-clock-ok (host-side benchmark timing)
+
+use diknn_bench::{base_seed, threads};
+use diknn_core::{DiknnConfig, QueryStatus};
+use diknn_workloads::{
+    Aggregate, Experiment, ParallelSweep, ProtocolKind, QueryLoad, RunMetrics, ScenarioConfig,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64_list(name: &str, default: &[f64]) -> Vec<f64> {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let parsed: Vec<f64> = raw
+                .split(',')
+                .filter_map(|tok| tok.trim().parse().ok())
+                .filter(|&v: &f64| v >= 0.0 && v.is_finite())
+                .collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let parsed: Vec<usize> = raw
+                .split(',')
+                .filter_map(|tok| tok.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// One load cell: arrival rate × k × mobility.
+struct Cell {
+    rate_qps: f64,
+    k: usize,
+    max_speed: f64,
+    wall_s: f64,
+    agg: Aggregate,
+    /// Peak concurrently in-flight queries over the cell's runs.
+    peak_in_flight: usize,
+    /// Mean issued queries per run.
+    queries_per_run: f64,
+    /// Completed queries per simulated second, averaged over runs.
+    sustained_qps: f64,
+    /// Every query of every run reached a terminal status.
+    all_terminal: bool,
+}
+
+fn experiment(nodes: usize, duration: f64, load: &QueryLoad, max_speed: f64) -> Experiment {
+    Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        ScenarioConfig {
+            nodes,
+            duration,
+            max_speed,
+            ..ScenarioConfig::default()
+        },
+        load.workload(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_cell(
+    nodes: usize,
+    duration: f64,
+    rate_qps: f64,
+    k: usize,
+    max_speed: f64,
+    runs: usize,
+    seed: u64,
+    sweep: &ParallelSweep,
+) -> (Cell, Vec<RunMetrics>) {
+    let load = QueryLoad {
+        rate_qps,
+        k,
+        first_at: 2.0,
+        last_at: (duration - 10.0).max(duration * 0.5),
+        ..QueryLoad::default()
+    };
+    let exp = experiment(nodes, duration, &load, max_speed);
+    let t0 = Instant::now(); // lint: wall-clock-ok
+    let metrics = sweep.map(runs, |i| exp.run_once(Experiment::sweep_seed(seed, i)));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let agg = Aggregate::from_runs(&metrics);
+    let cell = Cell {
+        rate_qps,
+        k,
+        max_speed,
+        wall_s,
+        agg,
+        peak_in_flight: metrics.iter().map(|m| m.max_in_flight).max().unwrap_or(0),
+        queries_per_run: metrics.iter().map(|m| m.queries as f64).sum::<f64>() / runs.max(1) as f64,
+        sustained_qps: metrics
+            .iter()
+            .map(|m| m.completed as f64 / duration)
+            .sum::<f64>()
+            / runs.max(1) as f64,
+        all_terminal: metrics
+            .iter()
+            .flat_map(|m| &m.per_query)
+            .all(|q| q.status != QueryStatus::Pending),
+    };
+    (cell, metrics)
+}
+
+fn cell_line(c: &Cell) -> String {
+    format!(
+        "load rate={:<5} k={:<3} speed={:<3} queries/run={:<6.1} sustained={:>6.2} q/s \
+         p50={:.3}s p95={:.3}s latency={:.3}s post={:.3} completion={:.2} \
+         energy/query={:.4}J peak_in_flight={:<3} terminal={} wall={:.1}s",
+        c.rate_qps,
+        c.k,
+        c.max_speed,
+        c.queries_per_run,
+        c.sustained_qps,
+        c.agg.latency_p50_s.mean,
+        c.agg.latency_p95_s.mean,
+        c.agg.latency_s.mean,
+        c.agg.post_accuracy.mean,
+        c.agg.completion_rate.mean,
+        c.agg.per_query_energy_j.mean,
+        c.peak_in_flight,
+        c.all_terminal,
+        c.wall_s,
+    )
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\"rate_qps\": {}, \"k\": {}, \"max_speed\": {}, \"queries_per_run\": {:.1}, \
+         \"sustained_qps\": {:.4}, \"latency_p50_s\": {:.6}, \"latency_p95_s\": {:.6}, \
+         \"latency_mean_s\": {:.6}, \"pre_accuracy\": {:.4}, \"post_accuracy\": {:.4}, \
+         \"completion_rate\": {:.4}, \"per_query_energy_j\": {:.6}, \
+         \"peak_in_flight\": {}, \"all_terminal\": {}, \"wall_s\": {:.3}}}",
+        c.rate_qps,
+        c.k,
+        c.max_speed,
+        c.queries_per_run,
+        c.sustained_qps,
+        c.agg.latency_p50_s.mean,
+        c.agg.latency_p95_s.mean,
+        c.agg.latency_s.mean,
+        c.agg.pre_accuracy.mean,
+        c.agg.post_accuracy.mean,
+        c.agg.completion_rate.mean,
+        c.agg.per_query_energy_j.mean,
+        c.peak_in_flight,
+        c.all_terminal,
+        c.wall_s,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    runs: usize,
+    seed: u64,
+    duration: f64,
+    nodes: usize,
+    min_inflight: usize,
+    cells: &[Cell],
+    peak_in_flight: usize,
+    all_terminal: bool,
+    parallel_equiv: bool,
+) -> String {
+    let rows: Vec<String> = cells.iter().map(cell_json).collect();
+    let inflight_ok = peak_in_flight >= min_inflight;
+    format!(
+        "{{\n  \"bench\": \"query_load\",\n  \"schema_version\": 1,\n  \"config\": {{\
+         \"runs\": {runs}, \"base_seed\": {seed}, \"duration_s\": {duration:.1}, \
+         \"nodes\": {nodes}, \"min_inflight\": {min_inflight}}},\n  \"cells\": [\n{}\n  ],\n  \
+         \"checks\": {{\"peak_in_flight\": {peak_in_flight}, \
+         \"sustained_inflight_ok\": {inflight_ok}, \
+         \"all_queries_terminal\": {all_terminal}, \
+         \"parallel_equiv_bit_identical\": {parallel_equiv}}}\n}}\n",
+        rows.join(",\n"),
+    )
+}
+
+fn main() {
+    let runs = env_usize("DIKNN_RUNS", 3).max(1);
+    let seed = base_seed();
+    let duration = env_f64("DIKNN_DURATION", 40.0).max(5.0);
+    let nodes = env_usize("DIKNN_LOAD_NODES", 500).max(10);
+    let rates = env_f64_list("DIKNN_LOAD_RATES", &[2.0, 10.0, 25.0]);
+    let ks = env_usize_list("DIKNN_LOAD_KS", &[10, 40]);
+    let speeds = env_f64_list("DIKNN_LOAD_SPEEDS", &[0.0, 5.0]);
+    let min_inflight = env_usize("DIKNN_LOAD_MIN_INFLIGHT", 8);
+    let sweep = ParallelSweep::new(threads());
+
+    let mut out = String::new();
+    let mut line = |s: String| {
+        println!("{s}");
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!(
+        "query_load: concurrent multi-query engine, DIKNN at {nodes} nodes"
+    ));
+    line(format!(
+        "runs={runs} base_seed={seed} duration={duration}s rates={rates:?} ks={ks:?} \
+         speeds={speeds:?} threads={}",
+        sweep.threads()
+    ));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut parallel_equiv = true;
+    for &rate in &rates {
+        if rate <= 0.0 {
+            continue;
+        }
+        for &k in &ks {
+            for &speed in &speeds {
+                let (cell, metrics) =
+                    bench_cell(nodes, duration, rate, k, speed, runs, seed, &sweep);
+                line(cell_line(&cell));
+                // First cell: the parallel sweep above must be bit-identical
+                // to the plain sequential loop, per-query rows included.
+                if cells.is_empty() {
+                    let load = QueryLoad {
+                        rate_qps: rate,
+                        k,
+                        first_at: 2.0,
+                        last_at: (duration - 10.0).max(duration * 0.5),
+                        ..QueryLoad::default()
+                    };
+                    let exp = experiment(nodes, duration, &load, speed);
+                    let sequential: Vec<RunMetrics> = (0..runs)
+                        .map(|i| exp.run_once(Experiment::sweep_seed(seed, i)))
+                        .collect();
+                    // Debug formatting round-trips f64 exactly and renders
+                    // NaN (a never-completed query's latency) equal to
+                    // itself, unlike PartialEq.
+                    if format!("{sequential:?}") != format!("{metrics:?}") {
+                        parallel_equiv = false;
+                        eprintln!(
+                            "DIVERGENCE: parallel sweep disagrees with sequential metrics \
+                             at rate={rate} k={k} speed={speed}"
+                        );
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
+    let peak_in_flight = cells.iter().map(|c| c.peak_in_flight).max().unwrap_or(0);
+    let all_terminal = cells.iter().all(|c| c.all_terminal);
+    line(format!(
+        "summary peak_in_flight={peak_in_flight} (target >= {min_inflight}) \
+         all_terminal={all_terminal} parallel_equiv={parallel_equiv}"
+    ));
+
+    let json = render_json(
+        runs,
+        seed,
+        duration,
+        nodes,
+        min_inflight,
+        &cells,
+        peak_in_flight,
+        all_terminal,
+        parallel_equiv,
+    );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: could not create results/: {e}");
+    }
+    for (path, contents) in [
+        ("results/BENCH_query_load.json", &json),
+        ("results/query_load.txt", &out),
+    ] {
+        match std::fs::write(path, contents) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    if peak_in_flight < min_inflight {
+        eprintln!(
+            "FAIL: no cell sustained {min_inflight} concurrent in-flight queries \
+             (peak {peak_in_flight})"
+        );
+        failed = true;
+    }
+    if !all_terminal {
+        eprintln!("FAIL: some query never reached a terminal status");
+        failed = true;
+    }
+    if !parallel_equiv {
+        eprintln!("FAIL: parallel sweep diverged from sequential metrics");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: sustained {peak_in_flight} in-flight queries, every query terminal, \
+         parallel sweep bit-identical"
+    );
+}

@@ -200,6 +200,62 @@ mod tests {
     }
 
     #[test]
+    fn zero_density_route_stays_finite() {
+        // Every hop reports zero new encounters (e.g. a stale neighbour
+        // table): density must floor at one node per seeded half-disc, not
+        // divide toward zero and blow the radius to infinity.
+        let q = Point::new(50.0, 50.0);
+        let l: Vec<HopRecord> = (0..4)
+            .map(|i| HopRecord {
+                loc: Point::new(i as f64 * 15.0, 50.0),
+                enc: 0,
+            })
+            .collect();
+        let b = knnb(&l, q, 20.0, 10);
+        assert!(b.radius.is_finite() && b.radius > 0.0, "{b:?}");
+        assert!(b.density.is_finite() && b.density > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn duplicate_hop_positions_add_no_area() {
+        // A short list with duplicate positions (a node re-appended after a
+        // routing retry) contributes zero rectangle area; the seeded
+        // half-disc keeps the density denominator positive.
+        let loc = Point::new(30.0, 30.0);
+        let l = vec![HopRecord { loc, enc: 3 }, HopRecord { loc, enc: 0 }];
+        let b = knnb(&l, Point::new(60.0, 30.0), 20.0, 8);
+        assert!(b.radius.is_finite() && b.radius > 0.0, "{b:?}");
+        assert!(b.density.is_finite() && b.density > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn hops_exactly_at_query_point_never_return_zero_radius() {
+        // d = 0 hops satisfy any est_k but a zero radius would collapse the
+        // itinerary; the `d > 0` guard must push past them.
+        let q = Point::new(10.0, 10.0);
+        let l = vec![HopRecord { loc: q, enc: 50 }, HopRecord { loc: q, enc: 50 }];
+        let b = knnb(&l, q, 20.0, 1);
+        assert!(b.radius.is_finite() && b.radius > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn k_beyond_network_size_extrapolates_conservatively() {
+        // k far above anything the route saw: the fallback must cover the
+        // whole observed route (radius ≥ farthest hop) and imply ≥ k nodes
+        // at the returned density, while staying finite.
+        let q = Point::new(90.0, 50.0);
+        let l = synthetic_list(q, 4, 0.015);
+        let max_d = l.iter().map(|h| h.loc.dist(q)).fold(0.0f64, f64::max);
+        for k in [500usize, 10_000] {
+            let b = knnb(&l, q, 20.0, k);
+            assert!(b.radius.is_finite(), "k={k}: {b:?}");
+            assert!(b.radius >= max_d, "k={k}: {b:?}");
+            let implied = std::f64::consts::PI * b.radius * b.radius * b.density;
+            assert!(implied >= k as f64 - 1e-6, "k={k}: implied {implied}");
+        }
+    }
+
+    #[test]
     fn kpt_radius_grows_linearly() {
         assert_eq!(kpt_conservative_radius(20, 15.0), 300.0);
         assert_eq!(kpt_conservative_radius(40, 15.0), 600.0);

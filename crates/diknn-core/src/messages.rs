@@ -127,6 +127,21 @@ pub enum DiknnMsg {
 }
 
 impl DiknnMsg {
+    /// The query this frame belongs to. Every DIKNN frame is query-scoped,
+    /// so this is total; the engine uses it as the flow label for
+    /// per-query energy attribution.
+    pub fn qid(&self) -> u32 {
+        match self {
+            DiknnMsg::Query(m) => m.spec.qid,
+            DiknnMsg::Token(t) => t.spec.qid,
+            DiknnMsg::Probe(m) => m.qid,
+            DiknnMsg::Reply(m) => m.qid,
+            DiknnMsg::Poll(m) => m.qid,
+            DiknnMsg::Rendezvous(m) => m.qid,
+            DiknnMsg::Result(m) => m.spec.qid,
+        }
+    }
+
     /// Approximate on-air payload size in bytes.
     pub fn wire_bytes(&self, cfg: &DiknnConfig) -> usize {
         let base = cfg.base_msg_bytes;

@@ -231,13 +231,15 @@ impl Diknn {
     fn send(&mut self, ctx: &mut Ctx<DiknnMsg>, from: NodeId, to: NodeId, msg: DiknnMsg) {
         self.tx_by_kind[Self::kind_index(&msg)] += 1;
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.unicast(from, to, bytes, msg);
+        let flow = Some(msg.qid());
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     fn broadcast(&mut self, ctx: &mut Ctx<DiknnMsg>, from: NodeId, msg: DiknnMsg) {
         self.tx_by_kind[Self::kind_index(&msg)] += 1;
         let bytes = msg.wire_bytes(&self.cfg);
-        ctx.broadcast(from, bytes, msg);
+        let flow = Some(msg.qid());
+        ctx.broadcast_flow(from, bytes, msg, flow);
     }
 
     /// Hand a sector token to the next Q-node, arming the token-loss
@@ -598,9 +600,25 @@ impl Diknn {
         }
     }
 
+    /// A watchdog re-issue bumps the sector's current epoch; any
+    /// lower-epoch copy still in flight (a carrier that was mid-collection
+    /// when its sender's watchdog fired) is stale. Receipt-side epoch
+    /// suppression already drops stale *incoming* tokens; this is the
+    /// send-side twin. A stale carrier that kept going would clobber the
+    /// live chain's watchdog with its own handoff, and when that hijacked
+    /// watchdog fired it would re-issue a duplicate of the live epoch —
+    /// forking token custody across two same-epoch chains.
+    fn token_is_stale(&self, token: &SectorToken) -> bool {
+        let ek = (token.spec.qid, token.spec.attempt, token.sector);
+        token.epoch < self.token_epochs.get(&ek).copied().unwrap_or(0)
+    }
+
     /// Core traversal step: decide, then pick and forward to the next
     /// Q-node (or finish the sector).
     fn advance_token(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, mut token: SectorToken) {
+        if self.token_is_stale(&token) {
+            return; // superseded by a re-issue while we were collecting
+        }
         let qid = token.spec.qid;
         let sector = token.sector;
         if token.hops >= MAX_TOKEN_HOPS {
@@ -807,6 +825,12 @@ impl Diknn {
     }
 
     fn finish_sector(&mut self, ctx: &mut Ctx<DiknnMsg>, at: NodeId, token: SectorToken) {
+        if self.token_is_stale(&token) {
+            // A re-issued chain owns this sector now; finishing from the
+            // stale copy would cancel the live chain's watchdog and report
+            // a superseded traversal as the sector's result.
+            return;
+        }
         ctx.record_proto(
             at,
             ProtoEvent::SectorFinished {
@@ -1087,6 +1111,13 @@ impl Diknn {
             return;
         }
         if self.sinks.get(&qid).is_none_or(|s| s.done) {
+            return;
+        }
+        if self.token_is_stale(&w.token) {
+            // The sector re-issued past this holder while its watch was
+            // armed (a stale handoff had hijacked the slot): there is
+            // nothing left to recover from this copy, and re-issuing it
+            // would duplicate the live epoch.
             return;
         }
         let mut token = w.token;

@@ -129,6 +129,17 @@ pub enum WindowMsg {
 }
 
 impl WindowMsg {
+    /// Query id for per-query energy attribution (every window frame is
+    /// query-scoped).
+    fn qid(&self) -> u32 {
+        match self {
+            WindowMsg::Query { spec, .. }
+            | WindowMsg::Token { spec, .. }
+            | WindowMsg::Result { spec, .. } => spec.qid,
+            WindowMsg::Probe { qid, .. } | WindowMsg::Reply { qid, .. } => *qid,
+        }
+    }
+
     fn wire_bytes(&self) -> usize {
         match self {
             WindowMsg::Query { .. } => 32,
@@ -188,7 +199,8 @@ impl WindowQuery {
 
     fn send(&self, ctx: &mut Ctx<WindowMsg>, from: NodeId, to: NodeId, msg: WindowMsg) {
         let bytes = msg.wire_bytes();
-        ctx.unicast(from, to, bytes, msg);
+        let flow = Some(msg.qid());
+        ctx.unicast_flow(from, to, bytes, msg, flow);
     }
 
     fn itinerary(&self, spec: &WSpec) -> Polyline {
@@ -268,7 +280,7 @@ impl WindowQuery {
             win_secs: self.collection_window,
         };
         let bytes = probe.wire_bytes();
-        ctx.broadcast(at, bytes, probe);
+        ctx.broadcast_flow(at, bytes, probe, Some(spec.qid));
         self.collecting.insert(
             spec.qid,
             Collecting {

@@ -156,4 +156,40 @@ proptest! {
             );
         }
     }
+
+    /// Degenerate hop lists — zero encounter counts, duplicated positions,
+    /// hops sitting exactly on `q`, `k` far beyond anything the route saw —
+    /// must still produce a finite, strictly positive boundary that
+    /// encloses ≥ k expected nodes at the returned density (the
+    /// conservative-fallback contract), never NaN/inf.
+    #[test]
+    fn knnb_is_finite_and_conservative_on_degenerate_lists(
+        hops in prop::collection::vec(
+            // Positions drawn from a tiny palette so duplicates (including
+            // the query point itself) are common, not rare.
+            (0usize..4, 0u32..4),
+            0..6,
+        ),
+        k in 1usize..=10_000,
+    ) {
+        let q = Point::new(10.0, 10.0);
+        let palette = [
+            q,                      // exactly at the query point
+            Point::new(10.0, 10.0), // duplicate of q via a second literal
+            Point::new(25.0, 10.0),
+            Point::new(25.0, 10.0 + 1e-12), // near-duplicate
+        ];
+        let list: Vec<HopRecord> = hops
+            .iter()
+            .map(|&(p, enc)| HopRecord { loc: palette[p], enc })
+            .collect();
+        let b = knnb(&list, q, RADIO_RANGE, k);
+        prop_assert!(b.radius.is_finite(), "radius {:?} on {list:?}", b);
+        prop_assert!(b.radius > 0.0, "radius {:?} on {list:?}", b);
+        prop_assert!(b.density.is_finite() && b.density > 0.0, "{b:?}");
+        // Conservative: the disc holds ≥ k expected nodes at the returned
+        // density, or the estimate came from a hop that already did.
+        let implied = std::f64::consts::PI * b.radius * b.radius * b.density;
+        prop_assert!(implied >= k as f64 - 1e-6, "implied {implied} < k={k} on {list:?}");
+    }
 }

@@ -1,5 +1,17 @@
 use crate::{angle, Point, TAU};
 
+/// Angular tolerance for sector-border membership, in radians.
+///
+/// Sector borders are computed as `normalize(origin + i·span)`, so two
+/// adjacent sectors (and in particular the last sector and the partition
+/// origin, across the 0/2π seam) disagree about the shared border by a few
+/// ULPs. Without a tolerance that rounding opens a sliver of directions
+/// `contains` rejects for *every* sector of a partition — a node sitting
+/// exactly on the seam would be claimed by no sub-itinerary. 1e-12 rad is
+/// ~9 orders of magnitude above the ULP noise yet under a nanometre of arc
+/// at any radius the protocol uses.
+const SEAM_EPS: f64 = 1e-12;
+
 /// A cone-shaped area: the region between two rays from `apex`, clipped to
 /// radius `radius`. DIKNN partitions its circular KNN boundary into `S` of
 /// these, one sub-itinerary per sector (paper §3.3, Figure 4).
@@ -50,7 +62,11 @@ impl Sector {
     }
 
     /// Whether `p` lies inside the sector (inclusive of borders and of the
-    /// apex itself).
+    /// apex itself). Borders are inclusive with [`SEAM_EPS`] angular
+    /// tolerance on both edges, so the sectors of a [`Sector::partition`]
+    /// cover every direction despite per-sector border rounding — adjacent
+    /// sectors may both claim an exact border point, but no point is
+    /// orphaned.
     pub fn contains(&self, p: Point) -> bool {
         let d = self.apex.dist(p);
         if d > self.radius {
@@ -59,7 +75,10 @@ impl Sector {
         if d <= crate::EPS {
             return true;
         }
-        angle::in_ccw_interval(self.apex.angle_to(p), self.start_angle, self.span)
+        let off = angle::ccw_sweep(self.start_angle, self.apex.angle_to(p));
+        // `off` near 2π means the direction is within a rounding error
+        // *clockwise* of the start border (the wrap seam).
+        off <= self.span + SEAM_EPS || off >= TAU - SEAM_EPS
     }
 
     /// Signed angular offset of `p` from the start border, in `[0, 2π)`.
@@ -161,5 +180,68 @@ mod tests {
         assert!(s.contains(Point::new(5.0, 0.0)));
         assert!(s.contains(Point::ORIGIN.polar_offset(TAU - 0.3, 3.0)));
         assert!(!s.contains(Point::new(0.0, 5.0)));
+    }
+
+    /// Next representable angle below `a` (assumes `a > 0`).
+    fn ulp_down(a: f64) -> f64 {
+        if a == 0.0 {
+            // Just below 0 wraps to just below 2π.
+            f64::from_bits(TAU.to_bits() - 1)
+        } else {
+            f64::from_bits(a.to_bits() - 1)
+        }
+    }
+
+    /// Next representable angle above `a`.
+    fn ulp_up(a: f64) -> f64 {
+        f64::from_bits(a.to_bits() + 1)
+    }
+
+    #[test]
+    fn border_points_are_inside_their_sector() {
+        // A point exactly on the start border and exactly on the end border
+        // belongs to the sector (borders are inclusive) — including for a
+        // sector that spans the 0/2π seam.
+        for s in [
+            quadrant(),
+            Sector::new(Point::new(12.0, -3.0), TAU - 0.5, 1.0, 10.0), // spans the seam
+            Sector::new(Point::ORIGIN, TAU - 1e-12, 0.7, 10.0),        // start hugs the seam
+        ] {
+            for a in [s.start_angle, s.end_angle()] {
+                let p = s.apex.polar_offset(a, s.radius * 0.5);
+                assert!(
+                    s.contains(p),
+                    "border point at angle {a} escaped sector {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_has_no_dead_gap_at_any_seam() {
+        // Every direction must land in at least one sector of a partition —
+        // including directions a ULP either side of every border. Rounding
+        // in the per-sector `normalize(origin + i·span)` used to open
+        // ULP-wide gaps (typically at the partition-origin wrap seam) where
+        // `contains` was false for every sector.
+        let apex = Point::new(37.2, -11.5);
+        for sectors in [1usize, 3, 4, 5, 7, 8, 12] {
+            for origin in [0.0, 0.3, 1.234_567, PI, 5.5, TAU - 1e-9, -0.25] {
+                let parts = Sector::partition(apex, 50.0, sectors, origin);
+                for s in &parts {
+                    for a in [s.start_angle, s.end_angle()] {
+                        for dir in [ulp_down(a), a, ulp_up(a)] {
+                            let p = apex.polar_offset(dir, 30.0);
+                            let n = parts.iter().filter(|s| s.contains(p)).count();
+                            assert!(
+                                n >= 1,
+                                "S={sectors} origin={origin}: direction {dir} \
+                                 (border {a}) lies in no sector"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

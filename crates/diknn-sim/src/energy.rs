@@ -28,20 +28,26 @@ pub struct EnergyMeter {
 }
 
 impl EnergyMeter {
-    pub fn charge_tx(&mut self, power_w: f64, airtime: SimDuration, class: TrafficClass) {
+    /// Charge transmit energy; returns the joules charged so callers can
+    /// attribute the same amount elsewhere (per-query ledgers) without
+    /// re-deriving the power × airtime formula.
+    pub fn charge_tx(&mut self, power_w: f64, airtime: SimDuration, class: TrafficClass) -> f64 {
         let j = power_w * airtime.as_secs_f64();
         match class {
             TrafficClass::Beacon => self.tx_beacon_j += j,
             TrafficClass::Protocol => self.tx_protocol_j += j,
         }
+        j
     }
 
-    pub fn charge_rx(&mut self, power_w: f64, airtime: SimDuration, class: TrafficClass) {
+    /// Charge receive energy; returns the joules charged (see `charge_tx`).
+    pub fn charge_rx(&mut self, power_w: f64, airtime: SimDuration, class: TrafficClass) -> f64 {
         let j = power_w * airtime.as_secs_f64();
         match class {
             TrafficClass::Beacon => self.rx_beacon_j += j,
             TrafficClass::Protocol => self.rx_protocol_j += j,
         }
+        j
     }
 
     /// Query-processing energy: what the evaluation compares.

@@ -91,6 +91,10 @@ struct PendingTx<M> {
     backoffs: u32,
     /// Link-layer retransmissions already performed (unicast only).
     retries: u32,
+    /// Flow label for energy attribution (query id for KNN protocols);
+    /// `None` for beacons and untagged traffic. Pure accounting — never
+    /// consulted by the MAC or delivery paths.
+    flow: Option<u32>,
 }
 
 /// A frame currently on the air.
@@ -170,6 +174,11 @@ pub struct Ctx<M> {
     /// The flight recorder (see [`crate::trace`]); disabled unless
     /// `SimConfig::trace.enabled` (or the legacy `trace_tx`) is set.
     trace: EventTrace,
+    /// Per-flow protocol energy ledger (joules), keyed by the flow label
+    /// passed to [`Ctx::unicast_flow`]/[`Ctx::broadcast_flow`]. Each frame's
+    /// tx charge plus every receiver's rx charge lands on its flow, so the
+    /// ledger sums to `total_protocol_energy_j` when all traffic is tagged.
+    flow_energy: BTreeMap<u32, f64>,
 }
 
 impl<M: Clone> Ctx<M> {
@@ -338,6 +347,15 @@ impl<M: Clone> Ctx<M> {
         self.energy.iter().map(EnergyMeter::total_j).sum()
     }
 
+    /// Per-flow protocol energy ledger: joules attributed to each flow
+    /// label (query id) via [`Ctx::unicast_flow`]/[`Ctx::broadcast_flow`].
+    /// Untagged traffic (plain `unicast`/`broadcast`, beacons) is charged
+    /// to the node meters only and does not appear here.
+    #[inline]
+    pub fn flow_energy_j(&self) -> &BTreeMap<u32, f64> {
+        &self.flow_energy
+    }
+
     /// Seeded RNG for protocol-level randomness (timer jitter etc.).
     #[inline]
     pub fn rng(&mut self) -> &mut SmallRng {
@@ -349,22 +367,49 @@ impl<M: Clone> Ctx<M> {
     /// Queue a broadcast frame from `from` carrying `msg`;
     /// `payload_bytes` drives airtime and energy.
     pub fn broadcast(&mut self, from: NodeId, payload_bytes: usize, msg: M) {
+        self.broadcast_flow(from, payload_bytes, msg, None);
+    }
+
+    /// Queue a unicast frame from `from` to `to`.
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, payload_bytes: usize, msg: M) {
+        self.unicast_flow(from, to, payload_bytes, msg, None);
+    }
+
+    /// [`Ctx::broadcast`] with a flow label for per-query energy
+    /// attribution (see [`Ctx::flow_energy_j`]). The label never affects
+    /// MAC behaviour or delivery.
+    pub fn broadcast_flow(
+        &mut self,
+        from: NodeId,
+        payload_bytes: usize,
+        msg: M,
+        flow: Option<u32>,
+    ) {
         self.enqueue_frame(
             from,
             Destination::Broadcast,
             Frame::Proto(msg),
             payload_bytes,
+            flow,
         );
     }
 
-    /// Queue a unicast frame from `from` to `to`.
-    pub fn unicast(&mut self, from: NodeId, to: NodeId, payload_bytes: usize, msg: M) {
+    /// [`Ctx::unicast`] with a flow label for per-query energy attribution.
+    pub fn unicast_flow(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: usize,
+        msg: M,
+        flow: Option<u32>,
+    ) {
         debug_assert!(from != to, "unicast to self");
         self.enqueue_frame(
             from,
             Destination::Unicast(to),
             Frame::Proto(msg),
             payload_bytes,
+            flow,
         );
     }
 
@@ -438,6 +483,7 @@ impl<M: Clone> Ctx<M> {
         dest: Destination,
         frame: Frame<M>,
         payload_bytes: usize,
+        flow: Option<u32>,
     ) {
         let id = TxId(self.next_tx);
         self.next_tx += 1;
@@ -450,6 +496,7 @@ impl<M: Clone> Ctx<M> {
                 payload_bytes,
                 backoffs: 0,
                 retries: 0,
+                flow,
             },
         );
         // Initial desynchronisation jitter.
@@ -624,6 +671,7 @@ impl<P: Protocol> Simulator<P> {
             ge_bad: vec![false; n],
             grid: None,
             trace,
+            flow_energy: BTreeMap::new(),
         };
         if ctx.cfg.neighbor_index == NeighborIndex::Grid {
             let vmax = ctx
@@ -846,6 +894,7 @@ impl<P: Protocol> Simulator<P> {
                         Destination::Broadcast,
                         Frame::Beacon,
                         ctx.cfg.beacon_bytes,
+                        None,
                     );
                     ctx.stats.beacons_sent += 1;
                 }
@@ -941,6 +990,7 @@ impl<P: Protocol> Simulator<P> {
             frame,
             payload_bytes,
             retries,
+            flow,
             ..
         } = ctx.pending.remove(&id.0).expect("pending tx");
         if !ctx.alive[from.index()] {
@@ -968,7 +1018,7 @@ impl<P: Protocol> Simulator<P> {
         // filtering), so they pay header airtime only. Broadcasts and
         // corrupted copies are received in full — the radio cannot know.
         let (tx_p, rx_p) = (ctx.cfg.tx_power_w, ctx.cfg.rx_power_w);
-        ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
+        let mut flow_j = ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
         ctx.trace_energy(from);
         let header_airtime =
             SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(active.airtime);
@@ -980,8 +1030,11 @@ impl<P: Protocol> Simulator<P> {
                 Destination::Unicast(to) if r != to && !corrupted => header_airtime,
                 _ => active.airtime,
             };
-            ctx.energy[r.index()].charge_rx(rx_p, rx_time, class);
+            flow_j += ctx.energy[r.index()].charge_rx(rx_p, rx_time, class);
             ctx.trace_energy(r);
+        }
+        if let Some(flow) = flow {
+            *ctx.flow_energy.entry(flow).or_insert(0.0) += flow_j;
         }
         ctx.stats.tx_frames += 1;
         ctx.stats.tx_bytes += (ctx.cfg.header_bytes + payload_bytes) as u64;
@@ -1181,6 +1234,7 @@ impl<P: Protocol> Simulator<P> {
                                 payload_bytes,
                                 backoffs: 0,
                                 retries,
+                                flow,
                             },
                         );
                         let delay = ctx.random_backoff(retries);

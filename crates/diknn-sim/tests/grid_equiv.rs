@@ -11,7 +11,7 @@
 //! `NeighborIndex::BruteForce`.
 
 use diknn_geom::{Point, Rect};
-use diknn_mobility::{RandomWaypoint, RwpConfig, StaticMobility};
+use diknn_mobility::{Mobility, RandomWaypoint, RwpConfig, StaticMobility, WaypointTrace};
 use diknn_sim::{
     Ctx, FaultPlan, FaultRegion, JamZone, NeighborIndex, NodeId, Protocol, SharedMobility,
     SimConfig, SimDuration, SimTime, Simulator, SpatialGrid, TraceConfig,
@@ -126,6 +126,44 @@ proptest! {
             .iter()
             .map(|&(x, y, theta)| Point::new(x, y).polar_offset(theta, vmax * dt))
             .collect();
+        let grid = SpatialGrid::build(FIELD, RANGE, &built, vmax, 0.5 * RANGE, SimTime::ZERO);
+        let now = SimTime::ZERO + SimDuration::from_secs_f64(dt);
+        let q = Point::new(qx, qy);
+        let brute = brute_in_range(&moved, q, RANGE);
+        let fast = grid_in_range(&grid, &moved, q, RANGE, now);
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Teleport-style playback jumps: a [`WaypointTrace`] crossing most of
+    /// the field in a few milliseconds yields an enormous `max_speed`, and
+    /// the grid's `vmax · Δt` pad must absorb exactly that — queries built
+    /// from pre-jump buckets still agree with brute force on the true
+    /// post-jump positions, with no forced refresh.
+    #[test]
+    fn trace_playback_jumps_stay_covered_by_the_pad(
+        jumps in prop::collection::vec(
+            // (start x, start y, landing x, landing y, jump time)
+            (0.0..115.0f64, 0.0..115.0f64, 0.0..115.0f64, 0.0..115.0f64, 0.5..6.0f64),
+            1..40,
+        ),
+        dt in 0.0..8.0f64,
+        qx in 0.0..115.0f64,
+        qy in 0.0..115.0f64,
+    ) {
+        let plans: Vec<WaypointTrace> = jumps
+            .iter()
+            .map(|&(x0, y0, x1, y1, at)| {
+                WaypointTrace::new(vec![
+                    (0.0, Point::new(x0, y0)),
+                    (at, Point::new(x0, y0)),
+                    // The node crosses to its landing point in 2 ms.
+                    (at + 0.002, Point::new(x1, y1)),
+                ])
+            })
+            .collect();
+        let built: Vec<Point> = plans.iter().map(|p| p.position_at(0.0)).collect();
+        let vmax = plans.iter().map(|p| p.max_speed()).fold(0.0, f64::max);
+        let moved: Vec<Point> = plans.iter().map(|p| p.position_at(dt)).collect();
         let grid = SpatialGrid::build(FIELD, RANGE, &built, vmax, 0.5 * RANGE, SimTime::ZERO);
         let now = SimTime::ZERO + SimDuration::from_secs_f64(dt);
         let q = Point::new(qx, qy);
@@ -266,6 +304,59 @@ fn grid_and_brute_force_runs_are_bit_identical() {
         let brute = run_gossip(NeighborIndex::BruteForce, seed, true);
         assert_eq!(grid, brute, "seed {seed}: oracle runs diverged");
     }
+}
+
+/// Whole-engine teleport + churn: nodes on playback traces that jump
+/// across the field mid-run, with crash/recovery faults layered on top.
+/// Crashes never move a node and trace jumps are bounded by the trace's
+/// own `max_speed`, so the grid needs no special-case refresh — and the
+/// run must stay bit-identical to brute force.
+#[test]
+fn teleporting_traces_with_churn_run_bit_identical() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let nodes: Vec<SharedMobility> = (0..40)
+        .map(|_| {
+            let a = Point::new(rng.gen_range(0.0..115.0), rng.gen_range(0.0..115.0));
+            let b = Point::new(rng.gen_range(0.0..115.0), rng.gen_range(0.0..115.0));
+            let at = rng.gen_range(2.0..9.0);
+            Arc::new(WaypointTrace::new(vec![
+                (0.0, a),
+                (at, a),
+                (at + 0.002, b), // cross-field teleport in 2 ms
+            ])) as SharedMobility
+        })
+        .collect();
+    let run = |index: NeighborIndex| {
+        let cfg = SimConfig {
+            neighbor_index: index,
+            time_limit: SimDuration::from_secs_f64(12.0),
+            trace: TraceConfig::enabled(),
+            faults: FaultPlan::random_crashes(0.15, 1.0, 8.0),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(
+            cfg,
+            nodes.clone(),
+            Gossip {
+                heard: 0,
+                neighbor_checksum: 0,
+            },
+            13,
+        );
+        sim.warm_neighbor_tables();
+        sim.run();
+        let (proto, ctx) = sim.into_parts();
+        (
+            ctx.trace().render(),
+            proto.heard,
+            proto.neighbor_checksum,
+            ctx.total_energy_j(),
+        )
+    };
+    let grid = run(NeighborIndex::Grid);
+    let brute = run(NeighborIndex::BruteForce);
+    assert!(!grid.0.is_empty(), "run recorded no trace events");
+    assert_eq!(grid, brute, "teleport runs diverged between indexes");
 }
 
 /// Static pathological placement: everyone in one cell (worst case for

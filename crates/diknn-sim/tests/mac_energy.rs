@@ -146,6 +146,129 @@ fn arq_gives_up_after_configured_retries() {
 }
 
 #[test]
+fn collision_destruction_charges_rx_airtime_exactly_once() {
+    // Hidden-terminal collision: nodes 0 and 2 cannot hear each other
+    // (30 m apart, 20 m range) and transmit overlapping frames; node 1
+    // hears both and both copies are destroyed mid-frame. The radio still
+    // listened for each frame's full airtime, so node 1 must be charged
+    // rx_power × (airtime_A + airtime_B) — each destroyed frame exactly
+    // once, never re-charged when the collision is resolved at TxEnd.
+    struct Hidden {
+        received: usize,
+    }
+    impl Protocol for Hidden {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            ctx.set_timer(NodeId(0), SimDuration::from_millis(10), 0);
+            ctx.set_timer(NodeId(2), SimDuration::from_millis(20), 0);
+        }
+        fn on_timer(&mut self, at: NodeId, _: u64, ctx: &mut Ctx<()>) {
+            ctx.broadcast(at, 900, ()); // ~29 ms airtime: generous overlap
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {
+            self.received += 1;
+        }
+    }
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(1.0),
+        ..quiet()
+    };
+    let nodes = static_nodes(&[(0.0, 0.0), (15.0, 0.0), (30.0, 0.0)]);
+    let mut sim = Simulator::new(cfg, nodes, Hidden { received: 0 }, 1);
+    sim.run();
+    // The overlap really was a collision (one event corrupts both copies).
+    assert_eq!(
+        sim.ctx().stats().collisions,
+        1,
+        "expected a mutual collision"
+    );
+    assert_eq!(
+        sim.protocol().received,
+        0,
+        "corrupted frames must not deliver"
+    );
+    let cfg = SimConfig::default();
+    let airtime = ((cfg.header_bytes + 900) * 8) as f64 / cfg.bits_per_sec as f64;
+    let expected = cfg.rx_power_w * 2.0 * airtime;
+    let e1 = sim.ctx().energy(NodeId(1)).rx_protocol_j;
+    assert!(
+        (e1 - expected).abs() < 1e-12,
+        "two destroyed frames must cost exactly two rx airtimes: {e1} vs {expected}"
+    );
+}
+
+#[test]
+fn energy_is_monotone_across_crash_and_recovery() {
+    // Node 1 crashes mid-run and recovers; traffic keeps flowing the whole
+    // time. Replay the energy meter readings from the trace: every node's
+    // cumulative spend must be non-decreasing — a crash freezes the meter,
+    // it never rewinds it, and recovery resumes from the frozen value.
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            for round in 0..40u64 {
+                ctx.set_timer(
+                    NodeId((round % 3) as u32),
+                    SimDuration::from_millis(round * 50),
+                    0,
+                );
+            }
+        }
+        fn on_timer(&mut self, at: NodeId, _: u64, ctx: &mut Ctx<()>) {
+            ctx.broadcast(at, 100, ());
+        }
+        fn on_message(&mut self, _: NodeId, _: NodeId, _: &(), _: &mut Ctx<()>) {}
+    }
+    let cfg = SimConfig {
+        time_limit: SimDuration::from_secs_f64(3.0),
+        // A budget far above anything spendable: enables per-frame Energy
+        // trace events without ever killing a node.
+        faults: diknn_sim::FaultPlan {
+            crashes: vec![diknn_sim::CrashSpec {
+                node: 1,
+                at: SimDuration::from_millis(500),
+                recover_after: Some(SimDuration::from_millis(700)),
+            }],
+            energy_budget_j: Some(1e9),
+            ..diknn_sim::FaultPlan::default()
+        },
+        trace: diknn_sim::TraceConfig::enabled(),
+        ..quiet()
+    };
+    let nodes = static_nodes(&[(0.0, 0.0), (15.0, 0.0), (10.0, 8.0)]);
+    let mut sim = Simulator::new(cfg, nodes, Chatter, 5);
+    sim.run();
+    let s = sim.ctx().stats();
+    assert_eq!(s.nodes_crashed, 1, "{s:?}");
+    assert_eq!(s.nodes_recovered, 1, "{s:?}");
+    let mut last = [0.0f64; 3];
+    let mut samples = 0usize;
+    for e in sim.ctx().trace().events() {
+        if let diknn_sim::TraceKind::Energy { spent_j } = e.kind {
+            let i = e.node.index();
+            assert!(
+                spent_j >= last[i],
+                "node {} energy went backwards: {} -> {spent_j}",
+                e.node,
+                last[i]
+            );
+            last[i] = spent_j;
+            samples += 1;
+        }
+    }
+    assert!(samples > 10, "trace carried only {samples} energy samples");
+    // The frozen-while-dead meter still matches the final accounting.
+    for (i, &l) in last.iter().enumerate() {
+        let total = sim.ctx().energy(NodeId(i as u32)).total_j();
+        assert!(
+            (total - l).abs() < 1e-12,
+            "node {i}: trace ends at {l}, meter says {total}"
+        );
+    }
+}
+
+#[test]
 fn backoff_saturation_drops_frames() {
     // A node surrounded by a permanently busy channel: saturate it with
     // long overlapping broadcasts from two hidden senders so the victim's

@@ -27,6 +27,14 @@
 //!    [`QueryStatus`] (never `Pending` after the run is accounted), at most
 //!    one `QueryDone` is emitted per query, and an emitted `QueryDone`
 //!    agrees with the final outcome.
+//! 7. **cross-query-custody** — token custody never transfers between
+//!    distinct query ids: every epoch-0 chain of a `(query, attempt)` is
+//!    anchored at that query's own home node (the node that emitted its
+//!    `BoundaryEstimated`), and epoch `> 0` chains at their `TokenReissued`
+//!    holder (law 1). Since chain state is keyed by query id, the only way
+//!    custody could leak across concurrent queries is a chain starting at a
+//!    node that never legitimately acquired *this* query's token — which
+//!    this anchor check rules out.
 //!
 //! A trace whose ring buffer overflowed (`dropped_events() > 0`) is itself
 //! reported (**trace-complete**): incomplete evidence must not certify a
@@ -118,6 +126,9 @@ pub fn check_with(
     let mut issued: BTreeSet<u32> = BTreeSet::new();
     // qid → responder → best (dist − radius) margin over all hearings.
     let mut heard: BTreeMap<u32, BTreeMap<NodeId, f64>> = BTreeMap::new();
+    // (qid, attempt) → home node (emitter of BoundaryEstimated); anchors
+    // epoch-0 custody for the cross-query law.
+    let mut homes: BTreeMap<(u32, u8), NodeId> = BTreeMap::new();
     // (qid, attempt, sector) → last re-issued epoch.
     let mut reissued: BTreeMap<(u32, u8, u8), u32> = BTreeMap::new();
     // (qid, attempt, sector, epoch) → node that re-issued it.
@@ -194,6 +205,31 @@ pub fn check_with(
                     let k = (*qid, *attempt, *sector, *epoch);
                     match chains.get_mut(&k) {
                         None => {
+                            if *epoch == 0 {
+                                match homes.get(&(*qid, *attempt)) {
+                                    None => v.push(Violation {
+                                        invariant: "cross-query-custody",
+                                        at: e.time,
+                                        detail: format!(
+                                            "q{qid} attempt {attempt} sector {sector}: epoch 0 \
+                                             token handed off by {} with no BoundaryEstimated \
+                                             anchor for this query",
+                                            e.node
+                                        ),
+                                    }),
+                                    Some(&h) if h != e.node => v.push(Violation {
+                                        invariant: "cross-query-custody",
+                                        at: e.time,
+                                        detail: format!(
+                                            "q{qid} attempt {attempt} sector {sector}: epoch 0 \
+                                             custody starts at {} but this query's home is {h} \
+                                             — token custody crossed query ids",
+                                            e.node
+                                        ),
+                                    }),
+                                    Some(_) => {}
+                                }
+                            }
                             if *epoch > 0 {
                                 match reissuer.get(&k) {
                                     None => v.push(Violation {
@@ -285,8 +321,10 @@ pub fn check_with(
                         .or_default()
                         .push((status, answer.clone()));
                 }
-                ProtoEvent::BoundaryEstimated { .. }
-                | ProtoEvent::BoundaryExtended { .. }
+                ProtoEvent::BoundaryEstimated { qid, attempt, .. } => {
+                    homes.entry((*qid, *attempt)).or_insert(e.node);
+                }
+                ProtoEvent::BoundaryExtended { .. }
                 | ProtoEvent::SectorFinished { .. }
                 | ProtoEvent::SinkMerge { .. } => {}
             },
@@ -440,6 +478,15 @@ mod tests {
         }
     }
 
+    /// The home-node anchor every epoch-0 chain needs (cross-query law).
+    fn estimated(qid: u32) -> ProtoEvent {
+        ProtoEvent::BoundaryEstimated {
+            qid,
+            attempt: 0,
+            radius: 10.0,
+        }
+    }
+
     #[test]
     fn clean_trace_passes() {
         let t = trace_with(vec![
@@ -452,6 +499,7 @@ mod tests {
                     k: 1,
                 },
             ),
+            proto(1, 1, estimated(0)),
             proto(1, 1, handoff(0, 0, 2, 5.0)),
             proto(
                 2,
@@ -485,6 +533,7 @@ mod tests {
         // n1 hands to n2, then n5 (never in the chain) hands the same
         // epoch on: two live copies.
         let t = trace_with(vec![
+            proto(0, 1, estimated(0)),
             proto(1, 1, handoff(0, 0, 2, 5.0)),
             proto(2, 5, handoff(0, 0, 6, 6.0)),
         ]);
@@ -496,9 +545,53 @@ mod tests {
     #[test]
     fn send_failed_retry_by_previous_sender_is_legal() {
         let t = trace_with(vec![
+            proto(0, 1, estimated(0)),
             proto(1, 1, handoff(0, 0, 2, 5.0)),
             proto(2, 1, handoff(0, 0, 3, 5.0)), // n1 retries after n2 failed
             proto(3, 3, handoff(0, 0, 4, 7.0)),
+        ]);
+        assert_eq!(check(&t, &[]), Vec::new());
+    }
+
+    #[test]
+    fn epoch0_without_home_anchor_is_flagged() {
+        // An epoch-0 chain with no BoundaryEstimated for its query id: the
+        // token materialised out of nowhere (or was stolen from another
+        // query's pipeline).
+        let t = trace_with(vec![proto(1, 1, handoff(0, 0, 2, 5.0))]);
+        let v = check(&t, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "cross-query-custody");
+        assert!(v[0].detail.contains("no BoundaryEstimated"));
+    }
+
+    #[test]
+    fn epoch0_custody_from_foreign_home_is_flagged() {
+        // Query 0's home is n1, query 1's home is n4 — but query 1's
+        // epoch-0 chain starts at n1: custody crossed query ids.
+        let t = trace_with(vec![
+            proto(0, 1, estimated(0)),
+            proto(0, 4, estimated(1)),
+            proto(1, 1, handoff(0, 0, 2, 5.0)),
+            proto(2, 1, handoff(1, 0, 3, 5.0)),
+        ]);
+        let v = check(&t, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "cross-query-custody");
+        assert!(v[0].detail.contains("custody crossed query ids"));
+    }
+
+    #[test]
+    fn interleaved_queries_with_own_homes_pass() {
+        // Two queries in flight at once, each chain anchored at its own
+        // home and interleaved in time: all laws hold per query id.
+        let t = trace_with(vec![
+            proto(0, 1, estimated(0)),
+            proto(1, 4, estimated(1)),
+            proto(2, 1, handoff(0, 0, 2, 5.0)),
+            proto(3, 4, handoff(1, 0, 5, 4.0)),
+            proto(4, 2, handoff(0, 0, 3, 6.0)),
+            proto(5, 5, handoff(1, 0, 6, 4.5)),
         ]);
         assert_eq!(check(&t, &[]), Vec::new());
     }
@@ -614,6 +707,7 @@ mod tests {
     #[test]
     fn frontier_regression_is_flagged() {
         let t = trace_with(vec![
+            proto(0, 1, estimated(0)),
             proto(1, 1, handoff(0, 0, 2, 8.0)),
             proto(2, 2, handoff(0, 0, 3, 3.0)),
         ]);

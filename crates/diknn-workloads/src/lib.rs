@@ -51,9 +51,9 @@ pub mod workload;
 
 pub use fault_sweep::FaultCell;
 pub use invariants::{assert_clean, check, check_with, CheckOptions, Violation};
-pub use metrics::{status_index, Aggregate, RunMetrics, Stat};
+pub use metrics::{status_index, Aggregate, QueryRecord, RunMetrics, Stat};
 pub use oracle::GroundTruth;
 pub use parallel::ParallelSweep;
 pub use runner::{run_protocol_once, run_protocol_once_faulted, Experiment, ProtocolKind};
 pub use scenario::{HerdSetup, PlacementKind, ScenarioConfig};
-pub use workload::WorkloadConfig;
+pub use workload::{QueryLoad, WorkloadConfig};

@@ -191,7 +191,13 @@ where
     }
     let energy = ctx.total_protocol_energy_j();
     let stats = *ctx.stats();
-    RunMetrics::compute(protocol.outcomes(), &stats, energy, oracle)
+    RunMetrics::compute(
+        protocol.outcomes(),
+        &stats,
+        energy,
+        ctx.flow_energy_j(),
+        oracle,
+    )
 }
 
 /// Convenience used by tests and benches: run all requests and return the

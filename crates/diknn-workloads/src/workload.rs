@@ -61,6 +61,68 @@ pub fn generate(scenario: &ScenarioConfig, cfg: &WorkloadConfig, seed: u64) -> V
     out
 }
 
+/// A sustained concurrent query load: the deterministic Poisson-like
+/// arrival process of the multi-query engine.
+///
+/// Same sampler as [`generate`] (so a `QueryLoad` run is bit-reproducible
+/// per seed) but parameterised by arrival *rate* λ in queries/sec instead
+/// of a mean interval, with an optional total-query cap. Rates well above
+/// `1 / typical_query_latency` put many queries in flight at once, which
+/// is the regime the per-query metrics, watchdogs and the cross-query
+/// custody invariant exist for.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryLoad {
+    /// Mean arrival rate λ, in queries per second.
+    pub rate_qps: f64,
+    /// Requested neighbour count `k`.
+    pub k: usize,
+    /// First arrival time in seconds.
+    pub first_at: f64,
+    /// No arrivals after this time.
+    pub last_at: f64,
+    /// Query points keep this margin from the field edge.
+    pub edge_margin: f64,
+    /// Optional cap on the total number of queries issued.
+    pub max_queries: Option<usize>,
+}
+
+impl Default for QueryLoad {
+    fn default() -> Self {
+        QueryLoad {
+            rate_qps: 2.0,
+            k: 10,
+            first_at: 2.0,
+            last_at: 80.0,
+            edge_margin: 15.0,
+            max_queries: None,
+        }
+    }
+}
+
+impl QueryLoad {
+    /// The equivalent [`WorkloadConfig`] (mean interval = 1/λ).
+    pub fn workload(&self) -> WorkloadConfig {
+        assert!(self.rate_qps > 0.0, "arrival rate must be positive");
+        WorkloadConfig {
+            k: self.k,
+            mean_interval: 1.0 / self.rate_qps,
+            first_at: self.first_at,
+            last_at: self.last_at,
+            edge_margin: self.edge_margin,
+        }
+    }
+
+    /// Generate the arrival sequence for one run: [`generate`] through the
+    /// equivalent workload, truncated to `max_queries` if set.
+    pub fn generate(&self, scenario: &ScenarioConfig, seed: u64) -> Vec<QueryRequest> {
+        let mut reqs = generate(scenario, &self.workload(), seed);
+        if let Some(cap) = self.max_queries {
+            reqs.truncate(cap);
+        }
+        reqs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +170,24 @@ mod tests {
         let wl = WorkloadConfig::default();
         assert_eq!(generate(&sc, &wl, 5), generate(&sc, &wl, 5));
         assert_ne!(generate(&sc, &wl, 5), generate(&sc, &wl, 6));
+    }
+
+    #[test]
+    fn query_load_matches_equivalent_workload_and_caps() {
+        let sc = ScenarioConfig::default();
+        let load = QueryLoad {
+            rate_qps: 0.25,
+            ..QueryLoad::default()
+        };
+        let via_load = load.generate(&sc, 5);
+        let via_wl = generate(&sc, &load.workload(), 5);
+        assert_eq!(via_load, via_wl);
+        let capped = QueryLoad {
+            max_queries: Some(3),
+            ..load
+        }
+        .generate(&sc, 5);
+        assert_eq!(capped.len(), 3.min(via_load.len()));
+        assert_eq!(&via_load[..capped.len()], &capped[..]);
     }
 }

@@ -75,6 +75,90 @@ fn churn_plan() -> FaultPlan {
     FaultPlan::random_crashes(0.15, 1.0, 12.0)
 }
 
+/// Four queries issued back to back so several are in flight at once —
+/// the pinned concurrent-engine scenario.
+fn concurrent_requests() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest {
+            at: 2.0,
+            sink: NodeId(0),
+            q: Point::new(57.0, 57.0),
+            k: 5,
+        },
+        QueryRequest {
+            at: 2.15,
+            sink: NodeId(7),
+            q: Point::new(90.0, 25.0),
+            k: 8,
+        },
+        QueryRequest {
+            at: 2.3,
+            sink: NodeId(42),
+            q: Point::new(25.0, 90.0),
+            k: 6,
+        },
+        QueryRequest {
+            at: 2.45,
+            sink: NodeId(88),
+            q: Point::new(30.0, 30.0),
+            k: 10,
+        },
+    ]
+}
+
+/// Run the pinned 4-query concurrent scenario; returns the trace and the
+/// query outcomes (invariant-checked, including the cross-query custody
+/// law, before anything is pinned).
+fn run_concurrent(fault_plan: Option<FaultPlan>) -> (EventTrace, Vec<diknn_core::QueryOutcome>) {
+    let scenario = pinned_scenario();
+    let plans = scenario.build(SEED);
+    let mut sim_cfg = scenario.sim_config();
+    sim_cfg.trace = TraceConfig::enabled();
+    if let Some(plan) = fault_plan {
+        sim_cfg.faults = plan;
+    }
+    let mut sim = Simulator::new(
+        sim_cfg,
+        plans,
+        Diknn::new(DiknnConfig::default(), concurrent_requests()),
+        SEED,
+    );
+    sim.warm_neighbor_tables();
+    sim.run();
+    let (mut proto, ctx) = sim.into_parts();
+    proto.finish(&ctx);
+    invariants::assert_clean(ctx.trace(), proto.outcomes());
+    (ctx.trace().clone(), proto.outcomes().to_vec())
+}
+
+/// Assert the pinned concurrent scenario really overlaps queries and that
+/// every query reached a terminal status.
+fn assert_concurrent_shape(outcomes: &[diknn_core::QueryOutcome]) {
+    assert_eq!(outcomes.len(), 4, "all four queries must have outcomes");
+    for o in outcomes {
+        assert_ne!(
+            o.status,
+            diknn_core::QueryStatus::Pending,
+            "query {} never reached a terminal status",
+            o.qid
+        );
+    }
+    let mut in_flight_twice = false;
+    for (i, a) in outcomes.iter().enumerate() {
+        for b in &outcomes[i + 1..] {
+            if let (Some(da), Some(db)) = (a.completed_at, b.completed_at) {
+                if a.issued_at < db && b.issued_at < da {
+                    in_flight_twice = true;
+                }
+            }
+        }
+    }
+    assert!(
+        in_flight_twice,
+        "pinned scenario no longer overlaps queries: {outcomes:?}"
+    );
+}
+
 /// Compare against (or, under `DIKNN_REGEN_GOLDEN=1`, rewrite) the golden
 /// file at `tests/golden/<name>`.
 fn assert_matches_golden(name: &str, committed: &str, actual: &str) {
@@ -123,4 +207,31 @@ fn churn_scenario_matches_golden() {
         "churn run recorded no crashes:\n{rendered}"
     );
     assert_matches_golden("churn.trace", include_str!("golden/churn.trace"), &rendered);
+}
+
+#[test]
+fn concurrent_static_scenario_matches_golden() {
+    let (trace, outcomes) = run_concurrent(None);
+    assert_concurrent_shape(&outcomes);
+    assert_matches_golden(
+        "concurrent_static.trace",
+        include_str!("golden/concurrent_static.trace"),
+        &trace.render_protocol(),
+    );
+}
+
+#[test]
+fn concurrent_churn_scenario_matches_golden() {
+    let (trace, outcomes) = run_concurrent(Some(churn_plan()));
+    assert_eq!(outcomes.len(), 4);
+    let rendered = trace.render_protocol();
+    assert!(
+        rendered.contains("crash"),
+        "concurrent churn run recorded no crashes:\n{rendered}"
+    );
+    assert_matches_golden(
+        "concurrent_churn.trace",
+        include_str!("golden/concurrent_churn.trace"),
+        &rendered,
+    );
 }

@@ -8,7 +8,7 @@
 use diknn_core::DiknnConfig;
 use diknn_sim::{NeighborIndex, SimConfig};
 use diknn_workloads::{
-    fault_sweep, Experiment, ParallelSweep, ProtocolKind, ScenarioConfig, WorkloadConfig,
+    fault_sweep, Experiment, ParallelSweep, ProtocolKind, QueryLoad, ScenarioConfig, WorkloadConfig,
 };
 
 fn pinned_experiment() -> Experiment {
@@ -54,6 +54,47 @@ fn faulted_parallel_sweep_matches_sequential() {
     let sequential = exp.run(3, 7);
     let parallel = exp.run_parallel(3, 7, &ParallelSweep::new(3));
     assert_eq!(parallel, sequential);
+}
+
+#[test]
+fn multi_query_parallel_aggregate_is_bit_identical_to_sequential() {
+    // The concurrent multi-query engine: a high arrival rate keeps many
+    // queries in flight at once (interleaved timers, shared channel,
+    // per-query energy ledgers). The parallel sweep must still be
+    // bit-identical — including the new per-query fields (p50/p95
+    // latency, max_in_flight, per-query energy attribution).
+    let load = QueryLoad {
+        rate_qps: 10.0,
+        k: 10,
+        first_at: 2.0,
+        last_at: 10.0,
+        ..QueryLoad::default()
+    };
+    let exp = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        ScenarioConfig {
+            nodes: 120,
+            duration: 25.0,
+            max_speed: 2.0,
+            ..ScenarioConfig::default()
+        },
+        load.workload(),
+    );
+    let sequential = exp.run(3, 42);
+    // The load regime is genuinely concurrent, not a relabelled
+    // single-query sweep.
+    assert!(
+        sequential.max_in_flight.mean >= 2.0,
+        "expected overlapping queries, got max_in_flight {:?}",
+        sequential.max_in_flight
+    );
+    for threads in [2, 4] {
+        let parallel = exp.run_parallel(3, 42, &ParallelSweep::new(threads));
+        assert_eq!(
+            parallel, sequential,
+            "{threads}-thread multi-query sweep diverged from sequential"
+        );
+    }
 }
 
 #[test]
