@@ -154,11 +154,6 @@ impl Centralized {
         NodeId(self.data_nodes as u32)
     }
 
-    /// Diagnostics: current index size.
-    pub fn index_size(&self) -> usize {
-        self.index.len()
-    }
-
     fn send(&self, ctx: &mut Ctx<CentralMsg>, from: NodeId, to: NodeId, msg: CentralMsg) {
         let bytes = msg.wire_bytes(&self.cfg);
         let flow = msg.qid();

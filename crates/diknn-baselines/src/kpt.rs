@@ -541,8 +541,7 @@ impl Kpt {
                 .min_by(|a, b| {
                     a.position
                         .dist(spec.q)
-                        .partial_cmp(&b.position.dist(spec.q))
-                        .expect("finite")
+                        .total_cmp(&b.position.dist(spec.q))
                         .then(a.id.cmp(&b.id))
                 })
                 .map(|n| n.id)
@@ -811,13 +810,6 @@ impl KnnProtocol for Kpt {
 
     fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
         &mut self.outcomes
-    }
-}
-
-impl Kpt {
-    /// Diagnostics: number of nodes that joined the tree of `qid`.
-    pub fn tree_size(&self, qid: u32) -> usize {
-        self.trees.keys().filter(|&&(q, _)| q == qid).count()
     }
 }
 

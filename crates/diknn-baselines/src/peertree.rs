@@ -585,7 +585,7 @@ impl PeerTree {
         // Search radius: distance to the k-th local member, or the cell
         // diagonal when the cell alone cannot satisfy k.
         let mut dists: Vec<f64> = local.iter().map(|(_, p)| p.dist(spec.q)).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        dists.sort_by(|a, b| a.total_cmp(b));
         let g = self.cfg.grid as f64;
         let cell_diag =
             ((self.field.width() / g).powi(2) + (self.field.height() / g).powi(2)).sqrt();
@@ -651,8 +651,7 @@ impl PeerTree {
         // collect slot (bursting k unicasts at once collides their replies).
         pool.sort_by(|a, b| {
             a.1.dist(spec.q)
-                .partial_cmp(&b.1.dist(spec.q))
-                .expect("finite")
+                .total_cmp(&b.1.dist(spec.q))
                 .then(a.0.cmp(&b.0))
         });
         pool.truncate(spec.k as usize);
@@ -936,12 +935,8 @@ impl Protocol for PeerTree {
                         .iter()
                         .map(|(&id, m)| (NodeId(id), m.position))
                         .collect();
-                    members.sort_by(|a, b| {
-                        a.1.dist(*q)
-                            .partial_cmp(&b.1.dist(*q))
-                            .expect("finite")
-                            .then(a.0.cmp(&b.0))
-                    });
+                    members
+                        .sort_by(|a, b| a.1.dist(*q).total_cmp(&b.1.dist(*q)).then(a.0.cmp(&b.0)));
                     members.truncate(*k as usize);
                     let reply = PtMsg::SubReply {
                         qid: *qid,
@@ -1166,20 +1161,6 @@ impl PeerTree {
             },
             _ => unreachable!(),
         });
-    }
-}
-
-impl PeerTree {
-    /// Diagnostics: current member-table sizes per cell.
-    pub fn member_counts(&self) -> Vec<usize> {
-        self.members.iter().map(|m| m.len()).collect()
-    }
-
-    /// Diagnostics: member ids of one cell.
-    pub fn cell_members(&self, cell: usize) -> Vec<u32> {
-        let mut v: Vec<u32> = self.members[cell].keys().copied().collect();
-        v.sort_unstable();
-        v
     }
 }
 

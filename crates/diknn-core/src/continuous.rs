@@ -86,7 +86,7 @@ impl ContinuousKnn {
         // engine's timer tie-breaking.
         let mut paired: Vec<(QueryRequest, (usize, usize))> =
             requests.into_iter().zip(schedule).collect();
-        paired.sort_by(|a, b| a.0.at.partial_cmp(&b.0.at).expect("finite times"));
+        paired.sort_by(|a, b| a.0.at.total_cmp(&b.0.at));
         let (requests, schedule): (Vec<_>, Vec<_>) = paired.into_iter().unzip();
         ContinuousKnn {
             inner: Diknn::new(cfg, requests),

@@ -728,8 +728,7 @@ impl Diknn {
                 .min_by(|a, b| {
                     a.position
                         .dist(target)
-                        .partial_cmp(&b.position.dist(target))
-                        .expect("finite distance")
+                        .total_cmp(&b.position.dist(target))
                         .then(a.id.cmp(&b.id))
                 });
 

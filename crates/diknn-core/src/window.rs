@@ -331,8 +331,7 @@ impl WindowQuery {
                 .min_by(|a, b| {
                     a.position
                         .dist(target)
-                        .partial_cmp(&b.position.dist(target))
-                        .expect("finite")
+                        .total_cmp(&b.position.dist(target))
                         .then(a.id.cmp(&b.id))
                 });
             if let Some(n) = next {

@@ -72,10 +72,7 @@ impl Polyline {
             return self.end();
         }
         // Binary search for the segment containing arc length s.
-        let i = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
-        {
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&s)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };

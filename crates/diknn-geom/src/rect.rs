@@ -122,12 +122,6 @@ impl Rect {
         }
     }
 
-    /// Grow to cover `p`.
-    #[inline]
-    pub fn expanded_to(&self, p: Point) -> Rect {
-        self.union(&Rect::from_point(p))
-    }
-
     /// How much [`Rect::area`] would grow if expanded to cover `other`.
     #[inline]
     pub fn enlargement(&self, other: &Rect) -> f64 {

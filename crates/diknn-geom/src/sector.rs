@@ -81,13 +81,6 @@ impl Sector {
         off <= self.span + SEAM_EPS || off >= TAU - SEAM_EPS
     }
 
-    /// Signed angular offset of `p` from the start border, in `[0, 2π)`.
-    /// Values `<= span` mean `p`'s direction is inside the cone.
-    #[inline]
-    pub fn angular_offset(&self, p: Point) -> f64 {
-        angle::ccw_sweep(self.start_angle, self.apex.angle_to(p))
-    }
-
     /// Area of the circular sector.
     #[inline]
     pub fn area(&self) -> f64 {

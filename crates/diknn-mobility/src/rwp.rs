@@ -97,11 +97,6 @@ impl RandomWaypoint {
         }
     }
 
-    /// Number of generated legs (for diagnostics).
-    pub fn leg_count(&self) -> usize {
-        self.legs.len()
-    }
-
     fn leg_at(&self, t: f64) -> Option<&Leg> {
         // Legs are sorted by start time; binary search the last leg with
         // start <= t.

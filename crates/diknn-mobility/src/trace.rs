@@ -19,7 +19,7 @@ impl WaypointTrace {
     /// required.
     pub fn new(mut samples: Vec<(f64, Point)>) -> Self {
         assert!(!samples.is_empty(), "trace needs at least one sample");
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite trace times"));
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         samples.dedup_by(|later, earlier| {
             if later.0 == earlier.0 {
                 // Keep the later sample's position for a duplicate timestamp.

@@ -193,8 +193,7 @@ pub fn plan_next_hop(
                 .min_by(|a, b| {
                     a.position
                         .dist(header.dest)
-                        .partial_cmp(&b.position.dist(header.dest))
-                        .expect("finite distance")
+                        .total_cmp(&b.position.dist(header.dest))
                         .then(a.id.cmp(&b.id))
                 })
                 .filter(|n| n.position.dist(header.dest) < my_dist);
@@ -309,9 +308,7 @@ fn right_hand_next<'a>(
         .min_by(|a, b| {
             let sa = sweep_key(my_pos, ref_angle, a.position);
             let sb = sweep_key(my_pos, ref_angle, b.position);
-            sa.partial_cmp(&sb)
-                .expect("finite angles")
-                .then(a.id.cmp(&b.id))
+            sa.total_cmp(&sb).then(a.id.cmp(&b.id))
         })
         .copied()
 }

@@ -220,7 +220,7 @@ fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitGroups<E> {
         } else {
             let d1 = mbr1.enlargement(&entry.0);
             let d2 = mbr2.enlargement(&entry.0);
-            match d1.partial_cmp(&d2).expect("finite enlargement") {
+            match d1.total_cmp(&d2) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Greater => false,
                 std::cmp::Ordering::Equal => mbr1.area() <= mbr2.area(),
@@ -281,12 +281,7 @@ fn pack_level<E, T>(
     let node_count = n.div_ceil(MAX_ENTRIES);
     let slice_count = (node_count as f64).sqrt().ceil() as usize;
     let per_slice = n.div_ceil(slice_count);
-    entries.sort_by(|a, b| {
-        a.0.center()
-            .x
-            .partial_cmp(&b.0.center().x)
-            .expect("finite coords")
-    });
+    entries.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
     let mut nodes = Vec::with_capacity(node_count);
     let mut chunks: Vec<Vec<(Rect, E)>> = Vec::new();
     let mut it = entries.into_iter();
@@ -298,12 +293,7 @@ fn pack_level<E, T>(
         chunks.push(slice);
     }
     for mut slice in chunks {
-        slice.sort_by(|a, b| {
-            a.0.center()
-                .y
-                .partial_cmp(&b.0.center().y)
-                .expect("finite coords")
-        });
+        slice.sort_by(|a, b| a.0.center().y.total_cmp(&b.0.center().y));
         let mut it = slice.into_iter();
         loop {
             let group: Vec<(Rect, E)> = it.by_ref().take(MAX_ENTRIES).collect();

@@ -334,14 +334,6 @@ impl<M: Clone> Ctx<M> {
         self.energy.iter().map(EnergyMeter::protocol_j).sum()
     }
 
-    /// Protocol energy split into (tx, rx) components, in joules.
-    pub fn protocol_energy_split_j(&self) -> (f64, f64) {
-        (
-            self.energy.iter().map(|e| e.tx_protocol_j).sum(),
-            self.energy.iter().map(|e| e.rx_protocol_j).sum(),
-        )
-    }
-
     /// Sum of all radio energy (incl. beacons) over all nodes, in joules.
     pub fn total_energy_j(&self) -> f64 {
         self.energy.iter().map(EnergyMeter::total_j).sum()
@@ -510,6 +502,7 @@ impl<M: Clone> Ctx<M> {
         SimDuration::from_nanos(self.rng.gen_range(0..=window.max(1)))
     }
 
+    // lint: hot-path (carrier sense + audibility run once per MAC attempt)
     /// True when `node` senses the channel busy: it is transmitting or is
     /// within range of an ongoing transmission.
     fn channel_busy(&self, node: NodeId) -> bool {
@@ -528,20 +521,24 @@ impl<M: Clone> Ctx<M> {
                 && self.alive[i]
                 && origin.dist_sq(self.mobility[i].position_at(t)) <= range2
         };
+        let mut out = Vec::new();
         if let Some(grid) = &self.grid {
             let mut cand = Vec::new();
             grid.candidates_near(origin, self.cfg.radio_range, self.now, &mut cand);
             cand.sort_unstable();
-            return cand
-                .into_iter()
-                .filter(|&i| in_range(i as usize))
-                .map(|i| (NodeId(i), false))
-                .collect();
+            for &i in &cand {
+                if in_range(i as usize) {
+                    out.push((NodeId(i), false));
+                }
+            }
+            return out;
         }
-        (0..self.mobility.len())
-            .filter(|&i| in_range(i))
-            .map(|i| (NodeId(i as u32), false))
-            .collect()
+        for i in 0..self.mobility.len() {
+            if in_range(i) {
+                out.push((NodeId(i as u32), false));
+            }
+        }
+        out
     }
 
     /// Incrementally re-bucket the spatial grid once accumulated node
@@ -610,6 +607,7 @@ impl<M: Clone> Ctx<M> {
         });
         self.schedule(self.now + airtime, EventKind::TxEnd(id));
     }
+    // lint: end-hot-path
 }
 
 /// Outcome handed back to the run loop when an event needs a protocol
@@ -808,6 +806,8 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
+    // lint: hot-path (event loop, dispatch, and frame delivery: every
+    // simulated event flows through here)
     /// Run until the event queue drains, the time limit is reached, or the
     /// protocol calls [`Ctx::stop`]. Returns the stop time.
     pub fn run(&mut self) -> SimTime {
@@ -1214,10 +1214,14 @@ impl<P: Protocol> Simulator<P> {
                     if successes.contains(&to) {
                         ctx.stats.rx_deliveries += 1;
                         ctx.trace_verbose(to, TraceKind::RxDeliver { from });
+                        // Reuse the successes buffer instead of a fresh
+                        // one-element allocation on every clean unicast.
+                        successes.clear();
+                        successes.push(to);
                         Callback::Deliveries {
                             from,
                             msg,
-                            to: vec![to],
+                            to: successes,
                         }
                     } else if retries < ctx.cfg.unicast_retries {
                         // ARQ: put the frame back and try again shortly.
@@ -1256,6 +1260,7 @@ impl<P: Protocol> Simulator<P> {
             },
         }
     }
+    // lint: end-hot-path
 }
 
 // Compile-time audit that a whole simulator run can be moved to a worker

@@ -186,6 +186,8 @@ impl SpatialGrid {
         self.built_at = now;
     }
 
+    // lint: hot-path (radio-range queries run once per transmission; the
+    // out-parameter API exists so callers can reuse one buffer)
     /// Append to `out` every node whose bucketed position could put it
     /// within `radius` of `center` as of `now` — a superset of the true
     /// in-range set (see module docs). Candidates arrive in row-major
@@ -222,6 +224,7 @@ impl SpatialGrid {
             }
         }
     }
+    // lint: end-hot-path
 }
 
 #[cfg(test)]

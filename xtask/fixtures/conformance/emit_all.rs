@@ -1,0 +1,11 @@
+// Lint fixture: an emitter constructing every ProbeEvent variant. Mounted
+// as crates/diknn-sim/src/engine.rs in conformance self-tests; never
+// compiled.
+
+pub fn probe(trace: &mut Vec<ProbeEvent>, rtt_us: u64, dropped: u32) {
+    trace.push(ProbeEvent::Ping);
+    trace.push(ProbeEvent::Pong { rtt_us });
+    if dropped > 0 {
+        trace.push(ProbeEvent::Lost(dropped));
+    }
+}

@@ -1,0 +1,9 @@
+// Lint fixture: an emitter that never constructs ProbeEvent::Lost — a
+// dead schema entry the trace-conformance rule must flag. Mounted as
+// crates/diknn-sim/src/engine.rs in conformance self-tests; never
+// compiled.
+
+pub fn probe(trace: &mut Vec<ProbeEvent>, rtt_us: u64) {
+    trace.push(ProbeEvent::Ping);
+    trace.push(ProbeEvent::Pong { rtt_us });
+}

@@ -1,0 +1,18 @@
+// Lint fixture: a replayer naming every ProbeEvent variant explicitly —
+// the clean shape. Mounted as crates/diknn-workloads/src/invariants.rs in
+// conformance self-tests; never compiled.
+
+pub fn replay(events: &[ProbeEvent]) -> u64 {
+    let mut outstanding = 0u64;
+    for ev in events {
+        match ev {
+            ProbeEvent::Ping => outstanding += 1,
+            ProbeEvent::Pong { rtt_us } => {
+                assert!(*rtt_us > 0, "zero rtt");
+                outstanding -= 1;
+            }
+            ProbeEvent::Lost(n) => outstanding -= u64::from(*n),
+        }
+    }
+    outstanding
+}

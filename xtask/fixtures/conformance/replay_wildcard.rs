@@ -1,0 +1,17 @@
+// Lint fixture: a replayer hiding variants behind a catch-all `_` arm —
+// the exact hole the trace-conformance rule exists to close. Mounted as
+// crates/diknn-workloads/src/invariants.rs in conformance self-tests;
+// never compiled.
+// Expected: one catch-all violation plus uncovered-variant violations for
+// Pong and Lost.
+
+pub fn replay(events: &[ProbeEvent]) -> u64 {
+    let mut pings = 0u64;
+    for ev in events {
+        match ev {
+            ProbeEvent::Ping => pings += 1,
+            _ => {} // violation: a new event slips past the checker here
+        }
+    }
+    pings
+}

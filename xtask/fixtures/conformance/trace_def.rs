@@ -1,0 +1,11 @@
+// Lint fixture: a miniature flight-recorder schema for the
+// trace-conformance family. Self-tests mount this as the defining file
+// (crates/diknn-sim/src/trace.rs) alongside one emitter and one replayer
+// fixture; never compiled.
+
+/// Events the fixture recorder can log.
+pub enum ProbeEvent {
+    Ping,
+    Pong { rtt_us: u64 },
+    Lost(u32),
+}

@@ -1,0 +1,25 @@
+// Lint fixture: the negative twin of the determinism fixtures — ordered
+// containers, exempted wall-clock import, seeded RNG passed by borrow, and
+// epsilon float comparison. Scanned as crates/diknn-sim/src code; never
+// compiled. Must produce zero violations.
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant; // lint: wall-clock-ok (type only; reads are banned)
+
+pub struct GoodEngine {
+    pending: BTreeMap<u64, u32>,
+    cancelled: BTreeSet<u64>,
+}
+
+impl GoodEngine {
+    pub fn tick(&mut self, rng: &mut rand::rngs::SmallRng) {
+        let _jitter: f64 = rand::Rng::gen_range(rng, 0.0..1.0);
+        for (_id, _tx) in &self.pending {
+            // BTreeMap iteration order is deterministic.
+        }
+        self.cancelled.clear();
+    }
+}
+
+pub fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

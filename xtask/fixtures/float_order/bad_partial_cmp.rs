@@ -1,0 +1,18 @@
+// Lint fixture: partial-order float comparators — `partial_cmp` +
+// `unwrap`/`expect` inside sort/min/max/search closures, and a float-keyed
+// `sort_by_key`. Scanned as crates/diknn-core/src code; never compiled.
+// Expected: 4 float-order violations (lines tagged below).
+
+pub fn rank(mut dists: Vec<f64>, q: f64) -> Vec<f64> {
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap()); // violation: sort_by
+    let _nearest = dists
+        .iter()
+        .min_by(|a, b| a.partial_cmp(b).expect("finite")); // violation: min_by
+    let _slot = dists.binary_search_by(|c| c.partial_cmp(&q).expect("finite")); // violation
+    dists
+}
+
+pub fn rank_by_key(mut pairs: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    pairs.sort_by_key(|p| (p.1 * 1000.0) as i64); // violation: float expression key
+    pairs
+}

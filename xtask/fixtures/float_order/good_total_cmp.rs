@@ -1,0 +1,23 @@
+// Lint fixture: the negative twin of bad_partial_cmp.rs — total_cmp in the
+// comparators, an integer key, a NaN-tolerant fallback, and one justified
+// exemption. Scanned as crates/diknn-core/src code; never compiled. Must
+// produce zero violations.
+
+pub fn rank(mut dists: Vec<f64>, q: f64) -> Vec<f64> {
+    dists.sort_by(|a, b| a.total_cmp(b));
+    let _nearest = dists.iter().min_by(|a, b| a.total_cmp(b));
+    let _slot = dists.binary_search_by(|c| c.total_cmp(&q));
+    dists
+}
+
+pub fn rank_by_key(mut pairs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
+    pairs.sort_by_key(|p| p.1);
+    pairs
+}
+
+pub fn rank_tolerant(mut dists: Vec<f64>) -> Vec<f64> {
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // lint: float-order-ok (inputs clamped finite by the caller)
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dists
+}

@@ -1,0 +1,25 @@
+// Lint fixture: per-event allocations inside a fenced hot region. (The
+// fence spelling is avoided in this comment — the scanner reads it even
+// in prose.) Scanned as crates/diknn-sim/src code; never compiled.
+// Expected: 5 hot-path violations (one per forbidden shape).
+
+pub struct Loop {
+    scratch: Vec<u32>,
+}
+
+impl Loop {
+    // lint: hot-path (fixture dispatch loop)
+    pub fn dispatch(&mut self, ids: &[u32]) -> String {
+        let boxed = Box::new(ids.len()); // violation: Box::new
+        let copy = self.scratch.clone(); // violation: .clone()
+        let pair = vec![copy.len(), *boxed]; // violation: vec!
+        let gathered: Vec<u32> = ids.iter().copied().collect(); // violation: .collect()
+        format!("{pair:?} {gathered:?}") // violation: format!
+    }
+    // lint: end-hot-path
+
+    pub fn setup(ids: &[u32]) -> Vec<u32> {
+        // Outside the fence: the same shapes are fine in setup code.
+        ids.iter().copied().collect()
+    }
+}

@@ -1,0 +1,30 @@
+// Lint fixture: the negative twin of bad_alloc_in_region.rs — a fenced
+// region that only reuses scratch buffers, plus one exempted cold branch.
+// Scanned as crates/diknn-sim/src code; never compiled. Must produce zero
+// violations.
+
+pub struct Loop {
+    scratch: Vec<u32>,
+    crashed: bool,
+    log: Vec<String>,
+}
+
+impl Loop {
+    // lint: hot-path (fixture dispatch loop, allocation-free)
+    pub fn dispatch(&mut self, ids: &[u32]) -> usize {
+        self.scratch.clear();
+        for &id in ids {
+            self.scratch.push(id);
+        }
+        if self.crashed {
+            // lint: hot-path-ok (crash teardown runs at most once per node)
+            self.log.push(format!("teardown after {} ids", ids.len()));
+        }
+        self.scratch.len()
+    }
+    // lint: end-hot-path
+
+    pub fn setup(ids: &[u32]) -> Vec<u32> {
+        ids.to_vec()
+    }
+}

@@ -1,0 +1,27 @@
+// Lint fixture: RNG custody breaches — minting a stream and defining an
+// `fn rng` accessor outside the sanctioned modules. Scanned as
+// crates/diknn-routing/src code; never compiled.
+// Expected: 3 rng-custody violations.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub struct Detour {
+    rng: SmallRng,
+}
+
+impl Detour {
+    pub fn new(seed: u64) -> Self {
+        Detour {
+            rng: SmallRng::seed_from_u64(seed), // violation: seeding call
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut SmallRng {
+        // violation above: `fn rng` accessor outside the engine
+        &mut self.rng
+    }
+}
+
+pub fn reseed(detour: &mut Detour, entropy: [u8; 32]) {
+    detour.rng = SmallRng::from_seed(entropy); // violation: seeding call
+}

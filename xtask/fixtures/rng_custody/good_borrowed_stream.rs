@@ -1,0 +1,30 @@
+// Lint fixture: the negative twin of bad_ambient_stream.rs — randomness
+// flows by borrow (`&mut SmallRng` parameters, `ctx.rng()` calls) and test
+// modules may seed freely. Scanned as crates/diknn-routing/src code; never
+// compiled. Must produce zero violations.
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+pub fn jittered_backoff(rng: &mut SmallRng, window: u64) -> u64 {
+    rng.gen_range(0..=window)
+}
+
+pub fn pick<T: Copy>(rng: &mut SmallRng, xs: &[T]) -> Option<T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeded_in_tests_is_allowed() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(jittered_backoff(&mut rng, 10) <= 10);
+    }
+}

@@ -1,0 +1,546 @@
+//! A small self-contained Rust lexer for the static-analysis pass.
+//!
+//! `syn` cannot be vendored in this offline environment, so the analyzer
+//! works on a real token stream produced here instead of raw lines. The
+//! lexer handles everything that made the old line scanner blind or
+//! jumpy: string literals (including raw strings with arbitrary `#`
+//! fences and byte strings), char literals vs. lifetimes, nested block
+//! comments, numeric literals with suffixes, and multi-character
+//! punctuation. Comments are *kept* as tokens — exemption markers and
+//! hot-path region fences live in comments, so rules need to see them —
+//! but every rule distinguishes code tokens from comment tokens by kind,
+//! never by substring matching.
+//!
+//! The lexer is intentionally lossy where the rules don't care: it does
+//! not validate literals, resolve keywords, or attach spans beyond the
+//! 1-based line number. It must, however, never misclassify code as a
+//! comment or string (or vice versa) on any input `rustc` accepts, since
+//! that is exactly the failure mode that lets violations hide.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `SmallRng`, `r#match` → `match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Punctuation; multi-character operators are one token (`::`, `=>`,
+    /// `==`, `!=`, `<=`, `>=`, `->`, `..`, …).
+    Punct,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (with optional exponent/suffix).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); text is
+    /// the raw source slice, quotes included.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (doc comments included); text excludes the newline.
+    LineComment,
+    /// `/* … */` comment (nesting handled); may span lines.
+    BlockComment,
+}
+
+impl TokKind {
+    /// Whether this token is code (participates in program semantics).
+    pub fn is_code(self) -> bool {
+        !matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind, source text, 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}:{}", self.line, self.kind, self.text)
+    }
+}
+
+/// Multi-character operators, longest first (greedy matching).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "=>", "->", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex `src` into a token stream. Never fails: unexpected bytes become
+/// single-character punct tokens, unterminated literals run to EOF — a
+/// linter must keep scanning whatever it is fed.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: usize, text_src: &str) {
+        self.out.push(Tok {
+            kind,
+            text: text_src[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn run(mut self, text: &str) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment, start, line, text);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump();
+                            self.bump();
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::BlockComment, start, line, text);
+                }
+                b'"' => {
+                    self.string_body();
+                    self.push(TokKind::Str, start, line, text);
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    // Handled inside; token pushed there via return flag.
+                    self.push(TokKind::Str, start, line, text);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump(); // b
+                    self.char_body();
+                    self.push(TokKind::Char, start, line, text);
+                }
+                b'\'' => {
+                    // Lifetime or char literal.
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        while is_ident_char(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.push(TokKind::Lifetime, start, line, text);
+                    } else {
+                        self.char_body();
+                        self.push(TokKind::Char, start, line, text);
+                    }
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number_body();
+                    self.push(kind, start, line, text);
+                }
+                c if is_ident_start(c) => {
+                    // `r#ident` raw identifiers: strip the prefix so rules
+                    // see the plain name.
+                    if c == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+                        self.bump();
+                        self.bump();
+                        let istart = self.pos;
+                        while is_ident_char(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.out.push(Tok {
+                            kind: TokKind::Ident,
+                            text: text[istart..self.pos].to_string(),
+                            line,
+                        });
+                    } else {
+                        while is_ident_char(self.peek(0)) {
+                            self.bump();
+                        }
+                        self.push(TokKind::Ident, start, line, text);
+                    }
+                }
+                _ => {
+                    // Punct: greedy multi-char match, else one byte (which
+                    // also swallows any stray non-ASCII byte harmlessly).
+                    let rest = &text[self.pos..];
+                    let multi = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                    match multi {
+                        Some(p) => {
+                            for _ in 0..p.len() {
+                                self.bump();
+                            }
+                        }
+                        None => {
+                            // Consume a full UTF-8 scalar so we never split
+                            // a multi-byte character.
+                            let ch_len = rest.chars().next().map_or(1, char::len_utf8);
+                            for _ in 0..ch_len {
+                                self.bump();
+                            }
+                        }
+                    }
+                    self.push(TokKind::Punct, start, line, text);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// At a `'`: does a lifetime start here (vs. a char literal)?
+    fn is_lifetime(&self) -> bool {
+        // 'a where a… is an ident: lifetime unless the ident is a single
+        // char followed by a closing quote ('x').
+        if !is_ident_start(self.peek(1)) {
+            return false; // '(' , '\n' etc: char literal
+        }
+        // Scan the ident; lifetime iff not terminated by '.
+        let mut i = 1;
+        while is_ident_char(self.peek(i)) {
+            i += 1;
+        }
+        self.peek(i) != b'\''
+    }
+
+    /// Consume `'…'` (caller sits on the opening quote).
+    fn char_body(&mut self) {
+        self.bump(); // '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump(); // escaped char
+                         // \x7f, \u{…} tails: run to the closing quote.
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else if self.pos < self.src.len() {
+            // One UTF-8 scalar.
+            let rest = &self.src[self.pos..];
+            let len = std::str::from_utf8(rest)
+                .ok()
+                .and_then(|s| s.chars().next())
+                .map_or(1, char::len_utf8);
+            for _ in 0..len {
+                self.bump();
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// Consume `"…"` with escapes (caller sits on the opening quote).
+    fn string_body(&mut self) {
+        self.bump(); // "
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw / byte string prefix (`r"`, `r#"`,
+    /// `b"`, `br#"` …), consume the whole literal and return true.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == b'b' {
+            i += 1;
+        }
+        let raw = self.peek(i) == b'r';
+        if raw {
+            i += 1;
+        }
+        let mut fences = 0;
+        while self.peek(i + fences) == b'#' {
+            fences += 1;
+        }
+        if self.peek(i + fences) != b'"' || (!raw && (fences > 0 || self.peek(0) != b'b')) {
+            return false; // not a string start (plain ident `r`/`b`…)
+        }
+        // Consume prefix + fences + opening quote.
+        for _ in 0..(i + fences + 1) {
+            self.bump();
+        }
+        if raw {
+            // Raw: no escapes; ends at `"` followed by `fences` hashes.
+            while self.pos < self.src.len() {
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for f in 0..fences {
+                        if self.peek(1 + f) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..(fences + 1) {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                }
+                self.bump();
+            }
+        } else {
+            // b"…": cooked escapes.
+            while self.pos < self.src.len() {
+                match self.peek(0) {
+                    b'\\' => {
+                        self.bump();
+                        self.bump();
+                    }
+                    b'"' => {
+                        self.bump();
+                        return true;
+                    }
+                    _ => self.bump(),
+                }
+            }
+        }
+        true
+    }
+
+    /// Consume a numeric literal; returns Int or Float.
+    fn number_body(&mut self) -> TokKind {
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        let mut float = false;
+        // `1.5`, `1.` — but not `1..2` (range) or `1.foo` (field/method).
+        if self.peek(0) == b'.' && self.peek(1) != b'.' && !is_ident_start(self.peek(1)) {
+            float = true;
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump();
+            if matches!(self.peek(0), b'+' | b'-') {
+                self.bump();
+            }
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Suffix (f64, u32, usize…). A float suffix forces Float.
+        if is_ident_start(self.peek(0)) {
+            let sfx_start = self.pos;
+            while is_ident_char(self.peek(0)) {
+                self.bump();
+            }
+            let sfx = &self.src[sfx_start..self.pos];
+            if sfx == b"f32" || sfx == b"f64" {
+                float = true;
+            }
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Convenience for rules: iterate code tokens only (comments skipped),
+/// yielding `(index_in_full_stream, &Tok)`.
+pub fn code_tokens(toks: &[Tok]) -> impl Iterator<Item = (usize, &Tok)> {
+    toks.iter().enumerate().filter(|(_, t)| t.kind.is_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = foo::bar(1, 2.5);");
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+        assert!(toks.contains(&(TokKind::Punct, "::".into())));
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+        assert!(toks.contains(&(TokKind::Float, "2.5".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = lex("code(); // HashMap in a comment\n/* Instant::now */ more();");
+        let comment_texts: Vec<_> = toks
+            .iter()
+            .filter(|t| !t.kind.is_code())
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(comment_texts.len(), 2);
+        assert!(comment_texts[0].contains("HashMap"));
+        // No code token mentions HashMap or Instant.
+        assert!(!toks
+            .iter()
+            .filter(|t| t.kind.is_code())
+            .any(|t| t.text.contains("HashMap") || t.text.contains("Instant")));
+    }
+
+    #[test]
+    fn strings_swallow_comment_markers_and_quotes() {
+        let toks = kinds(r#"let s = "a // not a comment \" still"; x();"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("not a comment"));
+        assert!(toks.contains(&(TokKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"has \"quotes\" and // slashes\"#; done();";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{toks:?}");
+        assert!(toks.contains(&(TokKind::Ident, "done".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds("let a = b\"bytes\"; let c = b'x';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.starts_with("b\"")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ code();");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("still comment"));
+        assert!(toks.iter().any(|t| t.text == "code"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_and_multiline_tokens() {
+        let toks = lex("a\n\nb /* x\ny */ c\nd");
+        let line_of = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 3);
+        assert_eq!(line_of("c"), 4); // after the 2-line block comment
+        assert_eq!(line_of("d"), 5);
+    }
+
+    #[test]
+    fn numeric_edge_cases() {
+        let toks = kinds("0xFF 1_000 1.0f64 2f32 1e-9 1..2 x.0 3.foo()");
+        assert!(toks.contains(&(TokKind::Int, "0xFF".into())));
+        assert!(toks.contains(&(TokKind::Int, "1_000".into())));
+        assert!(toks.contains(&(TokKind::Float, "1.0f64".into())));
+        assert!(toks.contains(&(TokKind::Float, "2f32".into())));
+        assert!(toks.contains(&(TokKind::Float, "1e-9".into())));
+        // Range stays two ints.
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Int, "2".into())));
+        // Tuple access `.0` is punct + int, not a float.
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        // `3.foo()` is int + dot + ident.
+        assert!(toks.contains(&(TokKind::Int, "3".into())));
+        assert!(toks.contains(&(TokKind::Ident, "foo".into())));
+    }
+
+    #[test]
+    fn comparison_operators_are_single_tokens() {
+        let toks = kinds("a == b != c <= d >= e = f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">=", "="]);
+    }
+
+    #[test]
+    fn raw_identifiers_lose_the_prefix() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "match".into())));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+}

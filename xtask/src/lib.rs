@@ -1,6 +1,11 @@
-//! Library half of the `xtask` automation crate: exposes the lint pass so
-//! integration tests can drive it against fixture sources.
+//! Library half of the `xtask` automation crate: the static-analysis pass
+//! (`cargo xtask lint`), exposed so integration tests can drive the lexer,
+//! index, and rule families against fixture sources.
 
 #![forbid(unsafe_code)]
 
+pub mod index;
+pub mod lexer;
 pub mod lint;
+pub mod report;
+pub mod rules;

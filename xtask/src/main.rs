@@ -1,14 +1,16 @@
 //! Workspace automation tasks, invoked as `cargo xtask <command>`.
 //!
-//! The only command today is `lint`: a static-analysis pass over workspace
-//! sources enforcing the project invariants documented in DESIGN.md
-//! ("Determinism & static analysis") that clippy's `disallowed-types` /
-//! `disallowed-methods` cannot fully express — scoped container bans,
-//! exemption comments, per-crate unwrap budgets, and strict-header checks.
+//! The only command today is `lint`: a token-level static-analysis pass
+//! over workspace sources (lexer + symbol index, see DESIGN.md §11)
+//! enforcing the project invariants that clippy's `disallowed-types` /
+//! `disallowed-methods` cannot express — scoped container bans, float
+//! total-order in comparators, RNG stream custody, trace↔replayer
+//! conformance, hot-path allocation fences, and the panic-budget ratchet.
 
 #![forbid(unsafe_code)]
 
 use xtask::lint;
+use xtask::rules::panic_budget;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,7 +18,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(args.get(1).map(String::as_str)),
+        Some("lint") => run_lint(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command: {other}");
             eprintln!("{USAGE}");
@@ -29,49 +31,124 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--verbose]
+const USAGE: &str =
+    "usage: cargo xtask lint [--verbose] [--json] [--update-baseline] [--dead-exports]
 
 commands:
   lint    statically check workspace sources for determinism violations:
           hash containers in simulation state, wall-clock reads, ambient
-          randomness, bare float equality in protocol code, unwrap budget
-          overruns, and missing strict-lint headers";
+          randomness, bare float equality, partial-order float comparators,
+          RNG stream custody, trace/replayer conformance, hot-path
+          allocations, panic-budget regressions, and strict headers
 
-fn run_lint(flag: Option<&str>) -> ExitCode {
-    let verbose = matches!(flag, Some("--verbose" | "-v"));
-    let root = workspace_root();
-    match lint::lint_workspace(&root) {
-        Ok(report) => {
-            if verbose {
-                for (krate, count) in &report.unwrap_counts {
-                    let budget = report.budgets.get(krate).copied().unwrap_or(0);
-                    println!("unwrap/expect budget: {krate}: {count}/{budget}");
-                }
-                println!("scanned {} files", report.files_scanned);
+flags:
+  --verbose           print per-crate panic counts and file totals
+  --json              print the machine-readable report to stdout
+  --update-baseline   rewrite xtask/lint_baseline.toml from measured counts
+  --dead-exports      list pub items with zero cross-crate references
+
+every run also writes results/LINT_REPORT.json";
+
+fn run_lint(flags: &[String]) -> ExitCode {
+    let mut verbose = false;
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut dead_exports = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--dead-exports" => dead_exports = true,
+            other => {
+                eprintln!("unknown lint flag: {other}");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
             }
-            if report.violations.is_empty() {
-                println!(
-                    "xtask lint: OK ({} files, {} crates within unwrap budget)",
-                    report.files_scanned,
-                    report.unwrap_counts.len()
-                );
-                ExitCode::SUCCESS
-            } else {
-                for v in &report.violations {
-                    eprintln!("{v}");
-                }
-                eprintln!(
-                    "xtask lint: {} violation(s). See DESIGN.md \"Determinism & static analysis\" \
-                     for the policy and how to add an exemption.",
-                    report.violations.len()
-                );
-                ExitCode::FAILURE
+        }
+    }
+
+    let root = workspace_root();
+    let mut report = match lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update_baseline {
+        let rendered = panic_budget::render_baseline(&report.panic_counts);
+        if let Err(e) = std::fs::write(root.join("xtask/lint_baseline.toml"), rendered) {
+            eprintln!("xtask lint: writing lint_baseline.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask lint: wrote xtask/lint_baseline.toml from measured counts");
+        // The counts now ARE the baseline; drop ratchet findings.
+        report.baseline = report.panic_counts.clone();
+        report.violations.retain(|v| v.rule != "panic-budget");
+    }
+
+    match lint::write_report(&root, &report) {
+        Ok(path) => {
+            if verbose {
+                println!("wrote {path}");
             }
         }
         Err(e) => {
             eprintln!("xtask lint: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    }
+    if verbose {
+        for (krate, count) in &report.panic_counts {
+            let base = report.baseline.get(krate).copied().unwrap_or(0);
+            println!("panic budget: {krate}: {count}/{base}");
+        }
+        println!("scanned {} files", report.files_scanned);
+    }
+    if dead_exports {
+        if report.dead_exports.is_empty() {
+            println!("dead exports: none");
+        } else {
+            println!("dead exports ({}):", report.dead_exports.len());
+            for d in &report.dead_exports {
+                let hint = if d.intra_crate_refs {
+                    "used only inside its crate; consider pub(crate)"
+                } else {
+                    "no references anywhere; consider removing"
+                };
+                println!(
+                    "  {}:{}: pub {} {} — {hint}",
+                    d.file, d.line, d.kind, d.name
+                );
+            }
+        }
+    }
+
+    if report.violations.is_empty() {
+        if !json {
+            println!(
+                "xtask lint: OK ({} files, {} crates within panic budget)",
+                report.files_scanned,
+                report.panic_counts.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "xtask lint: {} violation(s). See DESIGN.md §11 \"Static analysis architecture\" \
+             for the policy and how to add an exemption.",
+            report.violations.len()
+        );
+        ExitCode::FAILURE
     }
 }
 

@@ -1,0 +1,483 @@
+//! Violation types and the machine-readable lint report.
+//!
+//! Every lint run emits `results/LINT_REPORT.json` next to the human
+//! output so CI can archive findings and other tooling can consume them.
+//! `serde` cannot be vendored in this offline environment, so the module
+//! carries a hand-written JSON emitter plus a small recursive-descent
+//! parser — just enough to prove the report round-trips (emit → parse →
+//! same violations), which is what the self-test asserts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of the report format, bumped on breaking changes.
+pub const REPORT_SCHEMA: &str = "diknn-lint-report/v1";
+
+/// One finding of the pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file/whole-crate findings.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// A `pub` item with zero references outside its defining crate
+/// (informational; surfaced by `cargo xtask lint --dead-exports`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadExport {
+    pub crate_name: String,
+    pub file: String,
+    pub line: usize,
+    /// Item kind: `fn`, `struct`, `enum`, `trait`, `type`, `const`,
+    /// `static`, `mod`, `union`.
+    pub kind: &'static str,
+    pub name: String,
+    /// Whether the item is referenced elsewhere inside its own crate
+    /// (candidate for `pub(crate)`) or nowhere at all (candidate for
+    /// removal).
+    pub intra_crate_refs: bool,
+}
+
+/// Full result of a workspace pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Non-test `unwrap`/`expect`/`panic!`/`unreachable!` sites per crate.
+    pub panic_counts: BTreeMap<String, u32>,
+    /// Committed per-crate ceilings from `xtask/lint_baseline.toml`.
+    pub baseline: BTreeMap<String, u32>,
+    pub files_scanned: usize,
+    pub dead_exports: Vec<DeadExport>,
+}
+
+impl LintReport {
+    /// Serialize the report; stable field order, two-space indent.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", esc(REPORT_SCHEMA)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                esc(v.rule),
+                esc(&v.file),
+                v.line,
+                esc(&v.message)
+            ));
+        }
+        out.push_str(if self.violations.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"panic_counts\": ");
+        push_count_map(&mut out, &self.panic_counts);
+        out.push_str(",\n  \"panic_baseline\": ");
+        push_count_map(&mut out, &self.baseline);
+        out.push_str(",\n  \"dead_exports\": [");
+        for (i, d) in self.dead_exports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"crate\": {}, \"file\": {}, \"line\": {}, \"kind\": {}, \
+                 \"name\": {}, \"intra_crate_refs\": {}}}",
+                esc(&d.crate_name),
+                esc(&d.file),
+                d.line,
+                esc(d.kind),
+                esc(&d.name),
+                d.intra_crate_refs
+            ));
+        }
+        out.push_str(if self.dead_exports.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn push_count_map(out: &mut String, map: &BTreeMap<String, u32>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", esc(k), v));
+    }
+    out.push('}');
+}
+
+/// JSON string literal with escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value, for parsing reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (strict enough for reports this tool wrote).
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Extract `(rule, file, line, message)` tuples from a serialized report;
+/// the round-trip self-test compares these against the original pass.
+pub fn violations_from_json(src: &str) -> Result<Vec<(String, String, usize, String)>, String> {
+    let doc = parse_json(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("report has no schema field")?;
+    if schema != REPORT_SCHEMA {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    let arr = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("report has no violations array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("violation missing {k}"))
+        };
+        out.push((
+            field("rule")?,
+            field("file")?,
+            v.get("line")
+                .and_then(Json::as_usize)
+                .ok_or("violation missing line")?,
+            field("message")?,
+        ));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.src.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.src.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.src.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.src.get(self.pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.src.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.src[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.src.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        let report = LintReport {
+            violations: vec![
+                Violation {
+                    file: "crates/diknn-core/src/protocol.rs".into(),
+                    line: 7,
+                    rule: "float-order",
+                    message: "message with \"quotes\" and \\ backslash".into(),
+                },
+                Violation {
+                    file: "crates/diknn-sim".into(),
+                    line: 0,
+                    rule: "panic-budget",
+                    message: "whole-crate finding".into(),
+                },
+            ],
+            panic_counts: BTreeMap::from([("diknn-core".to_string(), 4)]),
+            baseline: BTreeMap::from([("diknn-core".to_string(), 4)]),
+            files_scanned: 12,
+            dead_exports: vec![DeadExport {
+                crate_name: "diknn-geom".into(),
+                file: "crates/diknn-geom/src/lib.rs".into(),
+                line: 3,
+                kind: "fn",
+                name: "unused_helper".into(),
+                intra_crate_refs: true,
+            }],
+        };
+        let json = report.to_json();
+        let parsed = violations_from_json(&json).expect("parse back");
+        let original: Vec<_> = report
+            .violations
+            .iter()
+            .map(|v| {
+                (
+                    v.rule.to_string(),
+                    v.file.clone(),
+                    v.line,
+                    v.message.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = LintReport::default();
+        let parsed = violations_from_json(&report.to_json()).expect("parse back");
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{\"open\": ").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(violations_from_json("{\"schema\": \"other/v9\", \"violations\": []}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let doc = parse_json(r#"{"a": [1, {"b": "x\nyA"}], "c": true}"#).unwrap();
+        let b = doc.get("a").unwrap().as_arr().unwrap()[1]
+            .get("b")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert_eq!(b, "x\nyA");
+    }
+}

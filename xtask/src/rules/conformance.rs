@@ -1,0 +1,387 @@
+//! Rule family `trace-conformance`: the flight-recorder event enums, their
+//! emitters, and the replay checker must stay coupled.
+//!
+//! For every variant of each conformance enum (`ProtoEvent`, `TraceKind`):
+//!
+//! 1. ≥1 emit site in the emitter crates (`diknn-sim`, `diknn-core`) —
+//!    a variant nobody constructs is a dead schema entry;
+//! 2. ≥1 explicit match arm in the replayer
+//!    (`diknn-workloads/src/invariants.rs`) — a variant the replayer never
+//!    names can bypass the invariant checker silently;
+//! 3. no catch-all `_` arm in any replayer `match` whose patterns name a
+//!    conformance enum — a `_` arm is exactly the hole through which a new
+//!    event would slip past rule 2 unnoticed.
+//!
+//! The check runs on the symbol index, so self-tests can feed synthetic
+//! workspaces (including a real `invariants.rs` with an arm deleted, which
+//! must fail loudly — the non-vacuity criterion).
+
+use crate::index::WorkspaceIndex;
+use crate::lexer::{Tok, TokKind};
+use crate::report::Violation;
+
+/// What couples where. The production wiring lives in `lint.rs`; tests
+/// substitute fixture paths.
+pub struct ConformanceConfig<'a> {
+    /// Enum names whose variants are conformance-checked.
+    pub enums: &'a [&'a str],
+    /// File defining those enums (excluded from emit-site counting — the
+    /// `Display` impl there pattern-matches every variant by necessity).
+    pub def_file: &'a str,
+    /// Crates whose library code counts as emit sites.
+    pub emit_crates: &'a [&'a str],
+    /// The replay checker whose match arms must cover every variant.
+    pub replayer: &'a str,
+}
+
+pub fn check(idx: &WorkspaceIndex, cfg: &ConformanceConfig) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let replayer = idx.file(cfg.replayer);
+    if replayer.is_none() {
+        out.push(Violation {
+            file: cfg.replayer.to_string(),
+            line: 0,
+            rule: "trace-conformance",
+            message: "replayer file not found in the workspace index".into(),
+        });
+    }
+    let arm_patterns: Vec<Vec<Vec<String>>> = replayer
+        .map(|f| {
+            let toks = f.rule_toks();
+            matches_in(&toks)
+        })
+        .unwrap_or_default();
+
+    for &enum_name in cfg.enums {
+        let Some(defs) = idx.enums.get(enum_name) else {
+            out.push(Violation {
+                file: cfg.def_file.to_string(),
+                line: 0,
+                rule: "trace-conformance",
+                message: format!("conformance enum `{enum_name}` not found in the workspace"),
+            });
+            continue;
+        };
+        let Some(def) = defs.iter().find(|d| d.file == cfg.def_file) else {
+            out.push(Violation {
+                file: cfg.def_file.to_string(),
+                line: 0,
+                rule: "trace-conformance",
+                message: format!("conformance enum `{enum_name}` is not defined in this file"),
+            });
+            continue;
+        };
+
+        // Catch-all arms in matches that name this enum.
+        for arms in &arm_patterns {
+            let names_enum = arms
+                .iter()
+                .any(|pat| pat.windows(2).any(|w| w[0] == enum_name && w[1] == "::"));
+            if !names_enum {
+                continue;
+            }
+            for pat in arms {
+                if top_level_wildcard(pat) {
+                    out.push(Violation {
+                        file: cfg.replayer.to_string(),
+                        line: 0,
+                        rule: "trace-conformance",
+                        message: format!(
+                            "catch-all `_` arm in a `match` over `{enum_name}`: every \
+                             variant must be named explicitly so a new event cannot \
+                             bypass the replay checker"
+                        ),
+                    });
+                }
+            }
+        }
+
+        for (variant, vline) in &def.variants {
+            // Emit sites: `Enum::Variant` token pairs in emitter crates.
+            let emitted = idx
+                .files
+                .iter()
+                .filter(|f| {
+                    f.kind == crate::index::FileKind::Lib
+                        && cfg.emit_crates.contains(&f.crate_name.as_str())
+                        && f.rel != cfg.def_file
+                })
+                .any(|f| has_path(&f.rule_toks(), enum_name, variant));
+            if !emitted {
+                out.push(Violation {
+                    file: cfg.def_file.to_string(),
+                    line: *vline,
+                    rule: "trace-conformance",
+                    message: format!(
+                        "`{enum_name}::{variant}` has no emit site in {:?}; either wire \
+                         the event up or delete the variant",
+                        cfg.emit_crates
+                    ),
+                });
+            }
+            // Replay coverage: some match arm names the variant.
+            let replayed = arm_patterns.iter().flatten().any(|pat| {
+                pat.windows(3)
+                    .any(|w| w[0] == enum_name && w[1] == "::" && w[2] == *variant)
+            });
+            if !replayed {
+                out.push(Violation {
+                    file: cfg.replayer.to_string(),
+                    line: 0,
+                    rule: "trace-conformance",
+                    message: format!(
+                        "`{enum_name}::{variant}` (defined at {}:{vline}) has no explicit \
+                         match arm in the replayer; add one (an empty arm documents \
+                         'intentionally not checked')",
+                        cfg.def_file
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out
+}
+
+fn has_path(toks: &[&Tok], enum_name: &str, variant: &str) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].kind == TokKind::Ident
+            && w[0].text == enum_name
+            && w[1].text == "::"
+            && w[2].text == variant
+    })
+}
+
+/// Every `match` in the stream, as a list of arms, each arm a list of
+/// pattern-token texts (the tokens before its `=>`, guard included).
+fn matches_in(toks: &[&Tok]) -> Vec<Vec<Vec<String>>> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "match") {
+            continue;
+        }
+        // Body brace: first `{` at zero paren/bracket depth after the
+        // scrutinee (struct literals are not legal in scrutinee position).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let body = loop {
+            if j >= n {
+                break None;
+            }
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break Some(j),
+                ";" if depth == 0 => break None, // `match` used as an ident
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body) = body else { continue };
+        out.push(parse_arms(toks, body, n));
+    }
+    out
+}
+
+/// Parse the arms of the match whose body `{` is at `open`.
+fn parse_arms(toks: &[&Tok], open: usize, n: usize) -> Vec<Vec<String>> {
+    let mut arms = Vec::new();
+    let mut j = open + 1;
+    let mut depth = 1i32; // brace depth of the match body
+    while j < n && depth > 0 {
+        // Collect pattern tokens until `=>` at this match's arm level.
+        let mut pat = Vec::new();
+        let mut pdepth = 0i32;
+        while j < n {
+            let t = toks[j].text.as_str();
+            match t {
+                "(" | "[" | "{" => pdepth += 1,
+                ")" | "]" => pdepth -= 1,
+                "}" if pdepth == 0 => {
+                    // End of the match body before another arm.
+                    return arms;
+                }
+                "}" => pdepth -= 1,
+                "=>" if pdepth == 0 => break,
+                _ => {}
+            }
+            if t != "=>" {
+                pat.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if j >= n {
+            return arms;
+        }
+        arms.push(pat);
+        j += 1; // past `=>`
+                // Skip the arm body: a block runs to its matching brace; an
+                // expression runs to a `,` at arm level or the body's `}`.
+        if j < n && toks[j].text == "{" {
+            let mut bd = 0i32;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "{" => bd += 1,
+                    "}" => {
+                        bd -= 1;
+                        if bd == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < n && toks[j].text == "," {
+                j += 1;
+            }
+        } else {
+            let mut ed = 0i32;
+            while j < n {
+                match toks[j].text.as_str() {
+                    "(" | "[" | "{" => ed += 1,
+                    ")" | "]" => ed -= 1,
+                    "}" if ed == 0 => break, // body `}` — outer loop sees it
+                    "}" => ed -= 1,
+                    "," if ed == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if j < n && toks[j].text == "}" {
+            depth -= 1;
+            j += 1;
+        }
+    }
+    arms
+}
+
+/// Does the pattern have a bare `_` top-level alternative (before any
+/// guard)? `Some(_)` and `Kind::X { y: _, .. }` do not count; `_` and
+/// `_ | Kind::X` and `_ if cond` do.
+fn top_level_wildcard(pat: &[String]) -> bool {
+    let mut depth = 0i32;
+    let mut alt: Vec<&str> = Vec::new();
+    let mut alts: Vec<Vec<&str>> = Vec::new();
+    for t in pat {
+        match t.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "|" if depth == 0 => {
+                alts.push(std::mem::take(&mut alt));
+                continue;
+            }
+            "if" if depth == 0 => break, // guard: alternatives end here
+            _ => {}
+        }
+        alt.push(t);
+    }
+    alts.push(alt);
+    alts.iter().any(|a| a.len() == 1 && a[0] == "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{FileKind, WorkspaceIndex};
+
+    const DEF: &str = "pub enum Ev { A, B(u32), C { x: u64 } }\n";
+
+    fn cfg() -> ConformanceConfig<'static> {
+        ConformanceConfig {
+            enums: &["Ev"],
+            def_file: "crates/diknn-sim/src/trace.rs",
+            emit_crates: &["diknn-sim", "diknn-core"],
+            replayer: "crates/diknn-workloads/src/invariants.rs",
+        }
+    }
+
+    fn idx(emit: &str, replay: &str) -> WorkspaceIndex {
+        WorkspaceIndex::from_sources(&[
+            (
+                "crates/diknn-sim/src/trace.rs",
+                "diknn-sim",
+                FileKind::Lib,
+                DEF,
+            ),
+            (
+                "crates/diknn-sim/src/engine.rs",
+                "diknn-sim",
+                FileKind::Lib,
+                emit,
+            ),
+            (
+                "crates/diknn-workloads/src/invariants.rs",
+                "diknn-workloads",
+                FileKind::Lib,
+                replay,
+            ),
+        ])
+    }
+
+    const EMIT_ALL: &str = "fn e() { r(Ev::A); r(Ev::B(1)); r(Ev::C { x: 2 }); }\n";
+    const REPLAY_ALL: &str = "fn c(e: &Ev) {\n    match e {\n        Ev::A => {}\n        Ev::B(n) => { use_it(n); }\n        Ev::C { x } | Ev::A => {}\n    }\n}\n";
+
+    #[test]
+    fn fully_coupled_workspace_is_clean() {
+        let v = check(&idx(EMIT_ALL, REPLAY_ALL), &cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn missing_emit_site_is_flagged() {
+        let v = check(
+            &idx("fn e() { r(Ev::A); r(Ev::B(1)); }\n", REPLAY_ALL),
+            &cfg(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Ev::C"), "{}", v[0].message);
+        assert!(v[0].message.contains("no emit site"));
+    }
+
+    #[test]
+    fn missing_match_arm_is_flagged() {
+        let replay = "fn c(e: &Ev) {\n    match e {\n        Ev::A => {}\n        Ev::B(n) => { use_it(n); }\n    }\n}\n";
+        let v = check(&idx(EMIT_ALL, replay), &cfg());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Ev::C"));
+        assert!(v[0].message.contains("no explicit match arm"));
+    }
+
+    #[test]
+    fn catch_all_arm_is_flagged() {
+        let replay =
+            "fn c(e: &Ev) {\n    match e {\n        Ev::A => {}\n        _ => {}\n    }\n}\n";
+        let v = check(&idx(EMIT_ALL, replay), &cfg());
+        // `_` itself, plus B and C lacking explicit arms.
+        assert!(v.iter().any(|v| v.message.contains("catch-all")), "{v:?}");
+    }
+
+    #[test]
+    fn nested_wildcards_inside_patterns_are_fine() {
+        let replay = "fn c(e: &Ev) {\n    match e {\n        Ev::A => {}\n        Ev::B(_) => {}\n        Ev::C { x: _ } => {}\n    }\n}\n";
+        let v = check(&idx(EMIT_ALL, replay), &cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wildcards_in_unrelated_matches_are_ignored() {
+        let replay = "fn c(e: &Ev, n: u32) {\n    match n { 0 => a(), _ => b() }\n    match e {\n        Ev::A | Ev::B(_) | Ev::C { .. } => {}\n    }\n}\n";
+        let v = check(&idx(EMIT_ALL, replay), &cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn guards_do_not_hide_wildcards() {
+        let replay = "fn c(e: &Ev) {\n    match e {\n        Ev::A => {}\n        _ if always() => {}\n        Ev::B(_) => {}\n        Ev::C { .. } => {}\n    }\n}\n";
+        let v = check(&idx(EMIT_ALL, replay), &cfg());
+        assert!(v.iter().any(|v| v.message.contains("catch-all")), "{v:?}");
+    }
+}

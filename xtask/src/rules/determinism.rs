@@ -1,0 +1,225 @@
+//! The original determinism rules, ported from the line scanner to the
+//! token stream (see DESIGN.md "Determinism & static analysis"):
+//!
+//! - `hash-container` — no `HashMap`/`HashSet` in non-test library code of
+//!   the simulation-state crates: hash iteration order is randomized per
+//!   process and silently breaks same-seed reproducibility. Exemption:
+//!   `// lint: order-independent` (prove the container is never iterated).
+//! - `wall-clock` — no `Instant::now`/`SystemTime` in library code:
+//!   simulated time must come from the event clock. Exemption:
+//!   `// lint: wall-clock-ok`. A bare `Instant` identifier (imports, type
+//!   positions) is allowed; only the `::now` call and any `SystemTime`
+//!   use are flagged.
+//! - `ambient-randomness` — no `thread_rng`/`from_entropy`/`rand::random`:
+//!   all randomness flows from explicitly seeded generators. No exemption.
+//! - `float-eq` — no bare `==`/`!=` against a float literal in protocol
+//!   decision crates. Exemption: `// lint: float-eq-ok`.
+//! - `raw-thread` — no `thread::{spawn,scope,Builder}` outside the
+//!   sanctioned deterministic executor. No exemption.
+
+use crate::index::SourceFile;
+use crate::lexer::TokKind;
+use crate::report::Violation;
+
+/// Crates whose library code may not use hash containers.
+pub const ORDERED_STATE_CRATES: &[&str] = &[
+    "diknn-sim",
+    "diknn-core",
+    "diknn-routing",
+    "diknn-baselines",
+];
+
+/// Crates whose library code may not compare floats with `==`/`!=`.
+pub const FLOAT_EQ_CRATES: &[&str] = &["diknn-core", "diknn-routing"];
+
+/// The one module allowed to touch `std::thread`: the deterministic
+/// executor everything else must go through.
+pub const SANCTIONED_THREAD_MODULE: &str = "crates/diknn-workloads/src/parallel.rs";
+
+pub fn scan(f: &SourceFile) -> Vec<Violation> {
+    let toks = f.rule_toks();
+    let n = toks.len();
+    let ordered_scope = ORDERED_STATE_CRATES.contains(&f.crate_name.as_str());
+    let float_scope = FLOAT_EQ_CRATES.contains(&f.crate_name.as_str());
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: f.rel.clone(),
+            line,
+            rule,
+            message,
+        })
+    };
+
+    for i in 0..n {
+        let t = toks[i];
+        let is = |j: usize, text: &str| j < n && toks[j].text == text;
+
+        // hash-container
+        if ordered_scope
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !f.exempt(t.line, "order-independent")
+        {
+            push(
+                t.line,
+                "hash-container",
+                format!(
+                    "`{}` iteration order is randomized per process; use BTreeMap/BTreeSet, \
+                     or prove the container is never iterated and annotate \
+                     `// lint: order-independent`",
+                    t.text
+                ),
+            );
+        }
+
+        // wall-clock
+        if t.kind == TokKind::Ident {
+            let instant_now = t.text == "Instant" && is(i + 1, "::") && is(i + 2, "now");
+            if (instant_now || t.text == "SystemTime") && !f.exempt(t.line, "wall-clock-ok") {
+                push(
+                    t.line,
+                    "wall-clock",
+                    "wall-clock time breaks same-seed reproducibility; use the simulated \
+                     clock (`Ctx::now`) or annotate `// lint: wall-clock-ok`"
+                        .into(),
+                );
+            }
+        }
+
+        // ambient-randomness (no exemption)
+        if t.kind == TokKind::Ident {
+            let ambient = matches!(t.text.as_str(), "thread_rng" | "from_entropy")
+                || (t.text == "rand" && is(i + 1, "::") && is(i + 2, "random"));
+            if ambient {
+                push(
+                    t.line,
+                    "ambient-randomness",
+                    format!(
+                        "`{}` draws from process entropy; all randomness must flow from an \
+                         explicitly seeded generator (no exemption)",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // float-eq
+        if float_scope
+            && t.kind == TokKind::Punct
+            && (t.text == "==" || t.text == "!=")
+            && !f.exempt(t.line, "float-eq-ok")
+        {
+            let float_operand = (i > 0 && toks[i - 1].kind == TokKind::Float)
+                || (i + 1 < n && toks[i + 1].kind == TokKind::Float);
+            if float_operand {
+                push(
+                    t.line,
+                    "float-eq",
+                    "bare float `==`/`!=` in protocol decision code; compare against an \
+                     epsilon or annotate `// lint: float-eq-ok`"
+                        .into(),
+                );
+            }
+        }
+
+        // raw-thread (no exemption)
+        if f.rel != SANCTIONED_THREAD_MODULE
+            && t.kind == TokKind::Ident
+            && t.text == "thread"
+            && is(i + 1, "::")
+            && i + 2 < n
+            && matches!(toks[i + 2].text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            push(
+                t.line,
+                "raw-thread",
+                format!(
+                    "`thread::{}` outside the sanctioned executor; route all parallelism \
+                     through `diknn_workloads::ParallelSweep` ({SANCTIONED_THREAD_MODULE}), \
+                     whose index-ordered collection keeps results bit-identical to \
+                     sequential (no exemption)",
+                    toks[i + 2].text
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FileKind;
+
+    fn scan_src(rel: &str, crate_name: &str, src: &str) -> Vec<Violation> {
+        scan(&SourceFile::parse(rel, crate_name, FileKind::Lib, src))
+    }
+
+    fn rules(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn hash_containers_flagged_in_sim_scope_only() {
+        let src = "use std::collections::HashMap;\n";
+        let v = scan_src("crates/diknn-sim/src/engine.rs", "diknn-sim", src);
+        assert_eq!(rules(&v), vec!["hash-container"]);
+        let v = scan_src("crates/diknn-geom/src/lib.rs", "diknn-geom", src);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_flag() {
+        let src = "// a HashMap would be wrong\nlet s = \"HashMap Instant::now\"; // SystemTime\n";
+        let v = scan_src("crates/diknn-sim/src/a.rs", "diknn-sim", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instant_import_is_fine_but_now_is_not() {
+        let ok = "use std::time::Instant;\n";
+        assert!(scan_src("crates/diknn-bench/src/a.rs", "diknn-bench", ok).is_empty());
+        let bad = "let t = Instant::now();\n";
+        let v = scan_src("crates/diknn-bench/src/a.rs", "diknn-bench", bad);
+        assert_eq!(rules(&v), vec!["wall-clock"]);
+        let exempt = "let t = Instant::now(); // lint: wall-clock-ok\n";
+        assert!(scan_src("crates/diknn-bench/src/a.rs", "diknn-bench", exempt).is_empty());
+    }
+
+    #[test]
+    fn ambient_randomness_has_no_exemption() {
+        let src = "let x = thread_rng(); // lint: wall-clock-ok, order-independent\n";
+        let v = scan_src("crates/diknn-core/src/a.rs", "diknn-core", src);
+        assert_eq!(rules(&v), vec!["ambient-randomness"]);
+    }
+
+    #[test]
+    fn float_eq_in_protocol_scope() {
+        let v = scan_src(
+            "crates/diknn-core/src/p.rs",
+            "diknn-core",
+            "if d == 0.0 { x(); }\n",
+        );
+        assert_eq!(rules(&v), vec!["float-eq"]);
+        for ok in [
+            "if n == 0 { x(); }\n",
+            "if x <= 1.0 { x(); }\n",
+            "if d == 0.0 { x(); } // lint: float-eq-ok\n",
+        ] {
+            assert!(
+                scan_src("crates/diknn-core/src/p.rs", "diknn-core", ok).is_empty(),
+                "falsely flagged {ok:?}"
+            );
+        }
+        assert!(scan_src("crates/diknn-geom/src/p.rs", "diknn-geom", "d == 0.0;\n").is_empty());
+    }
+
+    #[test]
+    fn raw_thread_outside_executor() {
+        let src = "std::thread::spawn(|| {});\nthread::scope(|s| {});\nthread::sleep(d);\n";
+        let v = scan_src("crates/diknn-bench/src/a.rs", "diknn-bench", src);
+        assert_eq!(rules(&v), vec!["raw-thread", "raw-thread"]);
+        assert!(scan_src(SANCTIONED_THREAD_MODULE, "diknn-workloads", src).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Rule family `float-order`: float comparators must use a total order.
+//!
+//! `partial_cmp(..).unwrap()`/`.expect(..)` inside a sort/search/extremum
+//! comparator panics on NaN and, worse, documents an ordering that is not
+//! total — the exact bug class `f64::total_cmp` exists to close. The rule
+//! flags, inside the argument span of `sort_by` / `sort_unstable_by` /
+//! `binary_search_by` / `max_by` / `min_by` (and their `select_nth` kin),
+//! any `partial_cmp` combined with `unwrap` or `expect`.
+//!
+//! The `*_by_key` variants are also covered: a key expression containing a
+//! float literal or an `f32`/`f64` cast has no total order either — use
+//! the `*_by` form with `total_cmp`.
+//!
+//! Exemption: `// lint: float-order-ok` on the call line (or above it),
+//! for comparators proven NaN-free by construction where `partial_cmp`
+//! feeds something other than the ordering itself.
+
+use crate::index::SourceFile;
+use crate::lexer::{Tok, TokKind};
+use crate::report::Violation;
+
+const COMPARATOR_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+    "select_nth_unstable_by",
+];
+
+const KEY_METHODS: &[&str] = &[
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "binary_search_by_key",
+    "max_by_key",
+    "min_by_key",
+    "select_nth_unstable_by_key",
+];
+
+pub fn scan(f: &SourceFile) -> Vec<Violation> {
+    let toks = f.rule_toks();
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let t = toks[i];
+        if t.kind != TokKind::Ident
+            || i == 0
+            || toks[i - 1].text != "."
+            || i + 1 >= n
+            || toks[i + 1].text != "("
+        {
+            continue;
+        }
+        let comparator = COMPARATOR_METHODS.contains(&t.text.as_str());
+        let key = KEY_METHODS.contains(&t.text.as_str());
+        if !comparator && !key {
+            continue;
+        }
+        if f.exempt(t.line, "float-order-ok") {
+            continue;
+        }
+        let span = &toks[i + 1..close_paren(&toks, i + 1)];
+        let has = |text: &str| {
+            span.iter()
+                .any(|s| s.kind == TokKind::Ident && s.text == text)
+        };
+        if comparator && has("partial_cmp") && (has("unwrap") || has("expect")) {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: "float-order",
+                message: format!(
+                    "`partial_cmp` + `unwrap`/`expect` inside `{}` is a partial order \
+                     propped up by a panic; use `f64::total_cmp` (identical ordering for \
+                     finite floats, total over NaN/±0.0)",
+                    t.text
+                ),
+            });
+        }
+        let float_key = span.iter().any(|s| {
+            s.kind == TokKind::Float
+                || (s.kind == TokKind::Ident && matches!(s.text.as_str(), "f32" | "f64"))
+        });
+        if key && float_key {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: "float-order",
+                message: format!(
+                    "float-valued key in `{}`: floats are not `Ord`; use the `*_by` form \
+                     with `f64::total_cmp` on the key",
+                    t.text
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Index one past the `)` matching the `(` at `open`. Parens balance
+/// through nested brackets/braces in valid code, so paren depth suffices.
+fn close_paren(toks: &[&Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FileKind;
+
+    fn scan_src(src: &str) -> Vec<Violation> {
+        scan(&SourceFile::parse(
+            "crates/diknn-routing/src/lib.rs",
+            "diknn-routing",
+            FileKind::Lib,
+            src,
+        ))
+    }
+
+    #[test]
+    fn partial_cmp_expect_in_sort_by_is_flagged() {
+        let src = "xs.sort_by(|a, b| a.d.partial_cmp(&b.d).expect(\"finite\"));\n";
+        let v = scan_src(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "float-order");
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let src = "xs.sort_by(|a, b| a.d.total_cmp(&b.d));\n\
+                   let best = it.min_by(|a, b| a.1.total_cmp(&b.1));\n";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_fallback_is_clean() {
+        // A NaN-tolerant fallback is not the panic pattern.
+        let src = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_outside_a_comparator_is_not_this_rules_business() {
+        let src = "let o = a.partial_cmp(&b).expect(\"finite\");\n";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn float_keys_in_sort_by_key_are_flagged() {
+        let v = scan_src("xs.sort_by_key(|p| (p.cost * 1000.0) as u64);\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v = scan_src("xs.max_by_key(|p| p.w as f64);\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(scan_src("xs.sort_by_key(|p| p.id);\n").is_empty());
+    }
+
+    #[test]
+    fn exemption_comment_is_honoured() {
+        let src = "// lint: float-order-ok (inputs clamped finite upstream)\n\
+                   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn span_is_scoped_to_the_call() {
+        // The expect after the sort call must not leak into its span.
+        let src =
+            "xs.sort_by(|a, b| a.0.total_cmp(&b.0));\nlookup().expect(\"x\").partial_cmp(&y);\n";
+        assert!(scan_src(src).is_empty());
+    }
+}

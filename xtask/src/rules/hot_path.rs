@@ -1,0 +1,156 @@
+//! Rule family `hot-path`: no allocation or cloning inside marked hot
+//! regions.
+//!
+//! ROADMAP item 3 (hot-path overhaul) only stays won if the event loop,
+//! MAC delivery, and `SpatialGrid` query paths stay allocation-free. Code
+//! between `// lint: hot-path` and `// lint: end-hot-path` fences may not
+//! use `Box::new`, `.clone()`, `vec!`, `.collect(` / `.collect::<`, or
+//! `format!` — each of those is a per-event heap visit that belongs in
+//! setup code or a reused scratch buffer.
+//!
+//! Unmatched fences are themselves violations (a region that silently
+//! never closes would swallow the whole file; one that never opens checks
+//! nothing). Escape hatch for a proven-cold branch inside a region:
+//! `// lint: hot-path-ok` on the line or the line above.
+
+use crate::index::SourceFile;
+use crate::lexer::TokKind;
+use crate::report::Violation;
+
+pub fn scan(f: &SourceFile) -> Vec<Violation> {
+    let (regions, errors) = f.hot_regions();
+    let mut out: Vec<Violation> = errors
+        .into_iter()
+        .map(|(line, message)| Violation {
+            file: f.rel.clone(),
+            line,
+            rule: "hot-path",
+            message,
+        })
+        .collect();
+    if regions.is_empty() {
+        return out;
+    }
+    let toks = f.rule_toks();
+    let n = toks.len();
+    let in_region = |line: usize| regions.iter().any(|&(s, e)| s <= line && line <= e);
+    for i in 0..n {
+        let t = toks[i];
+        if t.kind != TokKind::Ident || !in_region(t.line) {
+            continue;
+        }
+        let nxt = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+        let prev_dot = i > 0 && toks[i - 1].text == ".";
+        let found: Option<&str> = match t.text.as_str() {
+            "Box" if nxt(i + 1) == "::" && nxt(i + 2) == "new" => Some("Box::new"),
+            "clone" if prev_dot && nxt(i + 1) == "(" => Some(".clone()"),
+            "collect" if prev_dot && matches!(nxt(i + 1), "(" | "::") => Some(".collect()"),
+            "vec" if nxt(i + 1) == "!" => Some("vec!"),
+            "format" if nxt(i + 1) == "!" => Some("format!"),
+            _ => None,
+        };
+        if let Some(what) = found {
+            if !f.exempt(t.line, "hot-path-ok") {
+                out.push(Violation {
+                    file: f.rel.clone(),
+                    line: t.line,
+                    rule: "hot-path",
+                    message: format!(
+                        "`{what}` inside a `// lint: hot-path` region: this path runs per \
+                         event — hoist the allocation into a reused scratch buffer, or \
+                         annotate a proven-cold branch with `// lint: hot-path-ok`"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FileKind;
+
+    fn scan_src(src: &str) -> Vec<Violation> {
+        scan(&SourceFile::parse(
+            "crates/diknn-sim/src/engine.rs",
+            "diknn-sim",
+            FileKind::Lib,
+            src,
+        ))
+    }
+
+    #[test]
+    fn allocations_inside_the_region_are_flagged() {
+        let src = "\
+// lint: hot-path (dispatch loop)
+fn hot(&mut self) {
+    let b = Box::new(ev);
+    let c = self.buf.clone();
+    let v = vec![1, 2];
+    let s: Vec<u32> = it.collect();
+    let m = format!(\"{q}\");
+}
+// lint: end-hot-path
+";
+        let v = scan_src(src);
+        let kinds: Vec<_> = v
+            .iter()
+            .map(|v| v.message.split('`').nth(1).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["Box::new", ".clone()", "vec!", ".collect()", "format!"],
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn same_code_outside_the_region_is_fine() {
+        let src = "fn cold() { let v = vec![1]; let c = x.clone(); }\n";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn clone_without_call_is_a_path_not_a_call() {
+        // `Clone` bounds and `#[derive(Clone)]`-ish tokens are not calls.
+        let src = "// lint: hot-path\nfn hot<T: Clone>(x: T) { let c = Clone::clone(&x); }\n// lint: end-hot-path\n";
+        // `Clone::clone(` is not `.clone()`: UFCS form is deliberate enough
+        // to leave to review; the lint targets the habitual method call.
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn exemption_covers_proven_cold_branches() {
+        let src = "\
+// lint: hot-path
+fn hot(&mut self) {
+    if self.crashed {
+        // lint: hot-path-ok (crash teardown, at most once per node)
+        let msg = format!(\"node {id} down\");
+        self.log(msg);
+    }
+}
+// lint: end-hot-path
+";
+        assert!(scan_src(src).is_empty());
+    }
+
+    #[test]
+    fn unmatched_fences_are_violations() {
+        let v = scan_src("// lint: hot-path\nfn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("never closed"));
+        let v = scan_src("fn f() {}\n// lint: end-hot-path\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("without a matching"));
+    }
+
+    #[test]
+    fn collect_turbofish_is_flagged() {
+        let src = "// lint: hot-path\nfn hot() { let v = it.collect::<Vec<_>>(); }\n// lint: end-hot-path\n";
+        assert_eq!(scan_src(src).len(), 1);
+    }
+}

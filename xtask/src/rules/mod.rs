@@ -1,0 +1,10 @@
+//! The lint rule families. Each module exposes a scan over the token
+//! streams/symbol tables built by [`crate::index`]; the orchestrator in
+//! [`crate::lint`] wires them together and aggregates violations.
+
+pub mod conformance;
+pub mod determinism;
+pub mod float_order;
+pub mod hot_path;
+pub mod panic_budget;
+pub mod rng_custody;

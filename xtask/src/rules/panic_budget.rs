@@ -1,0 +1,171 @@
+//! Rule family `panic-budget`: a per-crate ratchet on panicking sites.
+//!
+//! `xtask/lint_baseline.toml` commits the number of `unwrap` / `expect` /
+//! `panic!` / `unreachable!` sites in each crate's non-test library code.
+//! CI only lets the counts go *down*:
+//!
+//! - count > baseline → violation (a new panicking site snuck in; convert
+//!   it to a `Result` or consciously raise the baseline in review);
+//! - count < baseline → violation too (the baseline is stale; run
+//!   `cargo xtask lint --update-baseline` so the win is locked in and
+//!   cannot be silently spent by the next regression).
+//!
+//! This replaces the old `unwrap-budget` rule and its hand-maintained
+//! `lint-budgets.toml`; the baseline is tool-written, never guessed.
+
+use std::collections::BTreeMap;
+
+use crate::index::WorkspaceIndex;
+use crate::lexer::TokKind;
+use crate::report::Violation;
+
+/// Count panicking sites per crate over non-test library code.
+pub fn count(idx: &WorkspaceIndex) -> BTreeMap<String, u32> {
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    for f in idx.lib_files() {
+        let toks = f.rule_toks();
+        let entry = counts.entry(f.crate_name.clone()).or_insert(0);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let nxt = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+            let prev_dot = i > 0 && toks[i - 1].text == ".";
+            let hit = match t.text.as_str() {
+                "unwrap" | "expect" => prev_dot && nxt(i + 1) == "(",
+                "panic" | "unreachable" => nxt(i + 1) == "!",
+                _ => false,
+            };
+            if hit {
+                *entry += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Compare measured counts against the committed baseline.
+pub fn check(counts: &BTreeMap<String, u32>, baseline: &BTreeMap<String, u32>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let crates: std::collections::BTreeSet<&String> =
+        counts.keys().chain(baseline.keys()).collect();
+    for krate in crates {
+        let count = counts.get(krate).copied().unwrap_or(0);
+        let base = baseline.get(krate).copied().unwrap_or(0);
+        if count > base {
+            out.push(Violation {
+                file: format!("crates/{krate}"),
+                line: 0,
+                rule: "panic-budget",
+                message: format!(
+                    "{count} panicking sites (unwrap/expect/panic!/unreachable!) in non-test \
+                     library code, baseline is {base}; return a Result instead, or raise the \
+                     baseline in xtask/lint_baseline.toml with a justification"
+                ),
+            });
+        } else if count < base {
+            out.push(Violation {
+                file: format!("crates/{krate}"),
+                line: 0,
+                rule: "panic-budget",
+                message: format!(
+                    "baseline {base} is stale ({count} measured): run \
+                     `cargo xtask lint --update-baseline` to ratchet it down so the \
+                     improvement cannot be silently spent later"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Render the baseline file for `--update-baseline`.
+pub fn render_baseline(counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::from(
+        "# Per-crate panicking-site baseline (unwrap/expect/panic!/unreachable! in\n\
+         # non-test library code), enforced by `cargo xtask lint` as a ratchet: CI\n\
+         # fails if a count rises OR if it falls without this file being updated.\n\
+         # Regenerate with `cargo xtask lint --update-baseline`; never edit upward\n\
+         # without a review justification.\n",
+    );
+    for (krate, count) in counts {
+        out.push_str(&format!("{krate} = {count}\n"));
+    }
+    out
+}
+
+/// Parse the minimal `name = count` baseline format (full TOML is not
+/// needed and cannot be vendored offline).
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, u32>, String> {
+    let mut baseline = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('[') {
+            continue;
+        }
+        let (name, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint_baseline.toml line {}: expected `crate = N`", i + 1))?;
+        let count: u32 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("lint_baseline.toml line {}: bad count {value:?}", i + 1))?;
+        baseline.insert(name.trim().trim_matches('"').to_string(), count);
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{FileKind, WorkspaceIndex};
+
+    #[test]
+    fn counts_cover_all_four_shapes_outside_tests() {
+        let idx = WorkspaceIndex::from_sources(&[(
+            "crates/diknn-x/src/lib.rs",
+            "diknn-x",
+            FileKind::Lib,
+            "fn f() { a.unwrap(); b.expect(\"r\"); panic!(\"boom\"); unreachable!(); }\n\
+             fn g() { c.unwrap_or(0); d.expect_err(\"r\"); }\n\
+             #[cfg(test)]\nmod tests { fn t() { z.unwrap(); panic!(); } }\n",
+        )]);
+        assert_eq!(count(&idx).get("diknn-x"), Some(&4));
+    }
+
+    #[test]
+    fn regression_and_stale_baseline_both_fail() {
+        let counts = BTreeMap::from([("diknn-x".to_string(), 5u32)]);
+        let over = check(&counts, &BTreeMap::from([("diknn-x".to_string(), 4u32)]));
+        assert_eq!(over.len(), 1);
+        assert!(over[0].message.contains("baseline is 4"));
+        let stale = check(&counts, &BTreeMap::from([("diknn-x".to_string(), 7u32)]));
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("stale"));
+        let exact = check(&counts, &BTreeMap::from([("diknn-x".to_string(), 5u32)]));
+        assert!(exact.is_empty());
+    }
+
+    #[test]
+    fn unknown_crates_on_either_side_are_caught() {
+        let counts = BTreeMap::from([("diknn-new".to_string(), 1u32)]);
+        let v = check(&counts, &BTreeMap::new());
+        assert_eq!(v.len(), 1, "new crate with panics needs a baseline entry");
+        let v = check(
+            &BTreeMap::new(),
+            &BTreeMap::from([("diknn-gone".to_string(), 2u32)]),
+        );
+        assert_eq!(v.len(), 1, "deleted crate leaves a stale entry");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let counts = BTreeMap::from([
+            ("diknn-core".to_string(), 4u32),
+            ("diknn-sim".to_string(), 0u32),
+        ]);
+        let parsed = parse_baseline(&render_baseline(&counts)).unwrap();
+        assert_eq!(parsed, counts);
+        assert!(parse_baseline("diknn-sim = many").is_err());
+    }
+}

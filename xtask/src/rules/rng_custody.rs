@@ -1,0 +1,123 @@
+//! Rule family `rng-custody`: RNG streams are minted only in sanctioned
+//! modules.
+//!
+//! Determinism rests on there being a small, auditable set of RNG streams,
+//! each derived from the run seed: the engine's event stream, the fault
+//! injector's stream, and the workload/scenario seed plumbing. Any other
+//! code constructing or re-seeding a generator creates an ambient stream
+//! whose draw order silently couples unrelated subsystems — the
+//! token-custody analogue of the paper's "one itinerary token per query".
+//!
+//! Two shapes are flagged outside the sanctioned files:
+//! - construction/seeding calls: `seed_from_u64`, `from_seed`, `from_rng`,
+//!   `from_os_rng` (any receiver — `SmallRng::`, `StdRng::`, UFCS);
+//! - defining a `fn rng` accessor anywhere but the engine, so the one
+//!   blessed accessor (`Ctx::rng`) cannot quietly gain siblings.
+//!
+//! Borrowing a stream is always fine: taking `&mut SmallRng` parameters or
+//! calling the engine's `ctx.rng()` is how randomness is *supposed* to
+//! flow. There is no exemption comment — sanctioning a new module is a
+//! reviewed edit to the list below (see DESIGN.md §11).
+
+use crate::index::SourceFile;
+use crate::lexer::TokKind;
+use crate::report::Violation;
+
+/// Files allowed to construct or seed RNGs.
+pub const SANCTIONED_RNG_FILES: &[&str] = &[
+    "crates/diknn-sim/src/engine.rs",
+    "crates/diknn-sim/src/faults.rs",
+    "crates/diknn-workloads/src/workload.rs",
+    "crates/diknn-workloads/src/scenario.rs",
+];
+
+/// The one file allowed to define an `fn rng` accessor.
+pub const RNG_ACCESSOR_FILE: &str = "crates/diknn-sim/src/engine.rs";
+
+const SEEDING_CALLS: &[&str] = &["seed_from_u64", "from_seed", "from_rng", "from_os_rng"];
+
+pub fn scan(f: &SourceFile) -> Vec<Violation> {
+    let sanctioned = SANCTIONED_RNG_FILES.contains(&f.rel.as_str());
+    let toks = f.rule_toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !sanctioned && SEEDING_CALLS.contains(&t.text.as_str()) {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: "rng-custody",
+                message: format!(
+                    "`{}` mints an RNG stream outside the sanctioned modules; take \
+                     `&mut SmallRng` from the engine (`ctx.rng()`) or plumb a derived \
+                     seed through the workload layer (sanctioned files are listed in \
+                     xtask rng_custody.rs; extending the list is a reviewed change)",
+                    t.text
+                ),
+            });
+        }
+        if f.rel != RNG_ACCESSOR_FILE
+            && t.text == "fn"
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text == "rng")
+        {
+            out.push(Violation {
+                file: f.rel.clone(),
+                line: t.line,
+                rule: "rng-custody",
+                message: format!(
+                    "defines an `fn rng` accessor outside the engine; the only blessed \
+                     stream accessor is `Ctx::rng` in {RNG_ACCESSOR_FILE} — pass \
+                     `&mut SmallRng` down instead of wrapping a new source"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FileKind;
+
+    fn scan_src(rel: &str, src: &str) -> Vec<Violation> {
+        scan(&SourceFile::parse(rel, "diknn-x", FileKind::Lib, src))
+    }
+
+    #[test]
+    fn seeding_outside_sanctioned_files_is_flagged() {
+        let src = "let mut r = SmallRng::seed_from_u64(7);\n";
+        let v = scan_src("crates/diknn-routing/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "rng-custody");
+        for ok in SANCTIONED_RNG_FILES {
+            assert!(scan_src(ok, src).is_empty(), "{ok} should be sanctioned");
+        }
+    }
+
+    #[test]
+    fn test_modules_may_seed_freely() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let r = SmallRng::seed_from_u64(1); }\n}\n";
+        assert!(scan_src("crates/diknn-mobility/src/rwp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn borrowing_a_stream_is_fine() {
+        let src = "fn jitter(rng: &mut SmallRng) -> u64 { draw(rng) }\nlet j = ctx.rng();\n";
+        // `fn jitter(rng: …)` defines a *parameter* named rng, not `fn rng`.
+        assert!(scan_src("crates/diknn-core/src/protocol.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_accessor_definitions_are_engine_only() {
+        let src = "pub fn rng(&mut self) -> &mut SmallRng { &mut self.rng }\n";
+        assert!(scan_src(RNG_ACCESSOR_FILE, src).is_empty());
+        let v = scan_src("crates/diknn-workloads/src/runner.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+}
