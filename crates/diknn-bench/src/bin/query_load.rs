@@ -119,6 +119,9 @@ struct Cell {
     sustained_qps: f64,
     /// Every query of every run reached a terminal status.
     all_terminal: bool,
+    /// Queries per termination status, summed over the cell's runs
+    /// (indexing per [`diknn_workloads::status_index`]).
+    status_counts: [usize; 8],
 }
 
 fn experiment(nodes: usize, duration: f64, load: &QueryLoad, max_speed: f64) -> Experiment {
@@ -174,6 +177,12 @@ fn bench_cell(
             .iter()
             .flat_map(|m| &m.per_query)
             .all(|q| q.status != QueryStatus::Pending),
+        status_counts: metrics.iter().fold([0usize; 8], |mut acc, m| {
+            for (a, c) in acc.iter_mut().zip(m.status_counts) {
+                *a += c;
+            }
+            acc
+        }),
     };
     (cell, metrics)
 }
@@ -206,7 +215,10 @@ fn cell_json(c: &Cell) -> String {
          \"sustained_qps\": {:.4}, \"latency_p50_s\": {:.6}, \"latency_p95_s\": {:.6}, \
          \"latency_mean_s\": {:.6}, \"pre_accuracy\": {:.4}, \"post_accuracy\": {:.4}, \
          \"completion_rate\": {:.4}, \"per_query_energy_j\": {:.6}, \
-         \"peak_in_flight\": {}, \"all_terminal\": {}, \"wall_s\": {:.3}}}",
+         \"peak_in_flight\": {}, \"all_terminal\": {}, \"wall_s\": {:.3}, \
+         \"status_counts\": {{\"completed\": {}, \"partial_timeout\": {}, \
+         \"token_lost\": {}, \"sink_unreachable\": {}, \"pending\": {}, \
+         \"rejected\": {}, \"merged\": {}, \"cache_hit\": {}}}}}",
         c.rate_qps,
         c.k,
         c.max_speed,
@@ -222,6 +234,14 @@ fn cell_json(c: &Cell) -> String {
         c.peak_in_flight,
         c.all_terminal,
         c.wall_s,
+        c.status_counts[0],
+        c.status_counts[1],
+        c.status_counts[2],
+        c.status_counts[3],
+        c.status_counts[4],
+        c.status_counts[5],
+        c.status_counts[6],
+        c.status_counts[7],
     )
 }
 
@@ -240,7 +260,7 @@ fn render_json(
     let rows: Vec<String> = cells.iter().map(cell_json).collect();
     let inflight_ok = peak_in_flight >= min_inflight;
     format!(
-        "{{\n  \"bench\": \"query_load\",\n  \"schema_version\": 1,\n  \"config\": {{\
+        "{{\n  \"bench\": \"query_load\",\n  \"schema_version\": 2,\n  \"config\": {{\
          \"runs\": {runs}, \"base_seed\": {seed}, \"duration_s\": {duration:.1}, \
          \"nodes\": {nodes}, \"min_inflight\": {min_inflight}}},\n  \"cells\": [\n{}\n  ],\n  \
          \"checks\": {{\"peak_in_flight\": {peak_in_flight}, \

@@ -76,6 +76,14 @@ impl CandidateSet {
         true
     }
 
+    /// Raise the capacity to at least `k` (never shrinks). Used by the
+    /// serving layer when a merge member joins a host query: the host's own
+    /// top-k around *its* point might drop the member's nearest nodes, so
+    /// the sink keeps a wider pool to re-rank per member.
+    pub fn widen(&mut self, k: usize) {
+        self.k = self.k.max(k);
+    }
+
     /// Merge another set into this one.
     pub fn merge(&mut self, other: &CandidateSet) {
         for &c in &other.items {
@@ -164,6 +172,21 @@ mod tests {
         a.merge(&b);
         let ids: Vec<u32> = a.ids().iter().map(|n| n.0).collect();
         assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn widen_raises_capacity_without_shrinking() {
+        let mut s = CandidateSet::new(2);
+        s.insert(cand(1, 1.0));
+        s.insert(cand(2, 2.0));
+        assert!(!s.insert(cand(3, 3.0)));
+        s.widen(4);
+        assert_eq!(s.k(), 4);
+        assert!(s.insert(cand(3, 3.0)));
+        assert_eq!(s.len(), 3);
+        // Never shrinks.
+        s.widen(1);
+        assert_eq!(s.k(), 4);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! DIKNN protocol parameters (defaults = the paper's settings table, §5.1).
 
+use diknn_sim::ConfigError;
+
 /// How a Q-node collects responses from the D-nodes that heard its probe
 /// (§3.3 "data collection scheme" and footnote 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +16,107 @@ pub enum CollectionScheme {
     /// The paper's combined scheme: a contention round first, then explicit
     /// polls for neighbours that stayed silent.
     Combined,
+}
+
+/// Sink-side serving layer: admission control, spatial query merging and
+/// short-TTL result caching (DESIGN.md §12). Disabled by default — with
+/// `enabled == false` the protocol behaves bit-identically to a build
+/// without the serving layer (golden traces are pinned on this).
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Master switch. Off: every query is admitted immediately, no merge,
+    /// no cache, no serving trace events.
+    pub enabled: bool,
+    /// Admission ceiling: maximum queries in flight (admitted, not yet
+    /// terminal) across all sinks. Arrivals beyond it are deferred, then
+    /// rejected. Must be nonzero.
+    pub max_in_flight: u32,
+    /// Base retry-after for a deferred query, in seconds. The actual quote
+    /// comes from the load signal ([`diknn_sim::LoadSignal::retry_after`])
+    /// and is bounded to `[retry_after_s, max_retry_after_s]`.
+    pub retry_after_s: f64,
+    /// Hard cap on a single retry-after quote, in seconds.
+    pub max_retry_after_s: f64,
+    /// How many deferrals a query may suffer before it is terminally
+    /// rejected (status `rejected`, never executed).
+    pub max_admission_defers: u32,
+    /// Sliding window (seconds) of the load signal's completion rate.
+    pub load_window_s: f64,
+    /// Spatial merge radius in metres: a new arrival whose query point lies
+    /// within this distance of an in-flight query's point (and whose `k`
+    /// does not exceed the host's) rides the host's itinerary instead of
+    /// launching its own. `0.0` disables merging.
+    pub merge_radius_m: f64,
+    /// Result-cache radius in metres: a new arrival within this distance of
+    /// a fresh completed query's point (with `k` not exceeding the cached
+    /// `k`) is answered from the cache. `0.0` disables caching.
+    pub cache_radius_m: f64,
+    /// Cache TTL in seconds. Entries older than this are never served.
+    /// Must be positive.
+    pub cache_ttl_s: f64,
+    /// Mobility-staleness bound: the assumed worst-case node speed used to
+    /// account cached answers against drift.
+    pub drift_rate_mps: f64,
+    /// Maximum tolerated drift in metres: a cache entry is stale once
+    /// `age × drift_rate_mps` exceeds this, even inside the TTL.
+    pub cache_drift_m: f64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            enabled: false,
+            max_in_flight: 8,
+            retry_after_s: 0.5,
+            max_retry_after_s: 4.0,
+            max_admission_defers: 6,
+            load_window_s: 5.0,
+            merge_radius_m: 10.0,
+            cache_radius_m: 10.0,
+            cache_ttl_s: 2.0,
+            drift_rate_mps: 5.0,
+            cache_drift_m: 10.0,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// An enabled serving layer with the default knobs.
+    pub fn enabled() -> Self {
+        ServingConfig {
+            enabled: true,
+            ..ServingConfig::default()
+        }
+    }
+
+    /// Reject nonsensical serving knobs with typed errors (shared
+    /// [`ConfigError`] vocabulary with the simulator config). Checked even
+    /// while `enabled == false` so a bad config cannot lurk behind the
+    /// switch.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_in_flight == 0 {
+            return Err(ConfigError::ZeroAdmissionCeiling);
+        }
+        if self.cache_ttl_s <= 0.0 || self.cache_ttl_s.is_nan() {
+            return Err(ConfigError::NonPositiveCacheTtl(self.cache_ttl_s));
+        }
+        if self.merge_radius_m < 0.0 || self.merge_radius_m.is_nan() {
+            return Err(ConfigError::NegativeMergeRadius(self.merge_radius_m));
+        }
+        if self.cache_radius_m < 0.0 || self.cache_radius_m.is_nan() {
+            return Err(ConfigError::NegativeMergeRadius(self.cache_radius_m));
+        }
+        assert!(
+            self.retry_after_s > 0.0 && self.max_retry_after_s >= self.retry_after_s,
+            "retry-after bounds must satisfy 0 < base <= max"
+        );
+        assert!(self.load_window_s > 0.0, "load window must be positive");
+        assert!(
+            self.drift_rate_mps >= 0.0 && self.cache_drift_m >= 0.0,
+            "drift accounting must be non-negative"
+        );
+        Ok(())
+    }
 }
 
 /// Protocol configuration carried by [`crate::Diknn`].
@@ -73,6 +176,9 @@ pub struct DiknnConfig {
     /// with *zero* results merged (fresh dissemination, rotated itinerary
     /// origin). Partial results are kept and never retried.
     pub max_query_retries: u32,
+    /// Sink-side serving layer (admission / merge / cache). Disabled by
+    /// default; see [`ServingConfig`].
+    pub serving: ServingConfig,
 }
 
 impl Default for DiknnConfig {
@@ -95,6 +201,7 @@ impl Default for DiknnConfig {
             watchdog_timeout: 0.75,
             max_token_reissues: 2,
             max_query_retries: 1,
+            serving: ServingConfig::default(),
         }
     }
 }
@@ -122,6 +229,9 @@ impl DiknnConfig {
             "watchdog timeout must be positive and finite"
         );
         assert!(self.sink_timeout > 0.0, "sink timeout must be positive");
+        if let Err(e) = self.serving.validate() {
+            panic!("serving config: {e}");
+        }
     }
 }
 
@@ -139,6 +249,64 @@ mod tests {
         assert!(c.rendezvous);
         assert_eq!(c.response_bytes, 10);
         c.validate();
+    }
+
+    #[test]
+    fn serving_defaults_are_off_and_valid() {
+        let s = ServingConfig::default();
+        assert!(!s.enabled);
+        assert_eq!(s.validate(), Ok(()));
+        assert!(ServingConfig::enabled().enabled);
+    }
+
+    #[test]
+    fn serving_rejects_zero_admission_ceiling() {
+        let s = ServingConfig {
+            max_in_flight: 0,
+            ..ServingConfig::default()
+        };
+        assert_eq!(s.validate(), Err(ConfigError::ZeroAdmissionCeiling));
+    }
+
+    #[test]
+    fn serving_rejects_non_positive_cache_ttl() {
+        for ttl in [0.0, -1.0, f64::NAN] {
+            let s = ServingConfig {
+                cache_ttl_s: ttl,
+                ..ServingConfig::default()
+            };
+            assert!(
+                matches!(s.validate(), Err(ConfigError::NonPositiveCacheTtl(_))),
+                "ttl {ttl} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_rejects_negative_merge_radius() {
+        let s = ServingConfig {
+            merge_radius_m: -0.1,
+            ..ServingConfig::default()
+        };
+        assert_eq!(s.validate(), Err(ConfigError::NegativeMergeRadius(-0.1)));
+        let s = ServingConfig {
+            cache_radius_m: -2.0,
+            ..ServingConfig::default()
+        };
+        assert_eq!(s.validate(), Err(ConfigError::NegativeMergeRadius(-2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "serving config")]
+    fn protocol_validate_surfaces_serving_errors() {
+        DiknnConfig {
+            serving: ServingConfig {
+                max_in_flight: 0,
+                ..ServingConfig::default()
+            },
+            ..DiknnConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod trace;
 pub mod window;
 
 pub use candidates::{Candidate, CandidateSet};
-pub use config::{CollectionScheme, DiknnConfig};
+pub use config::{CollectionScheme, DiknnConfig, ServingConfig};
 pub use continuous::{ContinuousKnn, MonitorRequest, RoundDelta};
 pub use itinerary::ItinerarySpec;
 pub use knnb::{knnb, kpt_conservative_radius, Boundary, HopRecord};

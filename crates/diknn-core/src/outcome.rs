@@ -35,6 +35,18 @@ pub enum QueryStatus {
     /// The sink itself was dead when the run ended; nobody was left to
     /// account for the query.
     SinkUnreachable,
+    /// The serving layer refused the query: load stayed above the admission
+    /// ceiling through every deferral, so it was never executed. The answer
+    /// is empty by construction.
+    Rejected,
+    /// The serving layer attached the query to a spatially overlapping
+    /// in-flight query; the answer was split out of the host's merged
+    /// candidates with exact per-query re-ranking.
+    Merged,
+    /// The serving layer answered the query from a fresh cached result of
+    /// an earlier query at (nearly) the same point, inside the TTL and the
+    /// mobility-drift bound.
+    CacheHit,
 }
 
 impl QueryStatus {
@@ -46,6 +58,9 @@ impl QueryStatus {
             QueryStatus::PartialTimeout => "partial-timeout",
             QueryStatus::TokenLost => "token-lost",
             QueryStatus::SinkUnreachable => "sink-unreachable",
+            QueryStatus::Rejected => "rejected",
+            QueryStatus::Merged => "merged",
+            QueryStatus::CacheHit => "cache-hit",
         }
     }
 }
@@ -156,5 +171,8 @@ mod tests {
         assert_eq!(QueryStatus::PartialTimeout.label(), "partial-timeout");
         assert_eq!(QueryStatus::TokenLost.label(), "token-lost");
         assert_eq!(QueryStatus::SinkUnreachable.label(), "sink-unreachable");
+        assert_eq!(QueryStatus::Rejected.label(), "rejected");
+        assert_eq!(QueryStatus::Merged.label(), "merged");
+        assert_eq!(QueryStatus::CacheHit.label(), "cache-hit");
     }
 }

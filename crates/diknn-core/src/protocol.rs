@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use diknn_geom::{angle, Point, Polyline};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
-use diknn_sim::{Ctx, NodeId, ProtoEvent, Protocol, SimDuration, SimTime, TimerId};
+use diknn_sim::{Ctx, LoadSignal, NodeId, ProtoEvent, Protocol, SimDuration, SimTime, TimerId};
 use rand::Rng;
 
 use crate::candidates::{Candidate, CandidateSet};
@@ -37,6 +37,7 @@ const K_COLLECT: u8 = 2;
 const K_REPLY: u8 = 3;
 const K_SINK_TIMEOUT: u8 = 4;
 const K_WATCHDOG: u8 = 5;
+const K_ADMIT: u8 = 6;
 
 /// Bootstrap collection pseudo-sector (the home node collects for all
 /// sectors at once before splitting).
@@ -44,6 +45,9 @@ const BOOTSTRAP: u8 = u8::MAX;
 
 /// Safety cap on Q-node hops per sector token.
 const MAX_TOKEN_HOPS: u32 = 400;
+
+/// Upper bound on retained result-cache entries (oldest evicted first).
+const SERVING_CACHE_CAP: usize = 64;
 
 /// Neighbour snapshot filtered by the link-reliability predictor
 /// ([`diknn_routing::reliable_neighbors`]): avoids unicasting to entries
@@ -113,6 +117,35 @@ struct Watchdog {
     timer: TimerId,
 }
 
+/// A completed query's result retained for short-TTL cache serving.
+struct CacheEntry {
+    src_qid: u32,
+    q: Point,
+    k: usize,
+    completed_at: SimTime,
+    /// The sink's merged candidate pool at completion, with the positions
+    /// reported back then — a later hit re-ranks these against its own `q`.
+    candidates: Vec<Candidate>,
+}
+
+/// Sink-side serving-layer state (admission / merge / cache), touched only
+/// when [`crate::ServingConfig::enabled`] — with serving off the protocol is
+/// bit-identical to the pre-serving build.
+struct ServingState {
+    /// Deterministic load signal: in-flight depth + recent completion rate.
+    load: LoadSignal,
+    /// Admitted queries that have not yet finalised (candidate merge hosts).
+    active: BTreeSet<u32>,
+    /// Host qid → member qids answered from the host's return leg.
+    members: BTreeMap<u32, Vec<u32>>,
+    /// Member qid → the host it rides.
+    host_of: BTreeMap<u32, u32>,
+    /// Admission deferrals suffered so far per still-waiting qid.
+    defers: BTreeMap<u32, u32>,
+    /// Completed results usable for cache hits, oldest first.
+    cache: Vec<CacheEntry>,
+}
+
 struct SinkState {
     expected: u32,
     merged: CandidateSet,
@@ -147,6 +180,9 @@ pub struct Diknn {
     /// Highest token epoch seen per `(qid, attempt, sector)`; lower-epoch
     /// tokens are stale duplicates from a watchdog re-issue and are dropped.
     token_epochs: BTreeMap<(u32, u8, u8), u32>,
+    /// Serving layer (admission / merge / cache); inert while
+    /// `cfg.serving.enabled` is false.
+    serving: ServingState,
     radio_range: f64,
     /// Frames sent per message kind: [query, token, probe, reply, poll,
     /// rendezvous, result]. Diagnostics for benches and tests.
@@ -177,8 +213,17 @@ pub struct TokenHop {
 impl Diknn {
     pub fn new(cfg: DiknnConfig, requests: Vec<QueryRequest>) -> Self {
         cfg.validate();
+        let serving = ServingState {
+            load: LoadSignal::new(cfg.serving.load_window_s),
+            active: BTreeSet::new(),
+            members: BTreeMap::new(),
+            host_of: BTreeMap::new(),
+            defers: BTreeMap::new(),
+            cache: Vec::new(),
+        };
         Diknn {
             cfg,
+            serving,
             requests,
             outcomes: Vec::new(),
             sinks: BTreeMap::new(),
@@ -294,15 +339,6 @@ impl Diknn {
     fn issue_query(&mut self, ctx: &mut Ctx<DiknnMsg>, req_idx: usize) {
         let req = self.requests[req_idx];
         let qid = self.outcomes.len() as u32;
-        let spec = QuerySpec {
-            qid,
-            sink: req.sink,
-            sink_pos: ctx.position(req.sink),
-            q: req.q,
-            k: req.k.max(1) as u32,
-            issued_at: ctx.now(),
-            attempt: 0,
-        };
         self.outcomes.push(QueryOutcome {
             qid,
             sink: req.sink,
@@ -319,6 +355,30 @@ impl Diknn {
             explored_nodes: 0,
             status: QueryStatus::Pending,
         });
+        if self.cfg.serving.enabled {
+            self.serve_query(ctx, qid);
+        } else {
+            self.launch_query(ctx, qid);
+        }
+    }
+
+    /// Start executing query `qid` (routing → dissemination). With the
+    /// serving layer on this runs only after admission; otherwise it is the
+    /// unconditional continuation of `issue_query`.
+    fn launch_query(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32) {
+        let (sink, q, k) = {
+            let o = &self.outcomes[qid as usize];
+            (o.sink, o.q, o.k)
+        };
+        let spec = QuerySpec {
+            qid,
+            sink,
+            sink_pos: ctx.position(sink),
+            q,
+            k: k.max(1) as u32,
+            issued_at: ctx.now(),
+            attempt: 0,
+        };
         self.sinks.insert(
             qid,
             SinkState {
@@ -334,12 +394,12 @@ impl Diknn {
             },
         );
         ctx.set_timer(
-            req.sink,
+            sink,
             SimDuration::from_secs_f64(self.cfg.sink_timeout),
             key(K_SINK_TIMEOUT, qid, 0),
         );
         ctx.record_proto(
-            req.sink,
+            sink,
             ProtoEvent::QueryIssued {
                 qid,
                 attempt: 0,
@@ -348,10 +408,252 @@ impl Diknn {
         );
         let msg = QueryMsg {
             spec,
-            gpsr: GpsrHeader::new(req.q),
+            gpsr: GpsrHeader::new(q),
             list: Vec::new(),
         };
-        self.handle_query_arrival(ctx, req.sink, msg, None);
+        self.handle_query_arrival(ctx, sink, msg, None);
+    }
+
+    // ---------- serving layer (admission / merge / cache) --------------
+
+    /// Re-rank a candidate pool against a (possibly different) query point
+    /// and keep the best `k` — the exact per-query attribution step for
+    /// merged itineraries and cache hits.
+    fn rank_for(pool: &[Candidate], q: Point, k: usize) -> Vec<NodeId> {
+        let mut best = CandidateSet::new(k.max(1));
+        for c in pool {
+            best.insert(Candidate {
+                id: c.id,
+                position: c.position,
+                dist: c.position.dist(q),
+            });
+        }
+        best.ids()
+    }
+
+    /// The serving decision for an arrived (or deferral-retried) query, in
+    /// priority order: cache hit → spatial merge → admission.
+    fn serve_query(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32) {
+        let (sink, q, k) = {
+            let o = &self.outcomes[qid as usize];
+            (o.sink, o.q, o.k)
+        };
+        let now = ctx.now();
+
+        // 1. Result cache: answer from a fresh completed query at (nearly)
+        // the same point, inside both the TTL and the mobility-drift bound.
+        if self.cfg.serving.cache_radius_m > 0.0 {
+            let ttl = self.cfg.serving.cache_ttl_s;
+            let max_age = if self.cfg.serving.drift_rate_mps > 0.0 {
+                ttl.min(self.cfg.serving.cache_drift_m / self.cfg.serving.drift_rate_mps)
+            } else {
+                ttl
+            };
+            self.serving
+                .cache
+                .retain(|e| (now - e.completed_at).as_secs_f64() <= max_age);
+            let radius = self.cfg.serving.cache_radius_m;
+            let hit = self
+                .serving
+                .cache
+                .iter()
+                .filter(|e| e.k >= k && e.q.dist(q) <= radius)
+                .min_by(|a, b| {
+                    a.q.dist(q)
+                        .total_cmp(&b.q.dist(q))
+                        .then(b.completed_at.cmp(&a.completed_at))
+                        .then(a.src_qid.cmp(&b.src_qid))
+                });
+            if let Some(entry) = hit {
+                let age = (now - entry.completed_at).as_secs_f64();
+                let answer = Self::rank_for(&entry.candidates, q, k);
+                let src = entry.src_qid;
+                let o = &mut self.outcomes[qid as usize];
+                o.answer = answer.clone();
+                o.completed_at = Some(now);
+                o.status = QueryStatus::CacheHit;
+                ctx.record_proto(
+                    sink,
+                    ProtoEvent::CacheServed {
+                        qid,
+                        src,
+                        age_s: age,
+                        ttl_s: ttl,
+                    },
+                );
+                ctx.record_proto(
+                    sink,
+                    ProtoEvent::QueryDone {
+                        qid,
+                        status: QueryStatus::CacheHit.label(),
+                        answer,
+                    },
+                );
+                self.serving.defers.remove(&qid);
+                return;
+            }
+        }
+
+        // 2. Spatial merge: ride an in-flight query whose itinerary covers
+        // this one. The member is answered from the host's return leg with
+        // per-query re-ranking; it never emits a frame of its own.
+        if self.cfg.serving.merge_radius_m > 0.0 {
+            let radius = self.cfg.serving.merge_radius_m;
+            let host = self
+                .serving
+                .active
+                .iter()
+                .copied()
+                .filter(|&h| self.sinks.get(&h).is_some_and(|s| !s.done))
+                .filter(|&h| {
+                    let ho = &self.outcomes[h as usize];
+                    ho.k >= k && ho.q.dist(q) <= radius
+                })
+                .min_by(|&a, &b| {
+                    let da = self.outcomes[a as usize].q.dist(q);
+                    let db = self.outcomes[b as usize].q.dist(q);
+                    da.total_cmp(&db).then(a.cmp(&b))
+                });
+            if let Some(host) = host {
+                // Keep enough merged candidates at the host's sink for the
+                // member's re-rank: the host's own top-k around *its* point
+                // might drop the member's nearest nodes.
+                if let Some(state) = self.sinks.get_mut(&host) {
+                    let wide = state.merged.k() + k;
+                    state.merged.widen(wide);
+                }
+                self.serving.members.entry(host).or_default().push(qid);
+                self.serving.host_of.insert(qid, host);
+                self.serving.defers.remove(&qid);
+                ctx.record_proto(sink, ProtoEvent::QueryMerged { qid, host });
+                return;
+            }
+        }
+
+        // 3. Admission: bounded-deferral concurrency ceiling fed by the
+        // deterministic load signal.
+        let depth = self.serving.load.depth();
+        if depth >= self.cfg.serving.max_in_flight {
+            let defers = self.serving.defers.get(&qid).copied().unwrap_or(0);
+            if defers >= self.cfg.serving.max_admission_defers {
+                // Out of patience: terminal rejection, never executed.
+                self.serving.defers.remove(&qid);
+                let o = &mut self.outcomes[qid as usize];
+                o.status = QueryStatus::Rejected;
+                ctx.record_proto(
+                    sink,
+                    ProtoEvent::QueryRejected {
+                        qid,
+                        depth,
+                        terminal: true,
+                    },
+                );
+                ctx.record_proto(
+                    sink,
+                    ProtoEvent::QueryDone {
+                        qid,
+                        status: QueryStatus::Rejected.label(),
+                        answer: Vec::new(),
+                    },
+                );
+            } else {
+                self.serving.defers.insert(qid, defers + 1);
+                ctx.record_proto(
+                    sink,
+                    ProtoEvent::QueryRejected {
+                        qid,
+                        depth,
+                        terminal: false,
+                    },
+                );
+                let wait = self.serving.load.retry_after(
+                    now,
+                    self.cfg.serving.retry_after_s,
+                    self.cfg.serving.max_retry_after_s,
+                );
+                ctx.set_timer(sink, SimDuration::from_secs_f64(wait), key(K_ADMIT, qid, 0));
+            }
+            return;
+        }
+        self.serving.defers.remove(&qid);
+        self.serving.load.admit(now);
+        self.serving.active.insert(qid);
+        ctx.record_proto(
+            sink,
+            ProtoEvent::QueryAdmitted {
+                qid,
+                depth: self.serving.load.depth(),
+            },
+        );
+        self.launch_query(ctx, qid);
+    }
+
+    /// A deferred query's retry-after backoff expired: run the serving
+    /// decision again (by now a cache entry or a mergeable host may exist,
+    /// or load may have drained).
+    fn admission_retry(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32) {
+        let still_waiting = self.outcomes[qid as usize].status == QueryStatus::Pending
+            && !self.serving.active.contains(&qid)
+            && !self.serving.host_of.contains_key(&qid);
+        if still_waiting {
+            self.serve_query(ctx, qid);
+        }
+    }
+
+    /// Settle serving-layer bookkeeping when admitted query `qid`
+    /// finalises: feed the load signal, split the merged candidate pool to
+    /// every member with exact per-query re-ranking, and (for complete
+    /// answers) publish a cache entry.
+    fn settle_serving(&mut self, ctx: &mut Ctx<DiknnMsg>, qid: u32) {
+        if !self.cfg.serving.enabled || !self.serving.active.remove(&qid) {
+            return;
+        }
+        self.serving.load.complete(ctx.now());
+        let (pool, completed_at, host_completed) = {
+            let state = &self.sinks[&qid];
+            let o = &self.outcomes[qid as usize];
+            (
+                state.merged.items().to_vec(),
+                o.completed_at,
+                o.status == QueryStatus::Completed,
+            )
+        };
+        for member in self.serving.members.remove(&qid).unwrap_or_default() {
+            self.serving.host_of.remove(&member);
+            let (m_sink, m_q, m_k) = {
+                let o = &self.outcomes[member as usize];
+                (o.sink, o.q, o.k)
+            };
+            let answer = Self::rank_for(&pool, m_q, m_k);
+            let o = &mut self.outcomes[member as usize];
+            o.answer = answer.clone();
+            o.completed_at = completed_at;
+            o.status = QueryStatus::Merged;
+            ctx.record_proto(
+                m_sink,
+                ProtoEvent::QueryDone {
+                    qid: member,
+                    status: QueryStatus::Merged.label(),
+                    answer,
+                },
+            );
+        }
+        if host_completed && self.cfg.serving.cache_radius_m > 0.0 {
+            if let Some(completed_at) = completed_at {
+                let o = &self.outcomes[qid as usize];
+                self.serving.cache.push(CacheEntry {
+                    src_qid: qid,
+                    q: o.q,
+                    k: o.k,
+                    completed_at,
+                    candidates: pool,
+                });
+                if self.serving.cache.len() > SERVING_CACHE_CAP {
+                    let excess = self.serving.cache.len() - SERVING_CACHE_CAP;
+                    self.serving.cache.drain(..excess);
+                }
+            }
+        }
     }
 
     /// Count neighbours newly encountered relative to the previous hop:
@@ -1015,6 +1317,7 @@ impl Diknn {
         // Drop any recovery state still alive for this query; pending
         // watchdog timers become harmless no-ops without their entries.
         self.watchdogs.retain(|&(q, _), _| q != qid);
+        self.settle_serving(ctx, qid);
     }
 
     // ---------- fault recovery ----------------------------------------
@@ -1208,6 +1511,7 @@ impl Protocol for Diknn {
             K_WATCHDOG => {
                 self.watchdog_fire(ctx, at, key_qid(timer_key), key_aux(timer_key) as u8);
             }
+            K_ADMIT => self.admission_retry(ctx, key_qid(timer_key)),
             _ => unreachable!("unknown timer kind"),
         }
     }
@@ -1405,6 +1709,65 @@ impl KnnProtocol for Diknn {
 
     fn outcomes_mut(&mut self) -> &mut [QueryOutcome] {
         &mut self.outcomes
+    }
+
+    fn finish(&mut self, ctx: &Ctx<DiknnMsg>) {
+        if self.cfg.serving.enabled {
+            // Merge members whose host never finalised before the run
+            // ended: split whatever the host's sink has merged so far.
+            let orphans: Vec<(u32, u32)> =
+                self.serving.host_of.iter().map(|(&m, &h)| (m, h)).collect();
+            for (member, host) in orphans {
+                if self.outcomes[member as usize].status != QueryStatus::Pending {
+                    continue;
+                }
+                let (m_q, m_k) = {
+                    let o = &self.outcomes[member as usize];
+                    (o.q, o.k)
+                };
+                let answer = self
+                    .sinks
+                    .get(&host)
+                    .map(|s| Self::rank_for(s.merged.items(), m_q, m_k))
+                    .unwrap_or_default();
+                let o = &mut self.outcomes[member as usize];
+                o.answer = answer;
+                o.status = QueryStatus::Merged;
+            }
+            self.serving.host_of.clear();
+            self.serving.members.clear();
+            // Arrivals still parked behind an admission backoff when time
+            // ran out were never executed: that is a rejection, not a loss
+            // (a dead sink still reads as sink-unreachable below).
+            let waiting: Vec<u32> = self.serving.defers.keys().copied().collect();
+            for qid in waiting {
+                let o = &mut self.outcomes[qid as usize];
+                if o.status == QueryStatus::Pending && ctx.is_alive(o.sink) {
+                    o.status = QueryStatus::Rejected;
+                }
+            }
+            self.serving.defers.clear();
+        }
+        // Default classification for everything still pending (mirrors the
+        // trait's fallback, which an override cannot delegate to).
+        for o in self.outcomes_mut() {
+            if o.status != QueryStatus::Pending {
+                continue;
+            }
+            o.status = if o.completed_at.is_some() {
+                if o.parts_returned >= o.parts_expected {
+                    QueryStatus::Completed
+                } else {
+                    QueryStatus::PartialTimeout
+                }
+            } else if !ctx.is_alive(o.sink) {
+                QueryStatus::SinkUnreachable
+            } else if o.parts_returned > 0 {
+                QueryStatus::PartialTimeout
+            } else {
+                QueryStatus::TokenLost
+            };
+        }
     }
 }
 

@@ -66,6 +66,18 @@ pub enum ConfigError {
     /// The flight recorder is enabled with a zero-capacity ring buffer:
     /// every event would be evicted the moment it is recorded.
     ZeroTraceCapacity,
+    /// A query arrival rate is not positive: the arrival process would
+    /// never produce a query (or would divide by zero computing gaps).
+    NonPositiveQueryRate(f64),
+    /// The serving layer's result cache is enabled with a zero or negative
+    /// TTL: every entry would be stale the moment it is written.
+    NonPositiveCacheTtl(f64),
+    /// The serving layer's spatial merge radius is negative (zero disables
+    /// merging; negative is meaningless).
+    NegativeMergeRadius(f64),
+    /// The admission controller's concurrency ceiling is zero: no query
+    /// could ever be admitted.
+    ZeroAdmissionCeiling,
 }
 
 impl fmt::Display for ConfigError {
@@ -101,6 +113,24 @@ impl fmt::Display for ConfigError {
             ConfigError::Fault(msg) => write!(f, "fault plan: {msg}"),
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "trace capacity must be nonzero when tracing is enabled")
+            }
+            ConfigError::NonPositiveQueryRate(r) => {
+                write!(f, "query arrival rate must be positive, got {r}")
+            }
+            ConfigError::NonPositiveCacheTtl(ttl) => {
+                write!(
+                    f,
+                    "cache TTL must be positive when caching is enabled, got {ttl}"
+                )
+            }
+            ConfigError::NegativeMergeRadius(r) => {
+                write!(f, "merge radius must be non-negative, got {r}")
+            }
+            ConfigError::ZeroAdmissionCeiling => {
+                write!(
+                    f,
+                    "admission ceiling must be nonzero (no query could be admitted)"
+                )
             }
         }
     }
@@ -355,6 +385,21 @@ mod tests {
             ..SimConfig::default()
         };
         assert_eq!(c.validate(), Err(ConfigError::ZeroTraceCapacity));
+    }
+
+    #[test]
+    fn serving_error_variants_display() {
+        // The serving-layer knobs (validated by `DiknnConfig`/workload
+        // validation in the downstream crates) share this error type.
+        for (e, needle) in [
+            (ConfigError::NonPositiveQueryRate(0.0), "rate"),
+            (ConfigError::NonPositiveCacheTtl(-1.0), "TTL"),
+            (ConfigError::NegativeMergeRadius(-3.0), "merge radius"),
+            (ConfigError::ZeroAdmissionCeiling, "admission ceiling"),
+        ] {
+            let s = e.to_string();
+            assert!(s.contains(needle), "{s} should mention {needle}");
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod engine;
 pub mod faults;
 pub mod grid;
 mod ids;
+pub mod load;
 pub mod neighbors;
 mod stats;
 pub mod time;
@@ -79,6 +80,7 @@ pub use faults::{
 };
 pub use grid::SpatialGrid;
 pub use ids::{NodeId, TimerId};
+pub use load::LoadSignal;
 pub use neighbors::Neighbor;
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

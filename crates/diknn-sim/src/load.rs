@@ -1,0 +1,187 @@
+//! Deterministic serving-load signal.
+//!
+//! The sink-side admission controller (`diknn-core`'s serving layer) needs
+//! to know *how loaded the engine is right now* to decide whether a newly
+//! arrived query may start. Wall-clock load averages would break run
+//! determinism, so the signal is computed purely from simulation events:
+//!
+//! * **queue depth** — how many admitted queries are currently in flight
+//!   (admitted but not yet terminal), and
+//! * **recent completion rate** — terminal events per second over a sliding
+//!   window of simulated time.
+//!
+//! Both feed [`LoadSignal::retry_after`], the bounded backoff quoted to a
+//! deferred query: when the engine is draining, the backoff approximates the
+//! time for one in-flight slot to free up; when it is stalled, the backoff
+//! grows linearly with depth up to a hard cap. No randomness is involved —
+//! the same trace of admit/complete calls yields the same signal bit for
+//! bit, which is what lets `ParallelSweep` reruns stay identical.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Sliding-window load signal: queue depth + recent completion rate.
+#[derive(Debug, Clone)]
+pub struct LoadSignal {
+    /// Admitted-but-not-terminal queries.
+    in_flight: u32,
+    /// Sliding window (seconds of simulated time) over which completions
+    /// count toward the rate.
+    window_s: f64,
+    /// Completion timestamps inside (or near) the current window, oldest
+    /// first. Pruned on every mutation.
+    completions: VecDeque<SimTime>,
+}
+
+impl LoadSignal {
+    /// A signal with the given completion-rate window (seconds, must be
+    /// positive).
+    pub fn new(window_s: f64) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "load-signal window must be positive"
+        );
+        LoadSignal {
+            in_flight: 0,
+            window_s,
+            completions: VecDeque::new(),
+        }
+    }
+
+    /// Number of admitted queries that have not reached a terminal status.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Record an admission at `now`.
+    pub fn admit(&mut self, now: SimTime) {
+        self.in_flight += 1;
+        self.prune(now);
+    }
+
+    /// Record a terminal outcome for a previously admitted query at `now`.
+    pub fn complete(&mut self, now: SimTime) {
+        debug_assert!(self.in_flight > 0, "complete without matching admit");
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.completions.push_back(now);
+        self.prune(now);
+    }
+
+    /// Terminal outcomes per second of simulated time over the window
+    /// ending at `now`.
+    pub fn completion_rate(&self, now: SimTime) -> f64 {
+        let cutoff = now.as_secs_f64() - self.window_s;
+        let recent = self
+            .completions
+            .iter()
+            .filter(|t| t.as_secs_f64() >= cutoff)
+            .count();
+        recent as f64 / self.window_s
+    }
+
+    /// Bounded retry-after quote (seconds) for a query deferred at `now`.
+    ///
+    /// If the engine is observably draining, quote the time for one
+    /// in-flight slot to free at the observed rate; otherwise fall back to
+    /// a depth-proportional penalty. Always within `[base_s, max_s]`.
+    pub fn retry_after(&self, now: SimTime, base_s: f64, max_s: f64) -> f64 {
+        debug_assert!(base_s > 0.0 && max_s >= base_s);
+        let rate = self.completion_rate(now);
+        let quote = if rate > 0.0 {
+            self.in_flight as f64 / rate
+        } else {
+            base_s * (1 + self.in_flight) as f64
+        };
+        quote.clamp(base_s, max_s)
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let cutoff = now.as_secs_f64() - self.window_s;
+        while let Some(t) = self.completions.front() {
+            if t.as_secs_f64() < cutoff {
+                self.completions.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn depth_tracks_admit_and_complete() {
+        let mut ls = LoadSignal::new(5.0);
+        assert_eq!(ls.depth(), 0);
+        ls.admit(at(1.0));
+        ls.admit(at(1.5));
+        assert_eq!(ls.depth(), 2);
+        ls.complete(at(2.0));
+        assert_eq!(ls.depth(), 1);
+    }
+
+    #[test]
+    fn completion_rate_uses_sliding_window() {
+        let mut ls = LoadSignal::new(2.0);
+        for i in 0..4 {
+            ls.admit(at(i as f64));
+            ls.complete(at(i as f64 + 0.5));
+        }
+        // Completions at 0.5, 1.5, 2.5, 3.5; window [1.5, 3.5] holds 3.
+        assert_eq!(ls.completion_rate(at(3.5)), 1.5);
+        // Far in the future the window is empty.
+        assert_eq!(ls.completion_rate(at(100.0)), 0.0);
+    }
+
+    #[test]
+    fn retry_after_is_bounded_and_depth_sensitive() {
+        let mut ls = LoadSignal::new(5.0);
+        // Stalled engine: depth-proportional, never below base or above max.
+        ls.admit(at(0.0));
+        ls.admit(at(0.0));
+        let q2 = ls.retry_after(at(1.0), 0.5, 4.0);
+        assert_eq!(q2, 1.5); // 0.5 * (1 + 2)
+        for _ in 0..20 {
+            ls.admit(at(1.0));
+        }
+        assert_eq!(ls.retry_after(at(1.0), 0.5, 4.0), 4.0); // capped
+                                                            // Draining engine: quote one slot-drain time at the observed rate.
+        let mut ls = LoadSignal::new(2.0);
+        for i in 0..5 {
+            ls.admit(at(0.0));
+            if i < 4 {
+                ls.complete(at(1.0));
+            }
+        }
+        // rate = 4 completions / 2 s = 2/s, depth 1 -> 0.5 s.
+        assert_eq!(ls.retry_after(at(1.0), 0.1, 4.0), 0.5);
+    }
+
+    #[test]
+    fn signal_is_deterministic_under_replay() {
+        let run = |ls: &mut LoadSignal| {
+            for i in 0..10 {
+                ls.admit(at(i as f64 * 0.3));
+                if i % 2 == 0 {
+                    ls.complete(at(i as f64 * 0.3 + 0.2));
+                }
+            }
+            (
+                ls.depth(),
+                ls.completion_rate(at(3.0)),
+                ls.retry_after(at(3.0), 0.25, 8.0),
+            )
+        };
+        let mut a = LoadSignal::new(4.0);
+        let mut b = LoadSignal::new(4.0);
+        assert_eq!(run(&mut a), run(&mut b));
+    }
+}

@@ -167,6 +167,33 @@ pub enum ProtoEvent {
     },
     /// The sink merged one sector's partial result.
     SinkMerge { qid: u32, attempt: u8, sector: u8 },
+    /// The serving layer admitted a query into the engine; `depth` is the
+    /// number of queries in flight *after* admission.
+    QueryAdmitted { qid: u32, depth: u32 },
+    /// The serving layer refused to start a query at its arrival (or
+    /// deferred-retry) time because `depth` queries were already in flight.
+    /// `terminal` distinguishes a final rejection (the query ends with
+    /// status `rejected`, no execution ever happens) from a deferral that
+    /// will retry after a backoff.
+    QueryRejected {
+        qid: u32,
+        depth: u32,
+        terminal: bool,
+    },
+    /// The serving layer attached this query to the in-flight query `host`
+    /// whose itinerary spatially covers it; the member never executes its
+    /// own itinerary and is answered from the host's return leg.
+    QueryMerged { qid: u32, host: u32 },
+    /// The serving layer answered this query from the cached result of the
+    /// earlier query `src`. `age_s` is the cache entry age at serve time and
+    /// `ttl_s` the TTL in force — recorded so the trace itself proves the
+    /// hit was in-date.
+    CacheServed {
+        qid: u32,
+        src: u32,
+        age_s: f64,
+        ttl_s: f64,
+    },
     /// The query reached a terminal status; `answer` is the final KNN id
     /// list reported to the application.
     QueryDone {
@@ -329,6 +356,32 @@ impl fmt::Display for TraceEvent {
                 } => write!(
                     f,
                     "proto sink-merge qid={qid} attempt={attempt} sector={sector}"
+                ),
+                ProtoEvent::QueryAdmitted { qid, depth } => {
+                    write!(f, "proto admitted qid={qid} depth={depth}")
+                }
+                ProtoEvent::QueryRejected {
+                    qid,
+                    depth,
+                    terminal,
+                } => {
+                    write!(f, "proto rejected qid={qid} depth={depth}")?;
+                    if *terminal {
+                        write!(f, " terminal")?;
+                    }
+                    Ok(())
+                }
+                ProtoEvent::QueryMerged { qid, host } => {
+                    write!(f, "proto merged qid={qid} host={host}")
+                }
+                ProtoEvent::CacheServed {
+                    qid,
+                    src,
+                    age_s,
+                    ttl_s,
+                } => write!(
+                    f,
+                    "proto cache-served qid={qid} src={src} age={age_s:.3} ttl={ttl_s:.3}"
                 ),
                 ProtoEvent::QueryDone {
                     qid,
@@ -521,6 +574,53 @@ mod tests {
             },
         };
         assert_eq!(e.to_string(), "12 n4 drop reason=burst from=n2");
+    }
+
+    #[test]
+    fn serving_line_format_is_stable() {
+        let at = SimTime::from_nanos(2_000_000_000);
+        let n = NodeId(3);
+        let line = |p: ProtoEvent| {
+            TraceEvent {
+                time: at,
+                node: n,
+                kind: TraceKind::Proto(p),
+            }
+            .to_string()
+        };
+        assert_eq!(
+            line(ProtoEvent::QueryAdmitted { qid: 4, depth: 7 }),
+            "2000000000 n3 proto admitted qid=4 depth=7"
+        );
+        assert_eq!(
+            line(ProtoEvent::QueryRejected {
+                qid: 5,
+                depth: 8,
+                terminal: false,
+            }),
+            "2000000000 n3 proto rejected qid=5 depth=8"
+        );
+        assert_eq!(
+            line(ProtoEvent::QueryRejected {
+                qid: 5,
+                depth: 8,
+                terminal: true,
+            }),
+            "2000000000 n3 proto rejected qid=5 depth=8 terminal"
+        );
+        assert_eq!(
+            line(ProtoEvent::QueryMerged { qid: 6, host: 2 }),
+            "2000000000 n3 proto merged qid=6 host=2"
+        );
+        assert_eq!(
+            line(ProtoEvent::CacheServed {
+                qid: 7,
+                src: 1,
+                age_s: 0.25,
+                ttl_s: 2.0,
+            }),
+            "2000000000 n3 proto cache-served qid=7 src=1 age=0.250 ttl=2.000"
+        );
     }
 
     #[test]

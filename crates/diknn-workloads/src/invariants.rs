@@ -36,6 +36,16 @@
 //!    node that never legitimately acquired *this* query's token — which
 //!    this anchor check rules out.
 //!
+//! 8. **admission-soundness** — the serving layer's degradation path is as
+//!    lawful as the happy path: no query is both (terminally) rejected and
+//!    executed (`QueryAdmitted`/`QueryIssued`); a rejected query's answer is
+//!    empty; a merged query has exactly one `QueryMerged` event, never
+//!    executes its own itinerary, and its answer contains only nodes the
+//!    *host* query heard; a cache hit has exactly one `CacheServed` event
+//!    whose recorded age never exceeds the recorded TTL, and its answer
+//!    contains only nodes its source query heard. Vacuous for runs without
+//!    serving events.
+//!
 //! A trace whose ring buffer overflowed (`dropped_events() > 0`) is itself
 //! reported (**trace-complete**): incomplete evidence must not certify a
 //! run.
@@ -136,6 +146,14 @@ pub fn check_with(
     let mut chains: BTreeMap<(u32, u8, u8, u32), Chain> = BTreeMap::new();
     // qid → emitted QueryDone records.
     let mut dones: BTreeMap<u32, Vec<(&'static str, Vec<NodeId>)>> = BTreeMap::new();
+    // Serving layer (admission-soundness). "Executed" below means the query
+    // ran its own itinerary: it was admitted and/or issued.
+    let mut admitted: BTreeSet<u32> = BTreeSet::new();
+    let mut rejected_terminal: BTreeSet<u32> = BTreeSet::new();
+    // member qid → host qids from QueryMerged events (must end up singleton).
+    let mut merged_ev: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    // qid → (source qid, CacheServed count).
+    let mut cached_ev: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
 
     for e in trace.events() {
         match &e.kind {
@@ -170,6 +188,23 @@ pub fn check_with(
             }
             TraceKind::Proto(p) => match p {
                 ProtoEvent::QueryIssued { qid, .. } => {
+                    if rejected_terminal.contains(qid) {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!("q{qid} issued after terminal rejection"),
+                        });
+                    }
+                    if merged_ev.contains_key(qid) || cached_ev.contains_key(qid) {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!(
+                                "q{qid} launched its own itinerary after being \
+                                 served by merge/cache"
+                            ),
+                        });
+                    }
                     issued.insert(*qid);
                 }
                 ProtoEvent::TokenReissued {
@@ -324,6 +359,70 @@ pub fn check_with(
                 ProtoEvent::BoundaryEstimated { qid, attempt, .. } => {
                     homes.entry((*qid, *attempt)).or_insert(e.node);
                 }
+                ProtoEvent::QueryAdmitted { qid, .. } => {
+                    if rejected_terminal.contains(qid) {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!("q{qid} admitted after terminal rejection"),
+                        });
+                    }
+                    admitted.insert(*qid);
+                }
+                ProtoEvent::QueryRejected { qid, terminal, .. } => {
+                    if *terminal {
+                        if admitted.contains(qid) || issued.contains(qid) {
+                            v.push(Violation {
+                                invariant: "admission-soundness",
+                                at: e.time,
+                                detail: format!("q{qid} terminally rejected after executing"),
+                            });
+                        }
+                        rejected_terminal.insert(*qid);
+                    }
+                }
+                ProtoEvent::QueryMerged { qid, host } => {
+                    if admitted.contains(qid) || issued.contains(qid) {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!(
+                                "q{qid} merged into q{host} after launching its \
+                                 own itinerary"
+                            ),
+                        });
+                    }
+                    merged_ev.entry(*qid).or_default().push(*host);
+                }
+                ProtoEvent::CacheServed {
+                    qid,
+                    src,
+                    age_s,
+                    ttl_s,
+                } => {
+                    if age_s > ttl_s {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!(
+                                "q{qid} served a cached answer {age_s:.3} s old, \
+                                 past its {ttl_s:.3} s TTL"
+                            ),
+                        });
+                    }
+                    if admitted.contains(qid) || issued.contains(qid) {
+                        v.push(Violation {
+                            invariant: "admission-soundness",
+                            at: e.time,
+                            detail: format!(
+                                "q{qid} served from cache after launching its \
+                                 own itinerary"
+                            ),
+                        });
+                    }
+                    let entry = cached_ev.entry(*qid).or_insert((*src, 0));
+                    entry.1 += 1;
+                }
                 ProtoEvent::BoundaryExtended { .. }
                 | ProtoEvent::SectorFinished { .. }
                 | ProtoEvent::SinkMerge { .. } => {}
@@ -344,6 +443,131 @@ pub fn check_with(
                 at: SimTime::ZERO,
                 detail: format!("q{} never reached a terminal status", o.qid),
             });
+        }
+        // Law 8: a serving-layer status must agree with the serving events,
+        // and a served answer must trace back to candidates the *executing*
+        // query (merge host / cache source) heard. Runs before the `issued`
+        // gate below — rejected/merged/cached queries never launch their own
+        // itinerary, so they are exactly the outcomes that gate skips.
+        match o.status {
+            QueryStatus::Rejected => {
+                if issued.contains(&o.qid) || admitted.contains(&o.qid) {
+                    v.push(Violation {
+                        invariant: "admission-soundness",
+                        at: SimTime::ZERO,
+                        detail: format!("q{} ended rejected but was executed", o.qid),
+                    });
+                }
+                if !o.answer.is_empty() {
+                    v.push(Violation {
+                        invariant: "admission-soundness",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "q{} rejected with a non-empty answer ({} ids)",
+                            o.qid,
+                            o.answer.len()
+                        ),
+                    });
+                }
+            }
+            QueryStatus::Merged => match merged_ev.get(&o.qid) {
+                Some(hosts) if hosts.len() == 1 => {
+                    let host = hosts[0];
+                    let empty = BTreeMap::new();
+                    let heard_h = heard.get(&host).unwrap_or(&empty);
+                    for id in &o.answer {
+                        if !heard_h.contains_key(id) {
+                            v.push(Violation {
+                                invariant: "admission-soundness",
+                                at: SimTime::ZERO,
+                                detail: format!(
+                                    "q{}: merged answer contains {id}, never heard \
+                                     by host q{host}",
+                                    o.qid
+                                ),
+                            });
+                        }
+                    }
+                }
+                Some(hosts) => v.push(Violation {
+                    invariant: "admission-soundness",
+                    at: SimTime::ZERO,
+                    detail: format!(
+                        "q{} has {} QueryMerged events (want exactly one)",
+                        o.qid,
+                        hosts.len()
+                    ),
+                }),
+                None => v.push(Violation {
+                    invariant: "admission-soundness",
+                    at: SimTime::ZERO,
+                    detail: format!("q{} ended merged without a QueryMerged event", o.qid),
+                }),
+            },
+            QueryStatus::CacheHit => match cached_ev.get(&o.qid) {
+                Some(&(src, 1)) => {
+                    let empty = BTreeMap::new();
+                    let heard_s = heard.get(&src).unwrap_or(&empty);
+                    for id in &o.answer {
+                        if !heard_s.contains_key(id) {
+                            v.push(Violation {
+                                invariant: "admission-soundness",
+                                at: SimTime::ZERO,
+                                detail: format!(
+                                    "q{}: cached answer contains {id}, never heard \
+                                     by source q{src}",
+                                    o.qid
+                                ),
+                            });
+                        }
+                    }
+                }
+                Some(&(_, n)) => v.push(Violation {
+                    invariant: "admission-soundness",
+                    at: SimTime::ZERO,
+                    detail: format!("q{} has {n} CacheServed events (want exactly one)", o.qid),
+                }),
+                None => v.push(Violation {
+                    invariant: "admission-soundness",
+                    at: SimTime::ZERO,
+                    detail: format!("q{} ended cache-hit without a CacheServed event", o.qid),
+                }),
+            },
+            _ => {
+                if rejected_terminal.contains(&o.qid) {
+                    v.push(Violation {
+                        invariant: "admission-soundness",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "q{} was terminally rejected but ended {}",
+                            o.qid,
+                            o.status.label()
+                        ),
+                    });
+                }
+                if merged_ev.contains_key(&o.qid) {
+                    v.push(Violation {
+                        invariant: "admission-soundness",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "q{} has a QueryMerged event but ended {}",
+                            o.qid,
+                            o.status.label()
+                        ),
+                    });
+                }
+                if cached_ev.contains_key(&o.qid) {
+                    v.push(Violation {
+                        invariant: "admission-soundness",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "q{} has a CacheServed event but ended {}",
+                            o.qid,
+                            o.status.label()
+                        ),
+                    });
+                }
+            }
         }
         if !issued.contains(&o.qid) {
             continue; // untraced protocol: structure laws are vacuous
@@ -813,6 +1037,219 @@ mod tests {
         let t = trace_with(Vec::new());
         let outs = [outcome(0, QueryStatus::Completed, vec![4, 5])];
         assert_eq!(check(&t, &outs), Vec::new());
+    }
+
+    /// Law 8 positive twin: a full serving trace — an executed host, a
+    /// merged rider, a cache hit off the host and a terminal rejection —
+    /// is lawful.
+    #[test]
+    fn admission_soundness_clean_serving_trace_passes() {
+        let t = trace_with(vec![
+            proto(0, 0, ProtoEvent::QueryAdmitted { qid: 1, depth: 1 }),
+            proto(
+                0,
+                0,
+                ProtoEvent::QueryIssued {
+                    qid: 1,
+                    attempt: 0,
+                    k: 1,
+                },
+            ),
+            proto(
+                1,
+                2,
+                ProtoEvent::CandidateHeard {
+                    qid: 1,
+                    attempt: 0,
+                    sector: 0,
+                    responder: NodeId(7),
+                    dist: 4.0,
+                    radius: 10.0,
+                },
+            ),
+            proto(2, 0, ProtoEvent::QueryMerged { qid: 2, host: 1 }),
+            proto(
+                3,
+                0,
+                ProtoEvent::QueryDone {
+                    qid: 1,
+                    status: "completed",
+                    answer: vec![NodeId(7)],
+                },
+            ),
+            proto(
+                4,
+                0,
+                ProtoEvent::CacheServed {
+                    qid: 3,
+                    src: 1,
+                    age_s: 0.5,
+                    ttl_s: 2.0,
+                },
+            ),
+            proto(
+                5,
+                0,
+                ProtoEvent::QueryRejected {
+                    qid: 4,
+                    depth: 9,
+                    terminal: true,
+                },
+            ),
+        ]);
+        let outs = [
+            outcome(1, QueryStatus::Completed, vec![7]),
+            outcome(2, QueryStatus::Merged, vec![7]),
+            outcome(3, QueryStatus::CacheHit, vec![7]),
+            outcome(4, QueryStatus::Rejected, vec![]),
+        ];
+        assert_eq!(check(&t, &outs), Vec::new());
+    }
+
+    /// Law 8 violation twin: a terminally rejected query that executes
+    /// anyway (admission *and* issue) is flagged at both events.
+    #[test]
+    fn rejected_then_executed_is_flagged() {
+        let t = trace_with(vec![
+            proto(
+                0,
+                0,
+                ProtoEvent::QueryRejected {
+                    qid: 0,
+                    depth: 9,
+                    terminal: true,
+                },
+            ),
+            proto(1, 0, ProtoEvent::QueryAdmitted { qid: 0, depth: 1 }),
+            proto(
+                2,
+                0,
+                ProtoEvent::QueryIssued {
+                    qid: 0,
+                    attempt: 0,
+                    k: 1,
+                },
+            ),
+        ]);
+        let v = check(&t, &[]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.invariant == "admission-soundness"));
+        assert!(v[0].detail.contains("admitted after terminal rejection"));
+        assert!(v[1].detail.contains("issued after terminal rejection"));
+    }
+
+    /// A non-terminal rejection (defer + retry-after) is NOT an execution
+    /// bar: the query may be admitted later.
+    #[test]
+    fn deferred_then_admitted_is_legal() {
+        let t = trace_with(vec![
+            proto(
+                0,
+                0,
+                ProtoEvent::QueryRejected {
+                    qid: 0,
+                    depth: 9,
+                    terminal: false,
+                },
+            ),
+            proto(1, 0, ProtoEvent::QueryAdmitted { qid: 0, depth: 1 }),
+        ]);
+        assert_eq!(check(&t, &[]), Vec::new());
+    }
+
+    /// Law 8 violation twin: merged answers must come from candidates the
+    /// host heard; foreign ids are mis-attribution.
+    #[test]
+    fn merged_answer_not_heard_by_host_is_flagged() {
+        let t = trace_with(vec![
+            proto(
+                0,
+                0,
+                ProtoEvent::QueryIssued {
+                    qid: 1,
+                    attempt: 0,
+                    k: 1,
+                },
+            ),
+            proto(
+                1,
+                2,
+                ProtoEvent::CandidateHeard {
+                    qid: 1,
+                    attempt: 0,
+                    sector: 0,
+                    responder: NodeId(7),
+                    dist: 4.0,
+                    radius: 10.0,
+                },
+            ),
+            proto(2, 0, ProtoEvent::QueryMerged { qid: 2, host: 1 }),
+        ]);
+        // Node 9 was never heard by host q1.
+        let outs = [outcome(2, QueryStatus::Merged, vec![9])];
+        let v = check(&t, &outs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "admission-soundness");
+        assert!(v[0].detail.contains("never heard by host"));
+    }
+
+    /// Law 8 violation twin: serving statuses without their decision event
+    /// (and a rejection that was secretly executed) are flagged.
+    #[test]
+    fn serving_status_without_event_is_flagged() {
+        let t = trace_with(vec![proto(
+            0,
+            0,
+            ProtoEvent::QueryIssued {
+                qid: 2,
+                attempt: 0,
+                k: 1,
+            },
+        )]);
+        let outs = [
+            outcome(0, QueryStatus::Merged, vec![]),
+            outcome(1, QueryStatus::CacheHit, vec![]),
+            outcome(2, QueryStatus::Rejected, vec![]),
+        ];
+        let v = check(&t, &outs);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.invariant == "admission-soundness"));
+        assert!(v[0].detail.contains("without a QueryMerged event"));
+        assert!(v[1].detail.contains("without a CacheServed event"));
+        assert!(v[2].detail.contains("rejected but was executed"));
+    }
+
+    /// Law 8 violation twin: a cache hit served past its recorded TTL.
+    #[test]
+    fn cache_served_past_ttl_is_flagged() {
+        let t = trace_with(vec![proto(
+            0,
+            0,
+            ProtoEvent::CacheServed {
+                qid: 3,
+                src: 1,
+                age_s: 3.0,
+                ttl_s: 2.0,
+            },
+        )]);
+        let v = check(&t, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "admission-soundness");
+        assert!(v[0].detail.contains("past its"));
+    }
+
+    /// Law 8 violation twin: two QueryMerged events for one query.
+    #[test]
+    fn duplicate_merge_is_flagged() {
+        let t = trace_with(vec![
+            proto(0, 0, ProtoEvent::QueryMerged { qid: 2, host: 1 }),
+            proto(1, 0, ProtoEvent::QueryMerged { qid: 2, host: 5 }),
+        ]);
+        let outs = [outcome(2, QueryStatus::Merged, vec![])];
+        let v = check(&t, &outs);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "admission-soundness");
+        assert!(v[0].detail.contains("2 QueryMerged events"));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   four protocols (DIKNN, KPT+KNNB, Peer-tree, Flood) over a scenario.
 //! * [`fault_sweep`] — packaged fault-plan sweeps (node churn, bursty
 //!   links) for the robustness experiments.
+//! * [`admission`] — serving-layer experiments: DIKNN under sustained
+//!   [`QueryLoad`] arrivals with sink-side admission control, query merging
+//!   and result caching, summarised by [`ServingSummary`].
 //! * [`ParallelSweep`] — the sanctioned scoped-thread executor; seed
 //!   sweeps run across cores with bit-identical aggregates (see
 //!   [`parallel`] for the determinism argument).
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![deny(unused_must_use)]
 
+pub mod admission;
 pub mod fault_sweep;
 pub mod invariants;
 mod metrics;
@@ -49,6 +53,7 @@ mod runner;
 mod scenario;
 pub mod workload;
 
+pub use admission::{admission_experiment, ServingSummary};
 pub use fault_sweep::FaultCell;
 pub use invariants::{assert_clean, check, check_with, CheckOptions, Violation};
 pub use metrics::{status_index, Aggregate, QueryRecord, RunMetrics, Stat};

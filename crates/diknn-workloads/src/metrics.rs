@@ -51,10 +51,12 @@ pub struct RunMetrics {
     /// Receptions destroyed by collisions.
     pub collisions: u64,
     /// Queries per termination status: `[completed, partial-timeout,
-    /// token-lost, sink-unreachable, pending]` (see
-    /// [`diknn_core::QueryStatus`]). `pending` should be 0 after
+    /// token-lost, sink-unreachable, pending, rejected, merged, cache-hit]`
+    /// (see [`diknn_core::QueryStatus`]). `pending` should be 0 after
     /// [`diknn_core::KnnProtocol::finish`]; a nonzero count flags a bug.
-    pub status_counts: [usize; 5],
+    /// The last three are serving-layer outcomes and stay 0 with serving
+    /// disabled.
+    pub status_counts: [usize; 8],
     /// Itinerary tokens re-issued by the token-loss watchdog.
     pub tokens_reissued: u64,
     /// Whole-query retries launched by sinks after silent timeouts.
@@ -81,6 +83,9 @@ pub fn status_index(s: QueryStatus) -> usize {
         QueryStatus::TokenLost => 2,
         QueryStatus::SinkUnreachable => 3,
         QueryStatus::Pending => 4,
+        QueryStatus::Rejected => 5,
+        QueryStatus::Merged => 6,
+        QueryStatus::CacheHit => 7,
     }
 }
 
@@ -137,7 +142,7 @@ impl RunMetrics {
         let mut post_sum = 0.0;
         let mut radius_sum = 0.0;
         let mut explored_sum = 0.0;
-        let mut status_counts = [0usize; 5];
+        let mut status_counts = [0usize; 8];
         let mut latencies: Vec<f64> = Vec::with_capacity(queries);
         let mut per_query: Vec<QueryRecord> = Vec::with_capacity(queries);
         for o in outcomes {
@@ -195,10 +200,12 @@ impl RunMetrics {
         }
     }
 
-    /// Fraction of queries that ended with a degraded (non-completed)
-    /// status.
+    /// Fraction of queries that ended with a degraded status: anything from
+    /// partial-timeout through rejected. Merged and cache-hit queries are
+    /// *answered* (via a host itinerary or a fresh cached result), so they
+    /// do not count as degraded.
     pub fn degraded_rate(&self) -> f64 {
-        let degraded: usize = self.status_counts[1..].iter().sum();
+        let degraded: usize = self.status_counts[1..=5].iter().sum();
         degraded as f64 / self.queries.max(1) as f64
     }
 }
@@ -304,7 +311,7 @@ mod tests {
             explored: 42.0,
             tx_frames: 100,
             collisions: 5,
-            status_counts: [9, 1, 0, 0, 0],
+            status_counts: [9, 1, 0, 0, 0, 0, 0, 0],
             tokens_reissued: 0,
             query_retries: 0,
             nodes_failed: 0,
@@ -318,8 +325,34 @@ mod tests {
     #[test]
     fn degraded_rate_counts_non_completed() {
         let mut m = rm(1.0, 0.4);
-        m.status_counts = [6, 2, 1, 1, 0];
+        m.status_counts = [6, 2, 1, 1, 0, 0, 0, 0];
         assert!((m.degraded_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_rate_counts_rejected_but_not_merged_or_cached() {
+        let mut m = rm(1.0, 0.4);
+        // 5 completed, 2 rejected, 2 merged, 1 cache-hit: only the
+        // rejections are degraded — merged/cached queries were answered.
+        m.status_counts = [5, 0, 0, 0, 0, 2, 2, 1];
+        assert!((m.degraded_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn status_index_covers_all_statuses() {
+        use QueryStatus::*;
+        let all = [
+            Completed,
+            PartialTimeout,
+            TokenLost,
+            SinkUnreachable,
+            Pending,
+            Rejected,
+            Merged,
+            CacheHit,
+        ];
+        let idx: Vec<usize> = all.iter().map(|&s| status_index(s)).collect();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

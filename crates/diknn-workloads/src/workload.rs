@@ -4,7 +4,7 @@
 
 use crate::scenario::ScenarioConfig;
 use diknn_core::QueryRequest;
-use diknn_sim::NodeId;
+use diknn_sim::{ConfigError, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -100,9 +100,24 @@ impl Default for QueryLoad {
 }
 
 impl QueryLoad {
+    /// Reject nonsensical load knobs with a typed error (shared
+    /// [`ConfigError`] vocabulary): the arrival rate must be positive —
+    /// zero, negative and NaN rates all describe a workload that cannot
+    /// arrive.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rate_qps <= 0.0 || self.rate_qps.is_nan() {
+            return Err(ConfigError::NonPositiveQueryRate(self.rate_qps));
+        }
+        assert!(self.rate_qps.is_finite(), "arrival rate must be finite");
+        assert!(self.k >= 1, "k must be positive");
+        Ok(())
+    }
+
     /// The equivalent [`WorkloadConfig`] (mean interval = 1/λ).
     pub fn workload(&self) -> WorkloadConfig {
-        assert!(self.rate_qps > 0.0, "arrival rate must be positive");
+        if let Err(e) = self.validate() {
+            panic!("query load: {e}");
+        }
         WorkloadConfig {
             k: self.k,
             mean_interval: 1.0 / self.rate_qps,
@@ -173,6 +188,31 @@ mod tests {
     }
 
     #[test]
+    fn query_load_rejects_non_positive_rates() {
+        for rate in [0.0, -2.5, f64::NAN] {
+            let load = QueryLoad {
+                rate_qps: rate,
+                ..QueryLoad::default()
+            };
+            assert!(
+                matches!(load.validate(), Err(ConfigError::NonPositiveQueryRate(_))),
+                "rate {rate} must be rejected"
+            );
+        }
+        assert_eq!(QueryLoad::default().validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "query load")]
+    fn query_load_workload_surfaces_typed_error() {
+        QueryLoad {
+            rate_qps: -1.0,
+            ..QueryLoad::default()
+        }
+        .workload();
+    }
+
+    #[test]
     fn query_load_matches_equivalent_workload_and_caps() {
         let sc = ScenarioConfig::default();
         let load = QueryLoad {
@@ -189,5 +229,48 @@ mod tests {
         .generate(&sc, 5);
         assert_eq!(capped.len(), 3.min(via_load.len()));
         assert_eq!(&via_load[..capped.len()], &capped[..]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Truncation stability: capping a load is a pure prefix
+            /// operation — the capped stream equals the first `cap` entries
+            /// of the uncapped stream (same times, sinks, points, k), and
+            /// arrivals stay strictly monotone. Load sweeps rely on this to
+            /// compare capped and uncapped runs of the same seed.
+            #[test]
+            fn query_load_truncation_is_prefix_stable(
+                rate in 0.05..30.0f64,
+                cap in 0usize..40,
+                seed in 0u64..10_000,
+            ) {
+                let sc = ScenarioConfig::default();
+                let load = QueryLoad {
+                    rate_qps: rate,
+                    ..QueryLoad::default()
+                };
+                let full = load.generate(&sc, seed);
+                for w in full.windows(2) {
+                    prop_assert!(
+                        w[0].at < w[1].at,
+                        "arrivals must be strictly monotone: {} then {}",
+                        w[0].at,
+                        w[1].at
+                    );
+                }
+                let capped = QueryLoad {
+                    max_queries: Some(cap),
+                    ..load
+                }
+                .generate(&sc, seed);
+                prop_assert_eq!(capped.len(), cap.min(full.len()));
+                prop_assert_eq!(&full[..capped.len()], &capped[..]);
+            }
+        }
     }
 }

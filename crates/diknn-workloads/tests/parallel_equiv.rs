@@ -5,10 +5,11 @@
 //! `PartialEq` (every mean/min/max/stddev field), so any reordering or
 //! seed drift in the parallel path shows up immediately.
 
-use diknn_core::DiknnConfig;
+use diknn_core::{DiknnConfig, QueryStatus, ServingConfig};
 use diknn_sim::{NeighborIndex, SimConfig};
 use diknn_workloads::{
-    fault_sweep, Experiment, ParallelSweep, ProtocolKind, QueryLoad, ScenarioConfig, WorkloadConfig,
+    admission_experiment, fault_sweep, Experiment, ParallelSweep, ProtocolKind, QueryLoad,
+    ScenarioConfig, ServingSummary, WorkloadConfig,
 };
 
 fn pinned_experiment() -> Experiment {
@@ -93,6 +94,62 @@ fn multi_query_parallel_aggregate_is_bit_identical_to_sequential() {
         assert_eq!(
             parallel, sequential,
             "{threads}-thread multi-query sweep diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn overload_with_serving_classifies_every_query_and_stays_bit_identical() {
+    // Pinned deep-overload regime: 25 q/s — the rate where the unprotected
+    // engine collapses (post-accuracy ~0.02 in BENCH_query_load). With the
+    // full serving layer on, every single query must still end in exactly
+    // one terminal classification (completed / degraded / rejected /
+    // merged / cache-hit, zero Pending), the admission-soundness law must
+    // hold (checked inside run_once), and the parallel sweep must remain
+    // bit-identical to the sequential loop.
+    let load = QueryLoad {
+        rate_qps: 25.0,
+        k: 10,
+        first_at: 2.0,
+        last_at: 10.0,
+        ..QueryLoad::default()
+    };
+    let exp = admission_experiment(120, 25.0, 2.0, &load, ServingConfig::enabled());
+    let runs: Vec<_> = (0..3)
+        .map(|i| exp.run_once(Experiment::sweep_seed(42, i)))
+        .collect();
+    let summary = ServingSummary::from_runs(&runs);
+    assert!(
+        summary.queries >= 100,
+        "overload regime too small: {summary:?}"
+    );
+    assert!(
+        summary.all_terminal(),
+        "every query must be classified: {summary:?}"
+    );
+    assert_eq!(summary.pending, 0, "{summary:?}");
+    for m in &runs {
+        for q in &m.per_query {
+            assert_ne!(
+                q.status,
+                QueryStatus::Pending,
+                "q{} unclassified after finish",
+                q.qid
+            );
+        }
+    }
+    // The serving layer must actually engage at this rate.
+    assert!(
+        summary.rejected + summary.merged + summary.cache_hits > 0,
+        "25 q/s must exercise shedding/coalescing: {summary:?}"
+    );
+    // Bit-identity under the parallel sweep, per-query rows included.
+    let sequential = exp.run(3, 42);
+    for threads in [2, 4] {
+        let parallel = exp.run_parallel(3, 42, &ParallelSweep::new(threads));
+        assert_eq!(
+            parallel, sequential,
+            "{threads}-thread serving sweep diverged from sequential"
         );
     }
 }
