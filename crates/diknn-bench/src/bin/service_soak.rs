@@ -1,0 +1,268 @@
+//! `service_soak` — the resident service mode under churn, with a
+//! snapshot/restore equivalence check.
+//!
+//! One long-lived simulator is driven in epochs by streaming arrivals
+//! (`RateSchedule`) over a churning population, twice:
+//!
+//! * **reference** — straight to the horizon, and
+//! * **interrupted** — to the midpoint, then snapshot → drop → restore →
+//!   on to the horizon.
+//!
+//! Three hard checks decide the exit code (CI's soak-smoke job relies on
+//! them):
+//!
+//! 1. the interrupted run's flight-recorder trace is *bit-identical* to
+//!    the reference run's (the restore-equivalence law),
+//! 2. every issued query reaches a terminal classification and the run
+//!    passes the full invariant law set (laws 1–9),
+//! 3. the rolling metrics stay finite at every sampled epoch.
+//!
+//! Output: a human log on stdout and in `results/service_soak.txt`, the
+//! final metrics in scrape-friendly line format in
+//! `results/service_soak_metrics.prom`, and machine-readable
+//! `results/BENCH_service_soak.json`.
+//!
+//! Knobs:
+//!
+//! * `DIKNN_SEED`       — run seed (default 1000)
+//! * `DIKNN_DURATION`   — simulated seconds (default 300)
+//! * `DIKNN_SVC_NODES`  — node count (default 150)
+//! * `DIKNN_SVC_RATE`   — arrival rate in queries/sec (default 0.5)
+//! * `DIKNN_SVC_EPOCH`  — epoch length in seconds (default 5)
+//! * `DIKNN_SVC_SPEED`  — max node speed in m/s (default 5)
+//! * `DIKNN_SVC_CHURN`  — churning population fraction (default 0.2)
+//! * `DIKNN_SVC_K`      — neighbour count k (default 10)
+
+// Wall-clock timing never feeds back into simulation state, so the
+// determinism ban is lifted here (the xtask pass is exempted per call site
+// with `// lint: wall-clock-ok`).
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant; // lint: wall-clock-ok (host-side benchmark timing)
+
+use diknn_bench::base_seed;
+use diknn_core::{KnnProtocol, QueryStatus, ServingConfig};
+use diknn_sim::FaultPlan;
+use diknn_workloads::{invariants, RateSchedule, ScenarioConfig, ServiceConfig, ServiceRun};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn service_cfg(
+    nodes: usize,
+    duration: f64,
+    rate: f64,
+    epoch_s: f64,
+    speed: f64,
+    churn: f64,
+    k: usize,
+) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(
+        ScenarioConfig {
+            nodes,
+            max_speed: speed,
+            duration,
+            ..ScenarioConfig::default()
+        },
+        RateSchedule::constant(rate),
+    );
+    cfg.k = k;
+    cfg.epoch_s = epoch_s;
+    cfg.diknn.serving = ServingConfig::enabled();
+    if churn > 0.0 {
+        cfg.faults = FaultPlan::churning(churn, 60.0, 20.0, 5.0, (duration - 20.0).max(5.0));
+    }
+    cfg
+}
+
+fn metrics_finite(m: &diknn_workloads::ServiceMetrics) -> bool {
+    m.sim_time_s.is_finite()
+        && m.completion_rate.is_finite()
+        && m.latency_p50_s.is_finite()
+        && m.latency_p95_s.is_finite()
+        && m.joules_per_query.is_finite()
+}
+
+fn main() {
+    let seed = base_seed();
+    let duration = env_f64("DIKNN_DURATION", 300.0).max(20.0);
+    let nodes = env_usize("DIKNN_SVC_NODES", 150).max(10);
+    let rate = env_f64("DIKNN_SVC_RATE", 0.5).max(0.01);
+    let epoch_s = env_f64("DIKNN_SVC_EPOCH", 5.0).max(0.5);
+    let speed = env_f64("DIKNN_SVC_SPEED", 5.0).max(0.0);
+    let churn = env_f64("DIKNN_SVC_CHURN", 0.2).clamp(0.0, 1.0);
+    let k = env_usize("DIKNN_SVC_K", 10).max(1);
+    let epochs = (duration / epoch_s).floor() as u64;
+    let cut = epochs / 2;
+
+    let mut out = String::new();
+    let mut line = |s: String| {
+        println!("{s}");
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!(
+        "service_soak: resident DIKNN service, {nodes} nodes, {rate} q/s, \
+         churn {churn}, {epochs} epochs x {epoch_s}s"
+    ));
+    line(format!(
+        "seed={seed} duration={duration}s speed={speed} k={k} snapshot_at_epoch={cut}"
+    ));
+
+    let cfg = service_cfg(nodes, duration, rate, epoch_s, speed, churn, k);
+
+    // Reference: uninterrupted run, sampling metrics every 10 epochs.
+    let t0 = Instant::now(); // lint: wall-clock-ok
+    let mut reference = ServiceRun::new(cfg.clone(), seed);
+    let mut metrics_ok = true;
+    let mut done = 0;
+    while done < epochs {
+        let n = 10.min(epochs - done);
+        reference.run_epochs(n);
+        done += n;
+        let m = reference.metrics();
+        if !metrics_finite(&m) {
+            metrics_ok = false;
+            line(format!("NON-FINITE metrics at epoch {done}: {m:?}"));
+        }
+    }
+    let reference_wall = t0.elapsed().as_secs_f64();
+    let reference_fp = reference.trace_fingerprint();
+    let final_metrics = reference.metrics();
+    line(format!(
+        "reference: {} injected, {} issued, completion {:.3}, p50 {:.3}s, \
+         p95 {:.3}s, {:.4} J/query, wall {:.1}s",
+        final_metrics.injected,
+        final_metrics.issued,
+        final_metrics.completion_rate,
+        final_metrics.latency_p50_s,
+        final_metrics.latency_p95_s,
+        final_metrics.joules_per_query,
+        reference_wall,
+    ));
+
+    // Interrupted twin: run to the midpoint, serialize, drop, restore,
+    // run to the horizon.
+    let t1 = Instant::now(); // lint: wall-clock-ok
+    let mut head = ServiceRun::new(cfg.clone(), seed);
+    head.run_epochs(cut);
+    let snapshot = head.snapshot();
+    let snap_bytes = snapshot.len();
+    drop(head);
+    let mut restored = match ServiceRun::restore(&snapshot, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: snapshot did not restore: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    restored.run_epochs(epochs - cut);
+    let interrupted_wall = t1.elapsed().as_secs_f64();
+    let restored_fp = restored.trace_fingerprint();
+    let equivalent = restored_fp == reference_fp && restored.metrics() == final_metrics;
+    line(format!(
+        "interrupted: snapshot {snap_bytes} B at epoch {cut}, trace fp \
+         {restored_fp:016x} vs {reference_fp:016x}, equivalent={equivalent}, \
+         wall {interrupted_wall:.1}s"
+    ));
+
+    // Tear down the reference run and check the law set + accounting.
+    let prom = reference.metrics_export();
+    let (protocol, ctx) = reference.finish();
+    let violations = invariants::check(ctx.trace(), protocol.outcomes());
+    for v in &violations {
+        line(format!("VIOLATION: {v}"));
+    }
+    let non_terminal = protocol
+        .outcomes()
+        .iter()
+        .filter(|o| o.status == QueryStatus::Pending)
+        .count();
+    let all_terminal = non_terminal == 0;
+    line(format!(
+        "laws: {} violations; terminal: {} of {} outcomes",
+        violations.len(),
+        protocol.outcomes().len() - non_terminal,
+        protocol.outcomes().len(),
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"service_soak\",\n  \"schema_version\": 1,\n  \
+         \"config\": {{\"seed\": {seed}, \"duration_s\": {duration:.1}, \
+         \"nodes\": {nodes}, \"rate_qps\": {rate}, \"epoch_s\": {epoch_s}, \
+         \"max_speed\": {speed}, \"churn_fraction\": {churn}, \"k\": {k}, \
+         \"epochs\": {epochs}, \"snapshot_epoch\": {cut}}},\n  \
+         \"metrics\": {{\"injected\": {}, \"issued\": {}, \"never_issued\": {}, \
+         \"terminal\": {}, \"completion_rate\": {:.4}, \"latency_p50_s\": {:.6}, \
+         \"latency_p95_s\": {:.6}, \"joules_per_query\": {:.6}, \
+         \"nodes_alive\": {}}},\n  \
+         \"checks\": {{\"snapshot_bytes\": {snap_bytes}, \
+         \"restore_equivalent\": {equivalent}, \"all_terminal\": {all_terminal}, \
+         \"metrics_finite\": {metrics_ok}, \"invariant_violations\": {}}},\n  \
+         \"wall\": {{\"reference_s\": {reference_wall:.3}, \
+         \"interrupted_s\": {interrupted_wall:.3}}}\n}}\n",
+        final_metrics.injected,
+        final_metrics.issued,
+        final_metrics.never_issued,
+        final_metrics.terminal,
+        final_metrics.completion_rate,
+        final_metrics.latency_p50_s,
+        final_metrics.latency_p95_s,
+        final_metrics.joules_per_query,
+        final_metrics.nodes_alive,
+        violations.len(),
+    );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("warning: could not create results/: {e}");
+    }
+    for (path, contents) in [
+        ("results/BENCH_service_soak.json", &json),
+        ("results/service_soak.txt", &out),
+        ("results/service_soak_metrics.prom", &prom),
+    ] {
+        match std::fs::write(path, contents) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut failed = false;
+    if !equivalent {
+        eprintln!("FAIL: restored run diverged from the uninterrupted reference");
+        failed = true;
+    }
+    if !all_terminal {
+        eprintln!("FAIL: {non_terminal} queries never reached a terminal classification");
+        failed = true;
+    }
+    if !violations.is_empty() {
+        eprintln!("FAIL: {} invariant violations", violations.len());
+        failed = true;
+    }
+    if !metrics_ok {
+        eprintln!("FAIL: rolling metrics went non-finite");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "OK: restore bit-identical over {epochs} epochs, {} queries all \
+         classified, laws clean",
+        final_metrics.issued
+    );
+}

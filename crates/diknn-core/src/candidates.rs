@@ -22,6 +22,9 @@ pub struct CandidateSet {
     items: Vec<Candidate>,
 }
 
+diknn_snap::snap_struct!(Candidate { id, position, dist });
+diknn_snap::snap_struct!(CandidateSet { k, items });
+
 impl CandidateSet {
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");

@@ -43,6 +43,14 @@ pub struct ItinerarySpec {
     pub origin: f64,
 }
 
+diknn_snap::snap_struct!(ItinerarySpec {
+    q,
+    radius,
+    sectors,
+    width,
+    origin
+});
+
 impl ItinerarySpec {
     pub fn new(q: Point, radius: f64, sectors: usize, width: f64) -> Self {
         assert!(sectors >= 1, "need at least one sector");

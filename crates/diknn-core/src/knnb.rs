@@ -22,6 +22,8 @@ pub struct HopRecord {
     pub enc: u32,
 }
 
+diknn_snap::snap_struct!(HopRecord { loc, enc });
+
 /// Result of boundary estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Boundary {

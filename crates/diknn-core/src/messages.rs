@@ -126,6 +126,64 @@ pub enum DiknnMsg {
     Result(ResultMsg),
 }
 
+diknn_snap::snap_struct!(QuerySpec {
+    qid,
+    sink,
+    sink_pos,
+    q,
+    k,
+    issued_at,
+    attempt
+});
+diknn_snap::snap_struct!(QueryMsg { spec, gpsr, list });
+diknn_snap::snap_struct!(ProbeMsg {
+    qid,
+    sector,
+    attempt,
+    qnode,
+    qnode_pos,
+    q,
+    radius,
+    ref_angle,
+    window,
+    counts
+});
+diknn_snap::snap_struct!(ReplyMsg {
+    qid,
+    sector,
+    responder,
+    position,
+    speed,
+    cached_counts
+});
+diknn_snap::snap_struct!(PollMsg {
+    qid,
+    sector,
+    attempt,
+    qnode,
+    q,
+    radius
+});
+diknn_snap::snap_struct!(RendezvousMsg { qid, counts });
+diknn_snap::snap_struct!(ResultMsg {
+    spec,
+    sector,
+    gpsr,
+    candidates,
+    explored,
+    final_radius,
+    itinerary_hops
+});
+diknn_snap::snap_enum!(DiknnMsg {
+    0 => Query(m),
+    1 => Token(t),
+    2 => Probe(m),
+    3 => Reply(m),
+    4 => Poll(m),
+    5 => Rendezvous(m),
+    6 => Result(m),
+});
+
 impl DiknnMsg {
     /// The query this frame belongs to. Every DIKNN frame is query-scoped,
     /// so this is total; the engine uses it as the flow label for

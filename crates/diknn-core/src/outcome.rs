@@ -18,6 +18,8 @@ pub struct QueryRequest {
     pub k: usize,
 }
 
+diknn_snap::snap_struct!(QueryRequest { at, sink, q, k });
+
 /// How a query terminated — the structured degradation reason consumed by
 /// the fault-sweep harness. Every query ends in exactly one non-`Pending`
 /// state once [`KnnProtocol::finish`] has run.
@@ -48,6 +50,17 @@ pub enum QueryStatus {
     /// mobility-drift bound.
     CacheHit,
 }
+
+diknn_snap::snap_enum!(QueryStatus {
+    0 => Pending,
+    1 => Completed,
+    2 => PartialTimeout,
+    3 => TokenLost,
+    4 => SinkUnreachable,
+    5 => Rejected,
+    6 => Merged,
+    7 => CacheHit,
+});
 
 impl QueryStatus {
     /// Short stable label for tables and CSV output.
@@ -94,6 +107,23 @@ pub struct QueryOutcome {
     /// Structured termination reason (see [`QueryStatus`]).
     pub status: QueryStatus,
 }
+
+diknn_snap::snap_struct!(QueryOutcome {
+    qid,
+    sink,
+    q,
+    k,
+    issued_at,
+    completed_at,
+    answer,
+    boundary_radius,
+    final_radius,
+    routing_hops,
+    parts_expected,
+    parts_returned,
+    explored_nodes,
+    status
+});
 
 impl QueryOutcome {
     /// Latency in seconds, if the query completed.

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use diknn_geom::{angle, Point, Polyline};
 use diknn_routing::{plan_next_hop, GpsrHeader, RouteStep};
 use diknn_sim::{Ctx, LoadSignal, NodeId, ProtoEvent, Protocol, SimDuration, SimTime, TimerId};
+use diknn_snap::Snap;
 use rand::Rng;
 
 use crate::candidates::{Candidate, CandidateSet};
@@ -92,11 +93,22 @@ struct Collecting {
     bootstrap_speeds: Vec<f64>,
 }
 
+diknn_snap::snap_struct!(Collecting {
+    node,
+    token,
+    heard,
+    polled,
+    bootstrap_replies,
+    bootstrap_speeds
+});
+
 /// A reply a D-node has scheduled but not yet sent.
 struct PendingReply {
     to: NodeId,
     sector: u8,
 }
+
+diknn_snap::snap_struct!(PendingReply { to, sector });
 
 /// The token-loss watchdog a Q-node arms after handing a token off: it
 /// keeps a copy of the token and, unless the sector makes durable progress
@@ -117,6 +129,14 @@ struct Watchdog {
     timer: TimerId,
 }
 
+diknn_snap::snap_struct!(Watchdog {
+    holder,
+    sent_to,
+    token,
+    finished,
+    timer
+});
+
 /// A completed query's result retained for short-TTL cache serving.
 struct CacheEntry {
     src_qid: u32,
@@ -127,6 +147,14 @@ struct CacheEntry {
     /// reported back then — a later hit re-ranks these against its own `q`.
     candidates: Vec<Candidate>,
 }
+
+diknn_snap::snap_struct!(CacheEntry {
+    src_qid,
+    q,
+    k,
+    completed_at,
+    candidates
+});
 
 /// Sink-side serving-layer state (admission / merge / cache), touched only
 /// when [`crate::ServingConfig::enabled`] — with serving off the protocol is
@@ -146,6 +174,15 @@ struct ServingState {
     cache: Vec<CacheEntry>,
 }
 
+diknn_snap::snap_struct!(ServingState {
+    load,
+    active,
+    members,
+    host_of,
+    defers,
+    cache
+});
+
 struct SinkState {
     expected: u32,
     merged: CandidateSet,
@@ -160,6 +197,18 @@ struct SinkState {
     /// watchdog re-issues can deliver a sector result twice.
     counted: BTreeSet<(u8, u8)>,
 }
+
+diknn_snap::snap_struct!(SinkState {
+    expected,
+    merged,
+    returned,
+    explored,
+    max_final_radius,
+    last_merge_at,
+    done,
+    attempt,
+    counted
+});
 
 /// The DIKNN protocol instance (drives all nodes of a run).
 pub struct Diknn {
@@ -210,6 +259,16 @@ pub struct TokenHop {
     pub radius: f64,
 }
 
+diknn_snap::snap_struct!(TokenHop {
+    qid,
+    sector,
+    hop,
+    from,
+    to,
+    frontier,
+    radius
+});
+
 impl Diknn {
     pub fn new(cfg: DiknnConfig, requests: Vec<QueryRequest>) -> Self {
         cfg.validate();
@@ -245,6 +304,28 @@ impl Diknn {
 
     pub fn config(&self) -> &DiknnConfig {
         &self.cfg
+    }
+
+    /// Stream additional requests into a running protocol (the resident
+    /// service mode's epoch feed). Each request gets its issue timer at the
+    /// sink exactly as `on_start` would have armed it; requests whose issue
+    /// time has already passed fire immediately. The simulator must have
+    /// been started (`Simulator::start` / `run_until`) first.
+    pub fn inject_requests(&mut self, ctx: &mut Ctx<DiknnMsg>, reqs: &[QueryRequest]) {
+        let now_s = ctx.now().as_secs_f64();
+        for req in reqs {
+            assert!(
+                req.sink.index() < ctx.node_count(),
+                "request sink out of range"
+            );
+            let idx = self.requests.len();
+            self.requests.push(*req);
+            ctx.set_timer(
+                req.sink,
+                SimDuration::from_secs_f64((req.at - now_s).max(0.0)),
+                key(K_ISSUE, 0, idx as u32),
+            );
+        }
     }
 
     fn width(&self) -> f64 {
@@ -1771,6 +1852,61 @@ impl KnnProtocol for Diknn {
     }
 }
 
+/// Snapshot/restore of every mutable protocol field, in declaration order.
+/// `cfg` is deliberately excluded: the restoring caller re-supplies the
+/// configuration and the engine-level fingerprint guards against mixups.
+/// Any change to this field list requires a [`diknn_sim::SNAP_VERSION`]
+/// bump.
+impl diknn_snap::SnapState for Diknn {
+    fn snap_state(&self, w: &mut diknn_snap::SnapWriter) {
+        self.requests.snap(w);
+        self.outcomes.snap(w);
+        self.sinks.snap(w);
+        self.collecting.snap(w);
+        self.pending_replies.snap(w);
+        self.responded.snap(w);
+        self.rdv_cache.snap(w);
+        self.token_excludes.snap(w);
+        self.query_excludes.snap(w);
+        self.result_excludes.snap(w);
+        self.watchdogs.snap(w);
+        self.token_epochs.snap(w);
+        self.serving.snap(w);
+        self.radio_range.snap(w);
+        for v in &self.tx_by_kind {
+            w.put_u64(*v);
+        }
+        self.token_trace.snap(w);
+        self.route_trace.snap(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut diknn_snap::SnapReader<'_>,
+    ) -> Result<(), diknn_snap::SnapError> {
+        self.requests = Snap::unsnap(r)?;
+        self.outcomes = Snap::unsnap(r)?;
+        self.sinks = Snap::unsnap(r)?;
+        self.collecting = Snap::unsnap(r)?;
+        self.pending_replies = Snap::unsnap(r)?;
+        self.responded = Snap::unsnap(r)?;
+        self.rdv_cache = Snap::unsnap(r)?;
+        self.token_excludes = Snap::unsnap(r)?;
+        self.query_excludes = Snap::unsnap(r)?;
+        self.result_excludes = Snap::unsnap(r)?;
+        self.watchdogs = Snap::unsnap(r)?;
+        self.token_epochs = Snap::unsnap(r)?;
+        self.serving = Snap::unsnap(r)?;
+        self.radio_range = Snap::unsnap(r)?;
+        for v in &mut self.tx_by_kind {
+            *v = r.take_u64()?;
+        }
+        self.token_trace = Snap::unsnap(r)?;
+        self.route_trace = Snap::unsnap(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1799,6 +1935,225 @@ mod tests {
         assert!(
             diknn_geom::angle::diff(a, b) > 0.5,
             "retry must take a different itinerary"
+        );
+    }
+
+    // ---------- serving-layer edge cases ------------------------------
+    //
+    // These drive `serve_query` directly through `Simulator::drive`,
+    // fabricating protocol state to pin the exact boundary behaviour that
+    // end-to-end runs cannot time precisely (integer-ns ages, hosts that
+    // never finalise).
+
+    use crate::config::ServingConfig;
+    use diknn_mobility::StaticMobility;
+    use diknn_sim::{SharedMobility, SimConfig, Simulator};
+    use std::sync::Arc;
+
+    fn pending_outcome(qid: u32, sink: NodeId, q: Point, k: usize, at: SimTime) -> QueryOutcome {
+        QueryOutcome {
+            qid,
+            sink,
+            q,
+            k,
+            issued_at: at,
+            completed_at: None,
+            answer: Vec::new(),
+            boundary_radius: 0.0,
+            final_radius: 0.0,
+            routing_hops: 0,
+            parts_expected: 0,
+            parts_returned: 0,
+            explored_nodes: 0,
+            status: QueryStatus::Pending,
+        }
+    }
+
+    /// A 3-node static simulator advanced to t = 10 s, so `ctx.now()` is a
+    /// realistic mid-run instant when the closures below fabricate state.
+    fn tiny_serving_sim(serving: ServingConfig) -> Simulator<Diknn> {
+        let cfg = DiknnConfig {
+            serving,
+            ..DiknnConfig::default()
+        };
+        let plans: Vec<SharedMobility> = (0..3)
+            .map(|i| {
+                Arc::new(StaticMobility::new(Point::new(
+                    20.0 + 30.0 * i as f64,
+                    50.0,
+                ))) as SharedMobility
+            })
+            .collect();
+        let sim_cfg = SimConfig {
+            field: diknn_geom::Rect::new(0.0, 0.0, 100.0, 100.0),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(sim_cfg, plans, Diknn::new(cfg, Vec::new()), 9);
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        sim
+    }
+
+    #[test]
+    fn cache_hit_at_exact_ttl_expiry() {
+        let serving = ServingConfig {
+            drift_rate_mps: 0.0, // age bound is exactly the TTL
+            cache_ttl_s: 2.0,
+            ..ServingConfig::enabled()
+        };
+        let mut sim = tiny_serving_sim(serving);
+        sim.drive(|p, ctx| {
+            let now = ctx.now();
+            // Entry whose age is exactly the TTL, to the nanosecond.
+            let born = SimTime::from_nanos(now.as_nanos() - 2_000_000_000);
+            p.serving.cache.push(CacheEntry {
+                src_qid: 7,
+                q: Point::new(50.0, 50.0),
+                k: 8,
+                completed_at: born,
+                candidates: vec![
+                    Candidate {
+                        id: NodeId(1),
+                        position: Point::new(50.0, 50.0),
+                        dist: 0.0,
+                    },
+                    Candidate {
+                        id: NodeId(2),
+                        position: Point::new(80.0, 50.0),
+                        dist: 30.0,
+                    },
+                ],
+            });
+            p.outcomes.push(pending_outcome(
+                0,
+                NodeId(0),
+                Point::new(52.0, 50.0),
+                2,
+                now,
+            ));
+            p.serve_query(ctx, 0);
+            assert_eq!(
+                p.outcomes[0].status,
+                QueryStatus::CacheHit,
+                "an entry exactly at TTL age must still serve (inclusive bound)"
+            );
+            assert_eq!(p.outcomes[0].answer, vec![NodeId(1), NodeId(2)]);
+            assert_eq!(p.outcomes[0].completed_at, Some(now));
+        });
+    }
+
+    #[test]
+    fn cache_entry_one_nanosecond_past_ttl_is_stale() {
+        let serving = ServingConfig {
+            drift_rate_mps: 0.0,
+            cache_ttl_s: 2.0,
+            ..ServingConfig::enabled()
+        };
+        let mut sim = tiny_serving_sim(serving);
+        sim.drive(|p, ctx| {
+            let now = ctx.now();
+            let born = SimTime::from_nanos(now.as_nanos() - 2_000_000_001);
+            p.serving.cache.push(CacheEntry {
+                src_qid: 7,
+                q: Point::new(50.0, 50.0),
+                k: 8,
+                completed_at: born,
+                candidates: vec![Candidate {
+                    id: NodeId(1),
+                    position: Point::new(50.0, 50.0),
+                    dist: 0.0,
+                }],
+            });
+            p.outcomes.push(pending_outcome(
+                0,
+                NodeId(0),
+                Point::new(52.0, 50.0),
+                2,
+                now,
+            ));
+            p.serve_query(ctx, 0);
+            assert_ne!(
+                p.outcomes[0].status,
+                QueryStatus::CacheHit,
+                "an entry 1 ns past the TTL must not serve"
+            );
+            assert!(
+                p.serving.cache.is_empty(),
+                "the stale entry must have been evicted by the retain pass"
+            );
+            // The miss falls through to admission and launches for real.
+            assert!(p.serving.active.contains(&0));
+        });
+    }
+
+    #[test]
+    fn merge_member_attributed_when_host_never_finalises() {
+        let serving = ServingConfig {
+            merge_radius_m: 30.0,
+            ..ServingConfig::enabled()
+        };
+        let mut sim = tiny_serving_sim(serving);
+        let host_q = Point::new(50.0, 50.0);
+        sim.drive(|p, ctx| {
+            let now = ctx.now();
+            // An in-flight host with a partially filled merged pool.
+            p.outcomes
+                .push(pending_outcome(0, NodeId(0), host_q, 4, now));
+            p.serving.active.insert(0);
+            let mut merged = CandidateSet::new(4);
+            for (id, x) in [(1u32, 40.0), (2, 60.0), (3, 90.0)] {
+                merged.insert(Candidate {
+                    id: NodeId(id),
+                    position: Point::new(x, 50.0),
+                    dist: host_q.dist(Point::new(x, 50.0)),
+                });
+            }
+            p.sinks.insert(
+                0,
+                SinkState {
+                    expected: 4,
+                    merged,
+                    returned: 1,
+                    explored: 3,
+                    max_final_radius: 30.0,
+                    last_merge_at: now,
+                    done: false,
+                    attempt: 0,
+                    counted: BTreeSet::new(),
+                },
+            );
+            // A nearby arrival merges onto it instead of launching.
+            p.outcomes.push(pending_outcome(
+                1,
+                NodeId(1),
+                Point::new(60.0, 50.0),
+                2,
+                now,
+            ));
+            p.serve_query(ctx, 1);
+            assert_eq!(
+                p.serving.host_of.get(&1),
+                Some(&0),
+                "member must attach to the in-flight host"
+            );
+            assert_eq!(p.outcomes[1].status, QueryStatus::Pending);
+        });
+        // The run ends with the host still in flight: `finish` must settle
+        // the orphaned member from whatever the host's sink merged so far,
+        // re-ranked for the member's own query point.
+        let (mut protocol, ctx) = sim.into_parts();
+        protocol.finish(&ctx);
+        let member = &protocol.outcomes()[1];
+        assert_eq!(member.status, QueryStatus::Merged);
+        assert_eq!(
+            member.answer,
+            vec![NodeId(2), NodeId(1)],
+            "answer must be ranked around the member's point, not the host's"
+        );
+        let host = &protocol.outcomes()[0];
+        assert_eq!(
+            host.status,
+            QueryStatus::TokenLost,
+            "the host itself keeps its own (failed) classification"
         );
     }
 }

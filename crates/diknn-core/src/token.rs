@@ -57,6 +57,26 @@ pub struct SectorToken {
     pub reissues: u32,
 }
 
+diknn_snap::snap_struct!(SectorToken {
+    spec,
+    sector,
+    itin,
+    initial_radius,
+    frontier,
+    candidates,
+    explored,
+    max_speed,
+    started_at,
+    sector_counts,
+    assured,
+    explored_at_extend,
+    last_rendezvous,
+    hops,
+    detour,
+    epoch,
+    reissues
+});
+
 /// Why a boundary extension was granted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExtendReason {

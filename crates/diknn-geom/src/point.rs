@@ -14,6 +14,9 @@ pub struct Vec2 {
     pub y: f64,
 }
 
+diknn_snap::snap_struct!(Point { x, y });
+diknn_snap::snap_struct!(Vec2 { x, y });
+
 impl Point {
     pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
 

@@ -12,6 +12,13 @@ pub struct Rect {
     pub max_y: f64,
 }
 
+diknn_snap::snap_struct!(Rect {
+    min_x,
+    min_y,
+    max_x,
+    max_y
+});
+
 impl Rect {
     /// Construct from corner coordinates. Coordinates are reordered so the
     /// result is always a valid (possibly degenerate) rectangle.

@@ -110,6 +110,18 @@ pub struct GpsrHeader {
     pub best_dist: f64,
 }
 
+diknn_snap::snap_enum!(GpsrMode {
+    0 => Greedy,
+    1 => Perimeter { entry_dist, first_edge },
+});
+diknn_snap::snap_struct!(GpsrHeader {
+    dest,
+    mode,
+    hops,
+    ttl,
+    best_dist
+});
+
 impl GpsrHeader {
     /// A fresh greedy header toward `dest` with the default TTL.
     pub fn new(dest: Point) -> Self {

@@ -27,6 +27,13 @@ pub struct EnergyMeter {
     pub rx_beacon_j: f64,
 }
 
+diknn_snap::snap_struct!(EnergyMeter {
+    tx_protocol_j,
+    rx_protocol_j,
+    tx_beacon_j,
+    rx_beacon_j
+});
+
 impl EnergyMeter {
     /// Charge transmit energy; returns the joules charged so callers can
     /// attribute the same amount elsewhere (per-query ledgers) without

@@ -24,15 +24,26 @@ use diknn_mobility::Mobility;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use diknn_snap::{Snap, SnapError, SnapReader, SnapState, SnapWriter};
+
 use crate::config::{MacMode, NeighborIndex, SimConfig};
 use crate::energy::{EnergyMeter, TrafficClass};
 use crate::faults::LinkLossModel;
 use crate::grid::SpatialGrid;
 use crate::ids::{NodeId, TimerId, TxId};
+use crate::lifecycle::NodePhase;
 use crate::neighbors::{Neighbor, NeighborTable};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, EventTrace, ProtoEvent, TraceKind};
+
+/// Snapshot format version of the simulator's mutable state (see
+/// [`Simulator::snapshot`]). The versioning rule: **any** change that
+/// alters the snapshot byte stream — a reordered field, a new enum tag, an
+/// added piece of state — must bump this constant. Old snapshots are then
+/// rejected loudly by [`Simulator::restore`] instead of being quietly
+/// misread; there is deliberately no cross-version migration path.
+pub const SNAP_VERSION: u32 = 1;
 
 /// A mobility plan shared between the simulator and the ground-truth oracle.
 pub type SharedMobility = Arc<dyn Mobility>;
@@ -121,6 +132,10 @@ enum EventKind {
     Crash(NodeId),
     /// Fault plan: a crashed node reboots.
     Recover(NodeId),
+    /// Churn plan: the node leaves the network.
+    Leave(NodeId),
+    /// Churn plan: a churned-out node rejoins (amnesiac under state loss).
+    Rejoin(NodeId),
 }
 
 #[derive(PartialEq, Eq)]
@@ -142,6 +157,78 @@ impl PartialOrd for QueuedEvent {
     }
 }
 
+// ----- snapshot encoding of the engine-private state types --------------
+//
+// These impls are part of the snapshot wire format: changing any of them
+// (field order, tags) requires bumping `SNAP_VERSION`.
+
+diknn_snap::snap_enum!(Destination {
+    0 => Broadcast,
+    1 => Unicast(to),
+});
+
+impl<M: Snap> Snap for Frame<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Frame::Beacon => w.put_u8(0),
+            Frame::Proto(m) => {
+                w.put_u8(1);
+                m.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.take_u8()? {
+            0 => Ok(Frame::Beacon),
+            1 => Ok(Frame::Proto(M::unsnap(r)?)),
+            tag => Err(SnapError::BadTag { ty: "Frame", tag }),
+        }
+    }
+}
+
+impl<M: Snap> Snap for PendingTx<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.from.snap(w);
+        self.dest.snap(w);
+        self.frame.snap(w);
+        self.payload_bytes.snap(w);
+        self.backoffs.snap(w);
+        self.retries.snap(w);
+        self.flow.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PendingTx {
+            from: NodeId::unsnap(r)?,
+            dest: Destination::unsnap(r)?,
+            frame: Frame::unsnap(r)?,
+            payload_bytes: usize::unsnap(r)?,
+            backoffs: u32::unsnap(r)?,
+            retries: u32::unsnap(r)?,
+            flow: Option::unsnap(r)?,
+        })
+    }
+}
+
+diknn_snap::snap_struct!(ActiveTx {
+    id,
+    from,
+    receivers,
+    airtime
+});
+
+diknn_snap::snap_enum!(EventKind {
+    0 => MacAttempt(id),
+    1 => TxEnd(id),
+    2 => Timer { node, id, key },
+    3 => Beacon(node),
+    4 => Crash(node),
+    5 => Recover(node),
+    6 => Leave(node),
+    7 => Rejoin(node),
+});
+
+diknn_snap::snap_struct!(QueuedEvent { time, seq, kind });
+
 /// All mutable run state except the protocol: world, queue, RNG, meters.
 ///
 /// Protocol callbacks receive `&mut Ctx` and use its public API to inspect
@@ -162,8 +249,15 @@ pub struct Ctx<M> {
     active: Vec<ActiveTx>,
     cancelled_timers: BTreeSet<u64>,
     stopped: bool,
+    /// Whether [`Simulator::start`] has run (beacon phases seeded,
+    /// `on_start` delivered). Snapshotted so a restored run never re-runs
+    /// its startup sequence.
+    started: bool,
     /// Per-node liveness (fault plan); dead nodes neither tx nor rx.
     alive: Vec<bool>,
+    /// Per-node lifecycle phase; kept in lockstep with `alive` (the hot
+    /// path keeps reading the bitmap, lifecycle-aware callers read this).
+    lifecycle: Vec<NodePhase>,
     /// Per-receiver Gilbert–Elliott channel state (true = Bad).
     ge_bad: Vec<bool>,
     /// Spatial index over node positions for the radio hot path; `None`
@@ -309,6 +403,13 @@ impl<M: Clone> Ctx<M> {
     #[inline]
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive[node.index()]
+    }
+
+    /// Lifecycle phase of `node`: up, temporarily down (crash/churn), or
+    /// permanently dead (energy exhaustion).
+    #[inline]
+    pub fn phase(&self, node: NodeId) -> NodePhase {
+        self.lifecycle[node.index()]
     }
 
     /// Number of currently-live nodes.
@@ -665,7 +766,9 @@ impl<P: Protocol> Simulator<P> {
             active: Vec::new(),
             cancelled_timers: BTreeSet::new(),
             stopped: false,
+            started: false,
             alive: vec![true; n],
+            lifecycle: vec![NodePhase::Up; n],
             ge_bad: vec![false; n],
             grid: None,
             trace,
@@ -733,6 +836,40 @@ impl<P: Protocol> Simulator<P> {
                 schedule_one(ctx, NodeId(node), at, rc.recover_after);
             }
         }
+        if let Some(ch) = plan.churn {
+            // Churn gets its own generator (distinct from both the event
+            // RNG and the random-crash generator), fully consumed here:
+            // enabling churn never perturbs any other random draw, and the
+            // whole schedule is pre-expanded so snapshots carry it inside
+            // the ordinary event queue.
+            let mut crng = SmallRng::seed_from_u64(seed ^ 0xCAFE_F00D_5EED_0C42);
+            let m = (((n as f64) * ch.fraction).round() as usize).min(n);
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            for i in 0..m {
+                let j = crng.gen_range(i..n);
+                ids.swap(i, j);
+            }
+            let exp_s = |rng: &mut SmallRng, mean: f64| -> f64 {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            };
+            let until_s = ch.until.as_secs_f64();
+            for &node in &ids[..m] {
+                let mut t = ch.from.as_secs_f64() + exp_s(&mut crng, ch.mean_up_s);
+                while t <= until_s {
+                    ctx.schedule(SimTime::from_secs_f64(t), EventKind::Leave(NodeId(node)));
+                    // Departures are clipped to the churn window; the
+                    // matching rejoin is not, so every node that leaves
+                    // comes back and the network heals after the window.
+                    let back = t + exp_s(&mut crng, ch.mean_down_s);
+                    ctx.schedule(
+                        SimTime::from_secs_f64(back),
+                        EventKind::Rejoin(NodeId(node)),
+                    );
+                    t = back + exp_s(&mut crng, ch.mean_up_s);
+                }
+            }
+        }
     }
 
     /// Immutable view of the run state.
@@ -759,6 +896,15 @@ impl<P: Protocol> Simulator<P> {
     /// run without consuming the simulator.
     pub fn split_mut(&mut self) -> (&mut P, &Ctx<P::Msg>) {
         (&mut self.protocol, &self.ctx)
+    }
+
+    /// Drive the protocol from outside the event loop: mutable protocol
+    /// alongside the mutable context, for between-epoch interventions such
+    /// as streaming new requests into a resident run. The closure runs at
+    /// the simulator's current time; anything it schedules (timers, sends)
+    /// executes on the next `run_until`.
+    pub fn drive<R>(&mut self, f: impl FnOnce(&mut P, &mut Ctx<P::Msg>) -> R) -> R {
+        f(&mut self.protocol, &mut self.ctx)
     }
 
     /// Consume the simulator, returning the protocol and final context.
@@ -808,11 +954,16 @@ impl<P: Protocol> Simulator<P> {
 
     // lint: hot-path (event loop, dispatch, and frame delivery: every
     // simulated event flows through here)
-    /// Run until the event queue drains, the time limit is reached, or the
-    /// protocol calls [`Ctx::stop`]. Returns the stop time.
-    pub fn run(&mut self) -> SimTime {
-        let limit = SimTime::ZERO + self.ctx.cfg.time_limit;
-        // Kick off periodic beacons with random phases.
+    /// One-time startup: seed periodic beacons with random phases and
+    /// deliver the protocol's `on_start`. Idempotent — the first of
+    /// [`Simulator::run`]/[`Simulator::run_until`] triggers it, and a
+    /// restored simulator (whose snapshot recorded a completed start)
+    /// never re-runs it.
+    pub fn start(&mut self) {
+        if self.ctx.started {
+            return;
+        }
+        self.ctx.started = true;
         if self.ctx.cfg.beacon_interval > SimDuration::ZERO && !self.ctx.cfg.oracle_neighbors {
             for i in 0..self.ctx.node_count() {
                 let phase = SimDuration::from_nanos(
@@ -825,11 +976,33 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         self.protocol.on_start(&mut self.ctx);
+    }
 
-        while let Some(Reverse(ev)) = self.ctx.queue.pop() {
-            if ev.time > limit || self.ctx.stopped {
+    /// Run until the event queue drains, simulated time would pass
+    /// `until`, or the protocol calls [`Ctx::stop`]. Returns the stop
+    /// time.
+    ///
+    /// Events with time beyond `until` stay queued, so the run is
+    /// *resumable*: calling `run_until` repeatedly with increasing bounds
+    /// produces exactly the run a single larger bound would have — the
+    /// property the resident service mode and snapshot/restore build on.
+    /// Note the bound is the caller's, not `SimConfig::time_limit`
+    /// (which only [`Simulator::run`] applies).
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        self.start();
+        loop {
+            if self.ctx.stopped {
                 break;
             }
+            let Some(Reverse(head)) = self.ctx.queue.peek() else {
+                break;
+            };
+            if head.time > until {
+                break;
+            }
+            let Some(Reverse(ev)) = self.ctx.queue.pop() else {
+                break;
+            };
             self.ctx.now = ev.time;
             self.ctx.refresh_grid_if_stale();
             self.ctx.stats.events += 1;
@@ -850,11 +1023,15 @@ impl<P: Protocol> Simulator<P> {
                     self.protocol.on_send_failed(from, to, &msg, &mut self.ctx);
                 }
             }
-            if self.ctx.stopped {
-                break;
-            }
         }
         self.ctx.now
+    }
+
+    /// Run until the event queue drains, the configured time limit is
+    /// reached, or the protocol calls [`Ctx::stop`]. Returns the stop time.
+    pub fn run(&mut self) -> SimTime {
+        let limit = SimTime::ZERO + self.ctx.cfg.time_limit;
+        self.run_until(limit)
     }
 
     /// Handle one event inside `Ctx`, returning any required protocol
@@ -865,6 +1042,7 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Crash(node) => {
                 if ctx.alive[node.index()] {
                     ctx.alive[node.index()] = false;
+                    ctx.lifecycle[node.index()] = NodePhase::Down;
                     ctx.stats.nodes_crashed += 1;
                     ctx.trace_event(node, TraceKind::Crash);
                 }
@@ -880,8 +1058,42 @@ impl<P: Protocol> Simulator<P> {
                     .is_some_and(|b| ctx.energy[node.index()].total_j() >= b);
                 if !ctx.alive[node.index()] && !exhausted {
                     ctx.alive[node.index()] = true;
+                    ctx.lifecycle[node.index()] = NodePhase::Up;
                     ctx.stats.nodes_recovered += 1;
                     ctx.trace_event(node, TraceKind::Recover);
+                }
+                Callback::None
+            }
+            EventKind::Leave(node) => {
+                if ctx.alive[node.index()] {
+                    ctx.alive[node.index()] = false;
+                    ctx.lifecycle[node.index()] = NodePhase::Down;
+                    ctx.stats.nodes_left += 1;
+                    ctx.trace_event(node, TraceKind::Leave);
+                }
+                Callback::None
+            }
+            EventKind::Rejoin(node) => {
+                // Energy deaths are final here too: a churned-out node
+                // whose battery crossed the budget stays down for good.
+                let exhausted = ctx
+                    .cfg
+                    .faults
+                    .energy_budget_j
+                    .is_some_and(|b| ctx.energy[node.index()].total_j() >= b);
+                let dead = ctx.lifecycle[node.index()] == NodePhase::Dead;
+                if !ctx.alive[node.index()] && !exhausted && !dead {
+                    if ctx.cfg.faults.churn.is_some_and(|c| c.state_loss) {
+                        // Amnesiac rejoin: the node's own neighbour table
+                        // is gone; it re-learns from beacons like a
+                        // factory-fresh node. Other nodes' tables age its
+                        // old entry out on their own.
+                        ctx.tables[node.index()].clear();
+                    }
+                    ctx.alive[node.index()] = true;
+                    ctx.lifecycle[node.index()] = NodePhase::Up;
+                    ctx.stats.nodes_rejoined += 1;
+                    ctx.trace_event(node, TraceKind::Rejoin);
                 }
                 Callback::None
             }
@@ -1048,12 +1260,14 @@ impl<P: Protocol> Simulator<P> {
         if let Some(budget) = ctx.cfg.faults.energy_budget_j {
             if ctx.alive[from.index()] && ctx.energy[from.index()].total_j() >= budget {
                 ctx.alive[from.index()] = false;
+                ctx.lifecycle[from.index()] = NodePhase::Dead;
                 ctx.stats.energy_deaths += 1;
                 ctx.trace_event(from, TraceKind::EnergyDeath);
             }
             for &(r, _) in &active.receivers {
                 if ctx.alive[r.index()] && ctx.energy[r.index()].total_j() >= budget {
                     ctx.alive[r.index()] = false;
+                    ctx.lifecycle[r.index()] = NodePhase::Dead;
                     ctx.stats.energy_deaths += 1;
                     ctx.trace_event(r, TraceKind::EnergyDeath);
                 }
@@ -1261,6 +1475,197 @@ impl<P: Protocol> Simulator<P> {
         }
     }
     // lint: end-hot-path
+}
+
+// ----- snapshot / restore -----------------------------------------------
+
+impl<M: Clone> Ctx<M> {
+    /// FNV-1a fingerprint of the run configuration, via its `Debug`
+    /// rendering (every `SimConfig` field derives `Debug`, so any config
+    /// difference shows up here). The config itself is *not* serialized:
+    /// restore re-supplies it and this check catches a mismatch.
+    fn config_fingerprint(&self) -> u64 {
+        diknn_snap::fingerprint(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    /// Fingerprint of the (unserializable) mobility plans: exact position
+    /// bits of every node sampled at t = 0, now, and now + 1 s, plus each
+    /// plan's max speed. Restore re-supplies the plans and rejects ones
+    /// that disagree at these probes.
+    fn mobility_fingerprint(&self) -> u64 {
+        let now_s = self.now.as_secs_f64();
+        let mut bytes = Vec::with_capacity(self.mobility.len() * 56);
+        for m in self.mobility.iter() {
+            for t in [0.0, now_s, now_s + 1.0] {
+                let p = m.position_at(t);
+                bytes.extend_from_slice(&p.x.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&p.y.to_bits().to_le_bytes());
+            }
+            bytes.extend_from_slice(&m.max_speed().to_bits().to_le_bytes());
+        }
+        diknn_snap::fingerprint(&bytes)
+    }
+
+    /// Rebuild the spatial grid from scratch at the current time. Grid
+    /// contents are *not* serialized: grid answers are exact-checked
+    /// candidate supersets, so a freshly built grid yields bit-identical
+    /// behaviour regardless of the original's refresh history.
+    fn rebuild_grid(&mut self) {
+        if self.cfg.neighbor_index == NeighborIndex::Grid {
+            let vmax = self
+                .mobility
+                .iter()
+                .map(|m| m.max_speed())
+                .fold(0.0_f64, f64::max);
+            let t = self.now.as_secs_f64();
+            let positions: Vec<Point> = self.mobility.iter().map(|m| m.position_at(t)).collect();
+            self.grid = Some(SpatialGrid::build(
+                self.cfg.field,
+                self.cfg.radio_range,
+                &positions,
+                vmax,
+                0.5 * self.cfg.radio_range,
+                self.now,
+            ));
+        } else {
+            self.grid = None;
+        }
+    }
+
+    /// Encode every piece of mutable engine state except `now` (written by
+    /// [`Simulator::snapshot`] ahead of the mobility fingerprint), `cfg`
+    /// and `mobility` (fingerprint-checked), and the grid (rebuilt).
+    fn snap_engine_state(&self, w: &mut SnapWriter)
+    where
+        M: Snap,
+    {
+        self.tables.snap(w);
+        self.energy.snap(w);
+        self.rng.state().snap(w);
+        self.stats.snap(w);
+        let mut events: Vec<&QueuedEvent> = self.queue.iter().map(|Reverse(e)| e).collect();
+        events.sort_unstable_by_key(|e| (e.time, e.seq));
+        w.put_u64(events.len() as u64);
+        for e in events {
+            e.snap(w);
+        }
+        self.seq.snap(w);
+        self.next_tx.snap(w);
+        self.next_timer.snap(w);
+        self.pending.snap(w);
+        self.active.snap(w);
+        self.cancelled_timers.snap(w);
+        self.stopped.snap(w);
+        self.started.snap(w);
+        self.alive.snap(w);
+        self.lifecycle.snap(w);
+        self.ge_bad.snap(w);
+        self.trace.snap(w);
+        self.flow_energy.snap(w);
+    }
+
+    /// Overwrite the mutable engine state from a snapshot stream (the
+    /// exact inverse of [`Ctx::snap_engine_state`]).
+    fn restore_engine_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>
+    where
+        M: Snap,
+    {
+        self.tables = Vec::unsnap(r)?;
+        self.energy = Vec::unsnap(r)?;
+        self.rng = SmallRng::from_state(<[u64; 4]>::unsnap(r)?);
+        self.stats = SimStats::unsnap(r)?;
+        let n = r.take_len()?;
+        let mut queue = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            queue.push(Reverse(QueuedEvent::unsnap(r)?));
+        }
+        self.queue = queue;
+        self.seq = u64::unsnap(r)?;
+        self.next_tx = u64::unsnap(r)?;
+        self.next_timer = u64::unsnap(r)?;
+        self.pending = BTreeMap::unsnap(r)?;
+        self.active = Vec::unsnap(r)?;
+        self.cancelled_timers = BTreeSet::unsnap(r)?;
+        self.stopped = bool::unsnap(r)?;
+        self.started = bool::unsnap(r)?;
+        self.alive = Vec::unsnap(r)?;
+        self.lifecycle = Vec::unsnap(r)?;
+        self.ge_bad = Vec::unsnap(r)?;
+        self.trace = EventTrace::unsnap(r)?;
+        self.flow_energy = BTreeMap::unsnap(r)?;
+        let n = self.mobility.len();
+        if self.tables.len() != n
+            || self.energy.len() != n
+            || self.alive.len() != n
+            || self.lifecycle.len() != n
+            || self.ge_bad.len() != n
+        {
+            return Err(SnapError::Corrupt(
+                "snapshot node count disagrees with the supplied mobility plans",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<P: Protocol> Simulator<P>
+where
+    P: SnapState,
+    P::Msg: Snap,
+{
+    /// Serialize the full mutable run state — engine and protocol — into a
+    /// self-contained byte stream.
+    ///
+    /// Static inputs deliberately stay out of the stream and must be
+    /// re-supplied to [`Simulator::restore`]: the `SimConfig`, the mobility
+    /// plans (both fingerprint-checked) and the protocol's own static
+    /// configuration. What *is* captured: clocks, RNG streams, the event
+    /// queue (faults, churn, beacons, in-flight frames, timers), neighbour
+    /// tables, energy meters, stats, liveness/lifecycle, the flight
+    /// recorder, and the protocol's mutable state. The restore-equivalence
+    /// law — `run(2T)` is bit-identical to `run(T)` + snapshot + restore +
+    /// `run(2T)` — is enforced by tests in `diknn-workloads`.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        diknn_snap::write_header(&mut w, SNAP_VERSION);
+        w.put_u64(self.ctx.config_fingerprint());
+        self.ctx.now.snap(&mut w);
+        w.put_u64(self.ctx.mobility_fingerprint());
+        self.ctx.snap_engine_state(&mut w);
+        self.protocol.snap_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Rebuild a simulator from a [`Simulator::snapshot`] stream.
+    ///
+    /// `cfg` and `mobility` must be the ones the snapshotted run was built
+    /// with (fingerprint-enforced); `protocol` must be a freshly
+    /// constructed instance with the same static configuration — its
+    /// mutable state is overwritten from the stream. Panics (like
+    /// [`Simulator::new`]) if `cfg` is invalid or `mobility` is empty;
+    /// all stream problems are reported as errors.
+    pub fn restore(
+        bytes: &[u8],
+        cfg: SimConfig,
+        mobility: Vec<SharedMobility>,
+        protocol: P,
+    ) -> Result<Self, SnapError> {
+        let mut sim = Simulator::new(cfg, mobility, protocol, 0);
+        let mut r = SnapReader::new(bytes);
+        diknn_snap::read_header(&mut r, SNAP_VERSION)?;
+        if r.take_u64()? != sim.ctx.config_fingerprint() {
+            return Err(SnapError::FingerprintMismatch("SimConfig"));
+        }
+        sim.ctx.now = SimTime::unsnap(&mut r)?;
+        if r.take_u64()? != sim.ctx.mobility_fingerprint() {
+            return Err(SnapError::FingerprintMismatch("mobility plans"));
+        }
+        sim.ctx.restore_engine_state(&mut r)?;
+        sim.protocol.restore_state(&mut r)?;
+        r.finish()?;
+        sim.ctx.rebuild_grid();
+        Ok(sim)
+    }
 }
 
 // Compile-time audit that a whole simulator run can be moved to a worker

@@ -178,8 +178,63 @@ pub struct JamZone {
     pub loss: f64,
 }
 
+/// Continuous node churn: a fraction of the population cycles between
+/// being up and being away on exponentially distributed dwell times.
+///
+/// Churn generalises the fail-stop crash model of [`RandomCrashes`] into a
+/// renewal process suited to *resident* (open-ended) runs: a churning node
+/// leaves, stays away for a while, rejoins, and repeats until the window
+/// closes. Departures are clipped to `[from, until]`; a rejoin scheduled
+/// past `until` still happens, so the network always heals after the churn
+/// window. Node choice and all dwell times are drawn from a generator
+/// derived from the run seed — same `(seed, plan)` ⇒ same churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlan {
+    /// Fraction of all nodes that participate in churn, in `[0, 1]`.
+    pub fraction: f64,
+    /// Mean up-time between departures, seconds (exponential).
+    pub mean_up_s: f64,
+    /// Mean away-time before rejoining, seconds (exponential).
+    pub mean_down_s: f64,
+    /// Departures occur only inside `[from, until]`.
+    pub from: SimDuration,
+    pub until: SimDuration,
+    /// When true, a rejoining node comes back amnesiac: its neighbour
+    /// table is wiped and must be re-learned from beacons (the "rejoin
+    /// with state loss" model). When false, rejoin behaves like the
+    /// flash-backed reboot of [`CrashSpec::recover_after`].
+    pub state_loss: bool,
+}
+
+impl ChurnPlan {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..=1.0).contains(&self.fraction) {
+            return Err(ConfigError::Fault(format!(
+                "churn fraction must be in [0, 1], got {}",
+                self.fraction
+            )));
+        }
+        for (name, v) in [
+            ("mean_up_s", self.mean_up_s),
+            ("mean_down_s", self.mean_down_s),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ConfigError::Fault(format!(
+                    "churn {name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if self.until < self.from {
+            return Err(ConfigError::Fault(
+                "churn window ends before it starts".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The full fault-injection plan of a run. The default plan is inert:
-/// no crashes, uniform link loss, no jamming, unlimited energy.
+/// no crashes, uniform link loss, no jamming, unlimited energy, no churn.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     /// Scheduled fail-stop crashes of specific nodes.
@@ -193,6 +248,8 @@ pub struct FaultPlan {
     /// If set, a node dies permanently once its total radio energy
     /// (beacons included) crosses this many joules.
     pub energy_budget_j: Option<f64>,
+    /// Continuous leave/rejoin churn for resident runs.
+    pub churn: Option<ChurnPlan>,
 }
 
 impl FaultPlan {
@@ -203,6 +260,7 @@ impl FaultPlan {
             && self.link_loss == LinkLossModel::Uniform
             && self.jam_zones.is_empty()
             && self.energy_budget_j.is_none()
+            && self.churn.is_none()
     }
 
     /// A plan that only crashes a random `fraction` of nodes inside
@@ -214,6 +272,29 @@ impl FaultPlan {
                 from: SimDuration::from_secs_f64(from),
                 until: SimDuration::from_secs_f64(until),
                 recover_after: None,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan with only leave/rejoin churn: `fraction` of nodes cycle on
+    /// the given mean up/down dwell times (seconds) inside `[from, until]`
+    /// seconds, rejoining amnesiac (state loss on).
+    pub fn churning(
+        fraction: f64,
+        mean_up_s: f64,
+        mean_down_s: f64,
+        from: f64,
+        until: f64,
+    ) -> Self {
+        FaultPlan {
+            churn: Some(ChurnPlan {
+                fraction,
+                mean_up_s,
+                mean_down_s,
+                from: SimDuration::from_secs_f64(from),
+                until: SimDuration::from_secs_f64(until),
+                state_loss: true,
             }),
             ..FaultPlan::default()
         }
@@ -283,6 +364,9 @@ impl FaultPlan {
                 )));
             }
         }
+        if let Some(ch) = &self.churn {
+            ch.validate()?;
+        }
         Ok(())
     }
 }
@@ -302,8 +386,28 @@ mod tests {
     fn builders_are_not_inert() {
         assert!(!FaultPlan::random_crashes(0.2, 0.0, 10.0).is_inert());
         assert!(!FaultPlan::bursty(0.5).is_inert());
+        assert!(!FaultPlan::churning(0.2, 20.0, 5.0, 0.0, 100.0).is_inert());
         assert!(FaultPlan::random_crashes(0.2, 0.0, 10.0).validate().is_ok());
         assert!(FaultPlan::bursty(0.5).validate().is_ok());
+        assert!(FaultPlan::churning(0.2, 20.0, 5.0, 0.0, 100.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn churn_validation_rejects_bad_parameters() {
+        assert!(FaultPlan::churning(1.5, 20.0, 5.0, 0.0, 100.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::churning(0.2, 0.0, 5.0, 0.0, 100.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::churning(0.2, 20.0, -1.0, 0.0, 100.0)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::churning(0.2, 20.0, 5.0, 50.0, 10.0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -27,6 +27,33 @@ pub(crate) struct TxId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+impl diknn_snap::Snap for NodeId {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        w.put_u32(self.0);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(NodeId(r.take_u32()?))
+    }
+}
+
+impl diknn_snap::Snap for TxId {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(TxId(r.take_u64()?))
+    }
+}
+
+impl diknn_snap::Snap for TimerId {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(TimerId(r.take_u64()?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,6 +67,7 @@ mod engine;
 pub mod faults;
 pub mod grid;
 mod ids;
+pub mod lifecycle;
 pub mod load;
 pub mod neighbors;
 mod stats;
@@ -74,12 +75,14 @@ pub mod time;
 pub mod trace;
 
 pub use config::{ConfigError, MacMode, NeighborIndex, SimConfig};
-pub use engine::{Ctx, Destination, Protocol, SharedMobility, Simulator};
+pub use engine::{Ctx, Destination, Protocol, SharedMobility, Simulator, SNAP_VERSION};
 pub use faults::{
-    CrashSpec, FaultPlan, FaultRegion, GilbertElliott, JamZone, LinkLossModel, RandomCrashes,
+    ChurnPlan, CrashSpec, FaultPlan, FaultRegion, GilbertElliott, JamZone, LinkLossModel,
+    RandomCrashes,
 };
 pub use grid::SpatialGrid;
 pub use ids::{NodeId, TimerId};
+pub use lifecycle::NodePhase;
 pub use load::LoadSignal;
 pub use neighbors::Neighbor;
 pub use stats::SimStats;

@@ -34,6 +34,12 @@ pub struct LoadSignal {
     completions: VecDeque<SimTime>,
 }
 
+diknn_snap::snap_struct!(LoadSignal {
+    in_flight,
+    window_s,
+    completions
+});
+
 impl LoadSignal {
     /// A signal with the given completion-rate window (seconds, must be
     /// positive).

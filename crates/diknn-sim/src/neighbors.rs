@@ -69,6 +69,15 @@ impl NeighborTable {
     }
 }
 
+diknn_snap::snap_struct!(Neighbor {
+    id,
+    position,
+    speed,
+    heard_at
+});
+
+diknn_snap::snap_struct!(NeighborTable { entries });
+
 #[cfg(test)]
 mod tests {
     use super::*;

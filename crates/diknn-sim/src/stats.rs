@@ -57,7 +57,39 @@ pub struct SimStats {
     /// Events recorded by the flight recorder (see [`crate::trace`]);
     /// zero unless tracing is enabled.
     pub trace_events: u64,
+
+    // ----- churn lifecycle (see `crate::faults::ChurnPlan`) -------------
+    /// Churn departures executed (node left the network voluntarily).
+    pub nodes_left: u64,
+    /// Churned-out nodes that rejoined the network.
+    pub nodes_rejoined: u64,
 }
+
+diknn_snap::snap_struct!(SimStats {
+    tx_frames,
+    tx_bytes,
+    tx_protocol_frames,
+    rx_deliveries,
+    collisions,
+    random_losses,
+    mac_drops,
+    unicast_failures,
+    arq_retries,
+    beacons_sent,
+    events,
+    nodes_crashed,
+    nodes_recovered,
+    energy_deaths,
+    frames_jammed,
+    burst_losses,
+    frames_dropped_dead,
+    timers_suppressed,
+    tokens_reissued,
+    query_retries,
+    trace_events,
+    nodes_left,
+    nodes_rejoined
+});
 
 #[cfg(test)]
 mod tests {

@@ -136,6 +136,24 @@ impl AddAssign for SimDuration {
     }
 }
 
+impl diknn_snap::Snap for SimTime {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(SimTime(r.take_u64()?))
+    }
+}
+
+impl diknn_snap::Snap for SimDuration {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        w.put_u64(self.0);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(SimDuration(r.take_u64()?))
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.6}s", self.as_secs_f64())

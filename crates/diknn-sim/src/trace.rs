@@ -230,6 +230,12 @@ pub enum TraceKind {
     Crash,
     /// A crashed node rebooted.
     Recover,
+    /// A churn departure: the node left the network voluntarily (see
+    /// [`crate::faults::ChurnPlan`]).
+    Leave,
+    /// A churned-out node rejoined the network (with its neighbour table
+    /// wiped when the churn plan models state loss).
+    Rejoin,
     /// The node exhausted its energy budget and died permanently.
     EnergyDeath,
     /// Cumulative radio energy spent by the node, in joules, sampled after
@@ -280,6 +286,8 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::Crash => write!(f, "crash"),
             TraceKind::Recover => write!(f, "recover"),
+            TraceKind::Leave => write!(f, "leave"),
+            TraceKind::Rejoin => write!(f, "rejoin"),
             TraceKind::EnergyDeath => write!(f, "energy-death"),
             TraceKind::Energy { spent_j } => write!(f, "energy spent_j={spent_j:.9}"),
             TraceKind::Proto(p) => match p {
@@ -402,6 +410,293 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+diknn_snap::snap_enum!(DropReason {
+    0 => Jammed,
+    1 => RandomLoss,
+    2 => BurstLoss,
+    3 => DeadSender,
+    4 => MacBusy,
+    5 => UnicastFailed,
+});
+
+/// Map a serialized `QueryDone` status string back to the `&'static str`
+/// the trace vocabulary uses. The set mirrors `QueryStatus::label()` in
+/// `diknn-core`; an unknown status means the snapshot came from a different
+/// (incompatible) build and is rejected.
+fn intern_status(s: &str) -> Result<&'static str, diknn_snap::SnapError> {
+    const KNOWN: [&str; 8] = [
+        "pending",
+        "completed",
+        "partial-timeout",
+        "token-lost",
+        "sink-unreachable",
+        "rejected",
+        "merged",
+        "cache-hit",
+    ];
+    KNOWN
+        .into_iter()
+        .find(|k| *k == s)
+        .ok_or(diknn_snap::SnapError::Corrupt("unknown query status label"))
+}
+
+impl diknn_snap::Snap for ProtoEvent {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        match self {
+            ProtoEvent::QueryIssued { qid, attempt, k } => {
+                w.put_u8(0);
+                qid.snap(w);
+                attempt.snap(w);
+                k.snap(w);
+            }
+            ProtoEvent::BoundaryEstimated {
+                qid,
+                attempt,
+                radius,
+            } => {
+                w.put_u8(1);
+                qid.snap(w);
+                attempt.snap(w);
+                radius.snap(w);
+            }
+            ProtoEvent::TokenHandoff {
+                qid,
+                attempt,
+                sector,
+                epoch,
+                to,
+                frontier,
+            } => {
+                w.put_u8(2);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+                epoch.snap(w);
+                to.snap(w);
+                frontier.snap(w);
+            }
+            ProtoEvent::BoundaryExtended {
+                qid,
+                attempt,
+                sector,
+                old_radius,
+                new_radius,
+            } => {
+                w.put_u8(3);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+                old_radius.snap(w);
+                new_radius.snap(w);
+            }
+            ProtoEvent::CandidateHeard {
+                qid,
+                attempt,
+                sector,
+                responder,
+                dist,
+                radius,
+            } => {
+                w.put_u8(4);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+                responder.snap(w);
+                dist.snap(w);
+                radius.snap(w);
+            }
+            ProtoEvent::SectorFinished {
+                qid,
+                attempt,
+                sector,
+                epoch,
+            } => {
+                w.put_u8(5);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+                epoch.snap(w);
+            }
+            ProtoEvent::TokenReissued {
+                qid,
+                attempt,
+                sector,
+                epoch,
+            } => {
+                w.put_u8(6);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+                epoch.snap(w);
+            }
+            ProtoEvent::SinkMerge {
+                qid,
+                attempt,
+                sector,
+            } => {
+                w.put_u8(7);
+                qid.snap(w);
+                attempt.snap(w);
+                sector.snap(w);
+            }
+            ProtoEvent::QueryAdmitted { qid, depth } => {
+                w.put_u8(8);
+                qid.snap(w);
+                depth.snap(w);
+            }
+            ProtoEvent::QueryRejected {
+                qid,
+                depth,
+                terminal,
+            } => {
+                w.put_u8(9);
+                qid.snap(w);
+                depth.snap(w);
+                terminal.snap(w);
+            }
+            ProtoEvent::QueryMerged { qid, host } => {
+                w.put_u8(10);
+                qid.snap(w);
+                host.snap(w);
+            }
+            ProtoEvent::CacheServed {
+                qid,
+                src,
+                age_s,
+                ttl_s,
+            } => {
+                w.put_u8(11);
+                qid.snap(w);
+                src.snap(w);
+                age_s.snap(w);
+                ttl_s.snap(w);
+            }
+            ProtoEvent::QueryDone {
+                qid,
+                status,
+                answer,
+            } => {
+                w.put_u8(12);
+                qid.snap(w);
+                w.put_bytes(status.as_bytes());
+                answer.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        Ok(match r.take_u8()? {
+            0 => ProtoEvent::QueryIssued {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                k: u32::unsnap(r)?,
+            },
+            1 => ProtoEvent::BoundaryEstimated {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                radius: f64::unsnap(r)?,
+            },
+            2 => ProtoEvent::TokenHandoff {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+                epoch: u32::unsnap(r)?,
+                to: NodeId::unsnap(r)?,
+                frontier: f64::unsnap(r)?,
+            },
+            3 => ProtoEvent::BoundaryExtended {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+                old_radius: f64::unsnap(r)?,
+                new_radius: f64::unsnap(r)?,
+            },
+            4 => ProtoEvent::CandidateHeard {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+                responder: NodeId::unsnap(r)?,
+                dist: f64::unsnap(r)?,
+                radius: f64::unsnap(r)?,
+            },
+            5 => ProtoEvent::SectorFinished {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+                epoch: u32::unsnap(r)?,
+            },
+            6 => ProtoEvent::TokenReissued {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+                epoch: u32::unsnap(r)?,
+            },
+            7 => ProtoEvent::SinkMerge {
+                qid: u32::unsnap(r)?,
+                attempt: u8::unsnap(r)?,
+                sector: u8::unsnap(r)?,
+            },
+            8 => ProtoEvent::QueryAdmitted {
+                qid: u32::unsnap(r)?,
+                depth: u32::unsnap(r)?,
+            },
+            9 => ProtoEvent::QueryRejected {
+                qid: u32::unsnap(r)?,
+                depth: u32::unsnap(r)?,
+                terminal: bool::unsnap(r)?,
+            },
+            10 => ProtoEvent::QueryMerged {
+                qid: u32::unsnap(r)?,
+                host: u32::unsnap(r)?,
+            },
+            11 => ProtoEvent::CacheServed {
+                qid: u32::unsnap(r)?,
+                src: u32::unsnap(r)?,
+                age_s: f64::unsnap(r)?,
+                ttl_s: f64::unsnap(r)?,
+            },
+            12 => {
+                let qid = u32::unsnap(r)?;
+                let status = {
+                    let bytes = r.take_bytes()?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| diknn_snap::SnapError::Corrupt("invalid utf-8 status"))?;
+                    intern_status(s)?
+                };
+                ProtoEvent::QueryDone {
+                    qid,
+                    status,
+                    answer: Vec::unsnap(r)?,
+                }
+            }
+            tag => {
+                return Err(diknn_snap::SnapError::BadTag {
+                    ty: "ProtoEvent",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+diknn_snap::snap_enum!(TraceKind {
+    0 => TxStart { dest, beacon },
+    1 => RxDeliver { from },
+    2 => Collision { from },
+    3 => Drop { from, reason },
+    4 => TimerFired { key },
+    5 => TimerSuppressed { key },
+    6 => Crash,
+    7 => Recover,
+    8 => EnergyDeath,
+    9 => Energy { spent_j },
+    10 => Proto(p),
+    11 => Leave,
+    12 => Rejoin,
+});
+
+diknn_snap::snap_struct!(TraceEvent { time, node, kind });
+
 /// The ring-buffered flight recorder owned by [`crate::Ctx`].
 #[derive(Debug, Clone)]
 pub struct EventTrace {
@@ -497,6 +792,8 @@ impl EventTrace {
                 TraceKind::Proto(_)
                     | TraceKind::Crash
                     | TraceKind::Recover
+                    | TraceKind::Leave
+                    | TraceKind::Rejoin
                     | TraceKind::EnergyDeath
             ) {
                 out.push_str(&e.to_string());
@@ -506,6 +803,14 @@ impl EventTrace {
         out
     }
 }
+
+diknn_snap::snap_struct!(EventTrace {
+    events,
+    capacity,
+    enabled,
+    verbose,
+    dropped
+});
 
 #[cfg(test)]
 mod tests {

@@ -46,6 +46,12 @@
 //!    contains only nodes its source query heard. Vacuous for runs without
 //!    serving events.
 //!
+//! 9. **churn-silence** — a node that left the network (churn `Leave`, the
+//!    service mode's lifecycle event) never appears as a transmission
+//!    source until its `Rejoin`: the dead-silence law for voluntary
+//!    departures. A `Rejoin`/`Recover` clears both down states, mirroring
+//!    the engine's single liveness flag.
+//!
 //! A trace whose ring buffer overflowed (`dropped_events() > 0`) is itself
 //! reported (**trace-complete**): incomplete evidence must not certify a
 //! run.
@@ -132,6 +138,8 @@ pub fn check_with(
 
     // Replay state.
     let mut dead: BTreeSet<NodeId> = BTreeSet::new();
+    // Nodes currently churned out (Leave without a matching Rejoin).
+    let mut churned: BTreeSet<NodeId> = BTreeSet::new();
     let mut energy: BTreeMap<NodeId, f64> = BTreeMap::new();
     let mut issued: BTreeSet<u32> = BTreeSet::new();
     // qid → responder → best (dist − radius) margin over all hearings.
@@ -160,8 +168,14 @@ pub fn check_with(
             TraceKind::Crash | TraceKind::EnergyDeath => {
                 dead.insert(e.node);
             }
-            TraceKind::Recover => {
+            TraceKind::Leave => {
+                churned.insert(e.node);
+            }
+            // Recover and Rejoin both flip the engine's single liveness
+            // flag back on, whichever mechanism took the node down.
+            TraceKind::Recover | TraceKind::Rejoin => {
                 dead.remove(&e.node);
+                churned.remove(&e.node);
             }
             TraceKind::TxStart { .. } => {
                 if dead.contains(&e.node) {
@@ -169,6 +183,13 @@ pub fn check_with(
                         invariant: "dead-silence",
                         at: e.time,
                         detail: format!("{} transmitted while down", e.node),
+                    });
+                }
+                if churned.contains(&e.node) {
+                    v.push(Violation {
+                        invariant: "churn-silence",
+                        at: e.time,
+                        detail: format!("{} transmitted while churned out", e.node),
                     });
                 }
             }
@@ -866,6 +887,60 @@ mod tests {
         let t = trace_with(vec![
             ev(1, 3, TraceKind::Crash),
             ev(2, 3, TraceKind::Recover),
+            ev(
+                3,
+                3,
+                TraceKind::TxStart {
+                    dest: None,
+                    beacon: true,
+                },
+            ),
+        ]);
+        assert_eq!(check(&t, &[]), Vec::new());
+    }
+
+    #[test]
+    fn churned_node_transmitting_is_flagged() {
+        let t = trace_with(vec![
+            ev(1, 3, TraceKind::Leave),
+            ev(
+                2,
+                3,
+                TraceKind::TxStart {
+                    dest: None,
+                    beacon: false,
+                },
+            ),
+        ]);
+        let v = check(&t, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].invariant, "churn-silence");
+    }
+
+    #[test]
+    fn rejoined_node_may_transmit() {
+        let t = trace_with(vec![
+            ev(1, 3, TraceKind::Leave),
+            ev(2, 3, TraceKind::Rejoin),
+            ev(
+                3,
+                3,
+                TraceKind::TxStart {
+                    dest: None,
+                    beacon: true,
+                },
+            ),
+        ]);
+        assert_eq!(check(&t, &[]), Vec::new());
+    }
+
+    #[test]
+    fn rejoin_clears_a_crash_too() {
+        // The engine keeps one liveness flag: a crashed node brought back
+        // by a Rejoin event is legitimately up again.
+        let t = trace_with(vec![
+            ev(1, 3, TraceKind::Crash),
+            ev(2, 3, TraceKind::Rejoin),
             ev(
                 3,
                 3,

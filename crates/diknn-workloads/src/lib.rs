@@ -18,6 +18,9 @@
 //! * [`admission`] — serving-layer experiments: DIKNN under sustained
 //!   [`QueryLoad`] arrivals with sink-side admission control, query merging
 //!   and result caching, summarised by [`ServingSummary`].
+//! * [`ServiceRun`] — the resident service mode: one long-lived simulator
+//!   advanced in epochs under streaming arrivals ([`RateSchedule`]) and
+//!   continuous churn, with full snapshot/restore and rolling metrics.
 //! * [`ParallelSweep`] — the sanctioned scoped-thread executor; seed
 //!   sweeps run across cores with bit-identical aggregates (see
 //!   [`parallel`] for the determinism argument).
@@ -51,6 +54,7 @@ mod oracle;
 pub mod parallel;
 mod runner;
 mod scenario;
+pub mod service;
 pub mod workload;
 
 pub use admission::{admission_experiment, ServingSummary};
@@ -61,4 +65,5 @@ pub use oracle::GroundTruth;
 pub use parallel::ParallelSweep;
 pub use runner::{run_protocol_once, run_protocol_once_faulted, Experiment, ProtocolKind};
 pub use scenario::{HerdSetup, PlacementKind, ScenarioConfig};
-pub use workload::{QueryLoad, WorkloadConfig};
+pub use service::{ServiceConfig, ServiceMetrics, ServiceRun, SERVICE_SNAP_VERSION};
+pub use workload::{epoch_arrivals, QueryLoad, RateSchedule, WorkloadConfig};

@@ -138,6 +138,111 @@ impl QueryLoad {
     }
 }
 
+/// A piecewise-constant arrival-rate schedule for the resident service
+/// mode: `(from_s, qps)` steps, each in force from its start time until the
+/// next step (the last step holds forever). Lets soak scenarios model rate
+/// ramps and overload steps without touching the arrival sampler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    /// `(from_s, qps)` steps, strictly increasing in `from_s`.
+    steps: Vec<(f64, f64)>,
+}
+
+impl RateSchedule {
+    /// A schedule holding one rate forever.
+    pub fn constant(qps: f64) -> Self {
+        Self::new(vec![(0.0, qps)])
+    }
+
+    /// A schedule from explicit `(from_s, qps)` steps. Steps must be
+    /// strictly increasing in time, start at 0, and carry finite
+    /// non-negative rates (0 = arrivals paused).
+    pub fn new(steps: Vec<(f64, f64)>) -> Self {
+        assert!(!steps.is_empty(), "rate schedule needs at least one step");
+        assert_eq!(steps[0].0, 0.0, "rate schedule must start at t=0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "rate steps must be strictly increasing");
+        }
+        for &(from, qps) in &steps {
+            assert!(from.is_finite() && qps.is_finite(), "non-finite rate step");
+            assert!(qps >= 0.0, "negative arrival rate");
+        }
+        RateSchedule { steps }
+    }
+
+    /// The rate in force at time `t` (seconds).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.steps
+            .iter()
+            .rev()
+            .find(|&&(from, _)| t >= from)
+            .map(|&(_, qps)| qps)
+            .unwrap_or(self.steps[0].1)
+    }
+
+    /// The steps, for diagnostics.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+}
+
+/// Arrivals for one service-mode epoch `[start, end)`.
+///
+/// Derived statelessly from `(seed, epoch)`: the exponential clock restarts
+/// at each epoch boundary with a fresh per-epoch RNG, so a run restored
+/// from a snapshot taken at any epoch boundary regenerates the identical
+/// arrival stream for every later epoch — the property the service mode's
+/// restore-equivalence law rests on. The rate is sampled from `schedule`
+/// at each arrival instant, so a step mid-epoch takes effect mid-epoch.
+#[allow(clippy::too_many_arguments)]
+pub fn epoch_arrivals(
+    scenario: &ScenarioConfig,
+    schedule: &RateSchedule,
+    k: usize,
+    edge_margin: f64,
+    seed: u64,
+    epoch: u64,
+    start: f64,
+    end: f64,
+) -> Vec<QueryRequest> {
+    assert!(k >= 1, "k must be positive");
+    assert!(start < end, "empty epoch window");
+    let mix = seed
+        .wrapping_mul(0x517C_C1B7)
+        .wrapping_add(3)
+        .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = SmallRng::seed_from_u64(mix);
+    let mut out = Vec::new();
+    let mut t = start;
+    loop {
+        let qps = schedule.rate_at(t);
+        if qps <= 0.0 {
+            // Paused: skip to the next step inside the window, if any.
+            match schedule
+                .steps
+                .iter()
+                .find(|&&(from, rate)| from > t && rate > 0.0)
+            {
+                Some(&(from, _)) if from < end => t = from,
+                _ => break,
+            }
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / qps;
+        if t >= end {
+            break;
+        }
+        out.push(QueryRequest {
+            at: t,
+            sink: NodeId(rng.gen_range(0..scenario.nodes) as u32),
+            q: scenario.random_query_point(&mut rng, edge_margin),
+            k,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +334,54 @@ mod tests {
         .generate(&sc, 5);
         assert_eq!(capped.len(), 3.min(via_load.len()));
         assert_eq!(&via_load[..capped.len()], &capped[..]);
+    }
+
+    #[test]
+    fn rate_schedule_steps_take_effect() {
+        let rs = RateSchedule::new(vec![(0.0, 2.0), (10.0, 8.0), (20.0, 0.0)]);
+        assert_eq!(rs.rate_at(0.0), 2.0);
+        assert_eq!(rs.rate_at(9.99), 2.0);
+        assert_eq!(rs.rate_at(10.0), 8.0);
+        assert_eq!(rs.rate_at(25.0), 0.0);
+        assert_eq!(RateSchedule::constant(3.0).rate_at(1e6), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rate_schedule_rejects_unordered_steps() {
+        RateSchedule::new(vec![(0.0, 1.0), (5.0, 2.0), (5.0, 3.0)]);
+    }
+
+    #[test]
+    fn epoch_arrivals_are_stateless_per_epoch() {
+        let sc = ScenarioConfig::default();
+        let rs = RateSchedule::constant(4.0);
+        let a = epoch_arrivals(&sc, &rs, 10, 15.0, 7, 3, 15.0, 20.0);
+        let b = epoch_arrivals(&sc, &rs, 10, 15.0, 7, 3, 15.0, 20.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for r in &a {
+            assert!(r.at >= 15.0 && r.at < 20.0);
+            assert!(r.sink.index() < sc.nodes);
+        }
+        // A different epoch index draws a different stream even over the
+        // same window (the per-epoch derivation, not the window, keys it).
+        let c = epoch_arrivals(&sc, &rs, 10, 15.0, 7, 4, 15.0, 20.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn epoch_arrivals_respect_rate_pause() {
+        let sc = ScenarioConfig::default();
+        let rs = RateSchedule::new(vec![(0.0, 0.0), (4.0, 50.0)]);
+        let a = epoch_arrivals(&sc, &rs, 5, 15.0, 1, 0, 0.0, 6.0);
+        assert!(!a.is_empty());
+        for r in &a {
+            assert!(r.at >= 4.0, "arrival {} during the paused stretch", r.at);
+        }
+        // Fully paused window: no arrivals at all.
+        let quiet = RateSchedule::new(vec![(0.0, 0.0)]);
+        assert!(epoch_arrivals(&sc, &quiet, 5, 15.0, 1, 0, 0.0, 6.0).is_empty());
     }
 
     mod props {

@@ -17,7 +17,7 @@
 use diknn_core::{Diknn, DiknnConfig, KnnProtocol, QueryRequest};
 use diknn_geom::Point;
 use diknn_sim::{EventTrace, FaultPlan, NodeId, Simulator, TraceConfig};
-use diknn_workloads::{invariants, ScenarioConfig};
+use diknn_workloads::{invariants, RateSchedule, ScenarioConfig, ServiceConfig, ServiceRun};
 
 const SEED: u64 = 2007;
 
@@ -217,6 +217,53 @@ fn concurrent_static_scenario_matches_golden() {
         "concurrent_static.trace",
         include_str!("golden/concurrent_static.trace"),
         &trace.render_protocol(),
+    );
+}
+
+/// The pinned resident-service scenario: continuous churn, streaming
+/// arrivals, and a snapshot/restore at the midpoint. The golden file pins
+/// the *restored* run's full protocol trace — so it also re-proves, on
+/// every CI run, that a restore midway leaves no seam in the history.
+fn pinned_service_cfg() -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(
+        ScenarioConfig {
+            nodes: 120,
+            max_speed: 0.0,
+            duration: 40.0,
+            ..ScenarioConfig::default()
+        },
+        RateSchedule::constant(0.4),
+    );
+    cfg.epoch_s = 2.0;
+    cfg.k = 6;
+    cfg.faults = FaultPlan::churning(0.2, 10.0, 4.0, 2.0, 30.0);
+    cfg
+}
+
+#[test]
+fn service_restore_scenario_matches_golden() {
+    // 8 epochs, snapshot, restore, 8 more — the pinned midpoint restore.
+    let mut head = ServiceRun::new(pinned_service_cfg(), SEED);
+    head.run_epochs(8);
+    let bytes = head.snapshot();
+    drop(head);
+    let mut run = ServiceRun::restore(&bytes, pinned_service_cfg()).expect("restore");
+    run.run_epochs(8);
+    let (proto, ctx) = run.finish();
+    invariants::assert_clean(ctx.trace(), proto.outcomes());
+    let rendered = ctx.trace().render_protocol();
+    assert!(
+        rendered.contains("leave") && rendered.contains("rejoin"),
+        "pinned service run must exercise churn:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("query-done"),
+        "pinned service run must finish queries:\n{rendered}"
+    );
+    assert_matches_golden(
+        "service_restore.trace",
+        include_str!("golden/service_restore.trace"),
+        &rendered,
     );
 }
 
