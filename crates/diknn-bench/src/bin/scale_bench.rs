@@ -21,15 +21,22 @@
 //! Output: a human table on stdout and machine-readable
 //! `results/BENCH_scale.json`.
 //!
+//! The brute-force oracle is an O(n²) scan per transmission and exists
+//! only to witness equivalence; above [`BRUTE_MAX_NODES`] nodes it is
+//! skipped (with a printed note) so the grid curve can extend to 10k
+//! nodes without an hours-long oracle run. The JSON carries a dedicated
+//! `events_per_sec_series` (grid, single-thread) for plotting the
+//! engine's throughput curve across the population axis.
+//!
 //! Knobs (this binary defaults smaller than the paper bins — the default
-//! matrix is 4 node counts × 2 indexes × up to 2 thread counts):
+//! matrix is 6 node counts × up to 2 indexes × up to 2 thread counts):
 //!
 //! * `DIKNN_RUNS`        — seeded runs per cell (default 3)
 //! * `DIKNN_SEED`        — base seed (default 1000)
 //! * `DIKNN_DURATION`    — simulated seconds per run (default 30)
 //! * `DIKNN_THREADS`     — "all threads" axis (default: available cores)
 //! * `DIKNN_SCALE_NODES` — comma-separated node counts
-//!   (default `250,500,1000,2000`)
+//!   (default `250,500,1000,2000,5000,10000`)
 
 // Wall-clock timing is the entire point of this binary; it never feeds
 // back into simulation state, so the determinism ban is lifted here (the
@@ -51,6 +58,11 @@ const NODE_DEGREE: f64 = 20.0;
 /// RWP speed cap (m/s); nonzero so the grid's incremental refresh and
 /// drift padding are on the measured path.
 const MAX_SPEED: f64 = 5.0;
+/// Largest population the brute-force equivalence oracle still runs at.
+/// The oracle is O(n²) per transmission; beyond this it would dominate
+/// the whole bench without adding evidence (grid-vs-brute identity is
+/// already witnessed at every count up to here).
+const BRUTE_MAX_NODES: usize = 2000;
 
 /// Timings and behaviour fingerprint of one seeded run.
 struct RunOut {
@@ -113,7 +125,7 @@ fn env_f64(name: &str, default: f64) -> f64 {
 
 /// Node counts from `DIKNN_SCALE_NODES` (comma-separated).
 fn scale_nodes() -> Vec<usize> {
-    let default = vec![250, 500, 1000, 2000];
+    let default = vec![250, 500, 1000, 2000, 5000, 10000];
     match std::env::var("DIKNN_SCALE_NODES") {
         Ok(raw) => {
             let parsed: Vec<usize> = raw
@@ -306,15 +318,32 @@ fn render_json(
     let nodes_list: Vec<String> = node_counts.iter().map(|n| n.to_string()).collect();
     let cell_rows: Vec<String> = cells.iter().map(cell_json).collect();
     let speedup_rows: Vec<String> = speedups.iter().map(speedup_json).collect();
+    // Schema 2 (PR 9): the throughput curve across the population axis,
+    // taken from the grid single-thread cells — the headline series the
+    // hot-path overhaul is judged against.
+    let series_rows: Vec<String> = cells
+        .iter()
+        .filter(|c| c.index == NeighborIndex::Grid && c.threads == 1)
+        .map(|c| {
+            format!(
+                "    {{\"nodes\": {}, \"events_per_sec\": {:.1}}}",
+                c.nodes,
+                c.events_per_sec()
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"bench\": \"scale_bench\",\n  \"schema_version\": 1,\n  \"config\": {{\
+        "{{\n  \"bench\": \"scale_bench\",\n  \"schema_version\": 2,\n  \"config\": {{\
          \"runs\": {runs}, \"base_seed\": {seed}, \"duration_s\": {duration:.1}, \
          \"node_degree\": {NODE_DEGREE:.1}, \"radio_range\": {RADIO_RANGE:.1}, \
          \"max_speed\": {MAX_SPEED:.1}, \"threads_max\": {t_max}, \
-         \"node_counts\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ],\n  \
+         \"brute_max_nodes\": {BRUTE_MAX_NODES}, \
+         \"node_counts\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \
+         \"events_per_sec_series\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ],\n  \
          \"equivalence\": {{\"all_variants_bit_identical\": {equivalent}}}\n}}\n",
         nodes_list.join(", "),
         cell_rows.join(",\n"),
+        series_rows.join(",\n"),
         speedup_rows.join(",\n"),
     )
 }
@@ -350,7 +379,16 @@ fn main() {
             ..WorkloadConfig::default()
         };
         let group_start = cells.len();
-        for index in [NeighborIndex::Grid, NeighborIndex::BruteForce] {
+        let indexes: &[NeighborIndex] = if n <= BRUTE_MAX_NODES {
+            &[NeighborIndex::Grid, NeighborIndex::BruteForce]
+        } else {
+            println!(
+                "note: brute-force oracle skipped at nodes={n} \
+                 (O(n\u{b2}) scan; gated above {BRUTE_MAX_NODES})"
+            );
+            &[NeighborIndex::Grid]
+        };
+        for &index in indexes {
             for &tc in &thread_counts {
                 let cell = bench_cell(&scenario, &wl, index, tc, runs, seed);
                 print_cell(&cell);

@@ -181,6 +181,12 @@ pub struct SimConfig {
     /// membership). [`NeighborIndex::Grid`] by default;
     /// [`NeighborIndex::BruteForce`] keeps the O(n) scan as an oracle.
     pub neighbor_index: NeighborIndex,
+    /// Reuse each node's audible candidate list across transmissions until
+    /// the grid refreshes or the padded query window moves to different
+    /// cells. Pure caching — runs are bit-identical with it off (the
+    /// equivalence is tested); the switch exists for profiling A/B runs.
+    /// No effect under [`NeighborIndex::BruteForce`]. On by default.
+    pub audible_cache: bool,
     /// If true, neighbour tables are fed directly from the mobility oracle
     /// (perfect, instantaneous neighbourhood knowledge, no beacon traffic).
     /// Used by unit tests and by ablations that want to isolate protocol
@@ -223,6 +229,7 @@ impl Default for SimConfig {
             beacon_bytes: 20,
             neighbor_timeout: beacon_interval.mul_f64(2.2),
             neighbor_index: NeighborIndex::default(),
+            audible_cache: true,
             oracle_neighbors: false,
             tx_power_w: 0.0522,
             rx_power_w: 0.0564,

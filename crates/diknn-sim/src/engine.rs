@@ -15,8 +15,7 @@
 //!   collision rule, which also captures hidden terminals); optional uniform
 //!   packet loss on top. Unicast frames get link-layer retries.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use diknn_geom::Point;
@@ -30,10 +29,12 @@ use crate::config::{MacMode, NeighborIndex, SimConfig};
 use crate::energy::{EnergyMeter, TrafficClass};
 use crate::faults::LinkLossModel;
 use crate::grid::SpatialGrid;
-use crate::ids::{NodeId, TimerId, TxId};
+use crate::ids::{NodeId, TimerId};
 use crate::lifecycle::NodePhase;
 use crate::neighbors::{Neighbor, NeighborTable};
-use crate::stats::SimStats;
+use crate::queue::{EventQueue, FramePool, Handle};
+use crate::soa::{FlowLedger, NodeSoA};
+use crate::stats::{PerfCounters, SimStats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, EventTrace, ProtoEvent, TraceKind};
 
@@ -43,7 +44,13 @@ use crate::trace::{DropReason, EventTrace, ProtoEvent, TraceKind};
 /// added piece of state — must bump this constant. Old snapshots are then
 /// rejected loudly by [`Simulator::restore`] instead of being quietly
 /// misread; there is deliberately no cross-version migration path.
-pub const SNAP_VERSION: u32 = 1;
+///
+/// Version 2: hot-path memory overhaul (DESIGN §14) — frames moved from a
+/// `BTreeMap` to a slot/generation [`FramePool`] (handles replace dense tx
+/// ids on the wire), per-node state packed into [`NodeSoA`] with the new
+/// carrier-sense columns, the flow-energy ledger densified, and per-event-
+/// kind counters added to [`SimStats`].
+pub const SNAP_VERSION: u32 = 2;
 
 /// A mobility plan shared between the simulator and the ground-truth oracle.
 pub type SharedMobility = Arc<dyn Mobility>;
@@ -106,11 +113,14 @@ struct PendingTx<M> {
     /// `None` for beacons and untagged traffic. Pure accounting — never
     /// consulted by the MAC or delivery paths.
     flow: Option<u32>,
+    /// Set while the frame is on the air (it has a matching `ActiveTx`);
+    /// guards against double-starting a transmission.
+    on_air: bool,
 }
 
 /// A frame currently on the air.
 struct ActiveTx {
-    id: TxId,
+    id: Handle,
     from: NodeId,
     /// Nodes that were within range at transmission start, with a flag set
     /// when their copy has been destroyed by a collision.
@@ -120,8 +130,8 @@ struct ActiveTx {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    MacAttempt(TxId),
-    TxEnd(TxId),
+    MacAttempt(Handle),
+    TxEnd(Handle),
     Timer {
         node: NodeId,
         id: TimerId,
@@ -136,25 +146,6 @@ enum EventKind {
     Leave(NodeId),
     /// Churn plan: a churned-out node rejoins (amnesiac under state loss).
     Rejoin(NodeId),
-}
-
-#[derive(PartialEq, Eq)]
-struct QueuedEvent {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 // ----- snapshot encoding of the engine-private state types --------------
@@ -195,6 +186,7 @@ impl<M: Snap> Snap for PendingTx<M> {
         self.backoffs.snap(w);
         self.retries.snap(w);
         self.flow.snap(w);
+        self.on_air.snap(w);
     }
     fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         Ok(PendingTx {
@@ -205,6 +197,7 @@ impl<M: Snap> Snap for PendingTx<M> {
             backoffs: u32::unsnap(r)?,
             retries: u32::unsnap(r)?,
             flow: Option::unsnap(r)?,
+            on_air: bool::unsnap(r)?,
         })
     }
 }
@@ -227,7 +220,41 @@ diknn_snap::snap_enum!(EventKind {
     7 => Rejoin(node),
 });
 
-diknn_snap::snap_struct!(QueuedEvent { time, seq, kind });
+/// Per-node cached grid-candidate lists for the audible-set query (see
+/// `Ctx::fill_receivers`). Derived state: never serialized — a restored
+/// run starts cold — and semantically transparent, since a hit returns
+/// exactly the list a fresh grid query over the same (epoch, cell-window)
+/// would produce.
+struct AudCache {
+    /// Grid epoch each node's list was filled at; `u64::MAX` = never.
+    epoch: Vec<u64>,
+    /// Padded query cell-window the list was filled for.
+    window: Vec<(u32, u32, u32, u32)>,
+    /// Sorted (ascending, unique) grid candidate ids.
+    list: Vec<Vec<u32>>,
+}
+
+impl AudCache {
+    fn new(n: usize) -> Self {
+        AudCache {
+            epoch: vec![u64::MAX; n],
+            window: vec![(0, 0, 0, 0); n],
+            list: vec![Vec::new(); n],
+        }
+    }
+}
+
+/// Reusable hot-path scratch buffers. Never serialized: contents are dead
+/// between events; only the allocations are recycled.
+#[derive(Default)]
+struct Scratch {
+    /// Grid candidates for cache-off audible queries.
+    cand: Vec<u32>,
+    /// Free receiver lists for `ActiveTx` (returned at end-of-frame).
+    recv: Vec<Vec<(NodeId, bool)>>,
+    /// Free delivery lists (returned once callbacks have run).
+    succ: Vec<Vec<NodeId>>,
+}
 
 /// All mutable run state except the protocol: world, queue, RNG, meters.
 ///
@@ -241,11 +268,13 @@ pub struct Ctx<M> {
     now: SimTime,
     rng: SmallRng,
     stats: SimStats,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Inline 4-ary min-heap over `(time, seq)`; see [`crate::queue`].
+    queue: EventQueue<EventKind>,
     seq: u64,
-    next_tx: u64,
     next_timer: u64,
-    pending: BTreeMap<u64, PendingTx<M>>,
+    /// Frames waiting for (or undergoing) MAC transmission, addressed by
+    /// generation-checked [`Handle`]s carried inside the queued events.
+    frames: FramePool<PendingTx<M>>,
     active: Vec<ActiveTx>,
     cancelled_timers: BTreeSet<u64>,
     stopped: bool,
@@ -253,13 +282,9 @@ pub struct Ctx<M> {
     /// `on_start` delivered). Snapshotted so a restored run never re-runs
     /// its startup sequence.
     started: bool,
-    /// Per-node liveness (fault plan); dead nodes neither tx nor rx.
-    alive: Vec<bool>,
-    /// Per-node lifecycle phase; kept in lockstep with `alive` (the hot
-    /// path keeps reading the bitmap, lifecycle-aware callers read this).
-    lifecycle: Vec<NodePhase>,
-    /// Per-receiver Gilbert–Elliott channel state (true = Bad).
-    ge_bad: Vec<bool>,
+    /// Per-node state columns (liveness, lifecycle, Gilbert–Elliott
+    /// channel state, carrier-sense counters), indexed by dense node id.
+    nodes: NodeSoA,
     /// Spatial index over node positions for the radio hot path; `None`
     /// under [`NeighborIndex::BruteForce`]. Grid answers are candidate
     /// supersets, always exact-checked against true positions, so both
@@ -268,11 +293,18 @@ pub struct Ctx<M> {
     /// The flight recorder (see [`crate::trace`]); disabled unless
     /// `SimConfig::trace.enabled` (or the legacy `trace_tx`) is set.
     trace: EventTrace,
-    /// Per-flow protocol energy ledger (joules), keyed by the flow label
+    /// Per-flow protocol energy ledger (joules), indexed by the flow label
     /// passed to [`Ctx::unicast_flow`]/[`Ctx::broadcast_flow`]. Each frame's
     /// tx charge plus every receiver's rx charge lands on its flow, so the
     /// ledger sums to `total_protocol_energy_j` when all traffic is tagged.
-    flow_energy: BTreeMap<u32, f64>,
+    flow_energy: FlowLedger,
+    /// Incremental audible-set cache (derived, not snapshotted).
+    aud: AudCache,
+    /// Recycled hot-path buffers (derived, not snapshotted).
+    scratch: Scratch,
+    /// Implementation performance counters (not snapshotted, not part of
+    /// any behavioural fingerprint — see [`PerfCounters`]).
+    perf: PerfCounters,
 }
 
 impl<M: Clone> Ctx<M> {
@@ -341,7 +373,7 @@ impl<M: Clone> Ctx<M> {
             let range2 = self.cfg.radio_range * self.cfg.radio_range;
             let t = self.now.as_secs_f64();
             let neighbor_of = |i: usize| -> Option<Neighbor> {
-                if i == node.index() || !self.alive[i] {
+                if i == node.index() || !self.nodes.alive[i] {
                     return None;
                 }
                 let p = self.mobility[i].position_at(t);
@@ -402,19 +434,19 @@ impl<M: Clone> Ctx<M> {
     /// Whether `node` is currently up (fault plan liveness).
     #[inline]
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive[node.index()]
+        self.nodes.alive[node.index()]
     }
 
     /// Lifecycle phase of `node`: up, temporarily down (crash/churn), or
     /// permanently dead (energy exhaustion).
     #[inline]
     pub fn phase(&self, node: NodeId) -> NodePhase {
-        self.lifecycle[node.index()]
+        self.nodes.phase[node.index()]
     }
 
     /// Number of currently-live nodes.
     pub fn alive_count(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.nodes.alive.iter().filter(|&&a| a).count()
     }
 
     /// The recorded event trace; empty unless tracing was enabled via
@@ -443,10 +475,19 @@ impl<M: Clone> Ctx<M> {
     /// Per-flow protocol energy ledger: joules attributed to each flow
     /// label (query id) via [`Ctx::unicast_flow`]/[`Ctx::broadcast_flow`].
     /// Untagged traffic (plain `unicast`/`broadcast`, beacons) is charged
-    /// to the node meters only and does not appear here.
+    /// to the node meters only and reads as zero here.
     #[inline]
-    pub fn flow_energy_j(&self) -> &BTreeMap<u32, f64> {
+    pub fn flow_energy_j(&self) -> &FlowLedger {
         &self.flow_energy
+    }
+
+    /// Implementation-side performance counters (audible-cache hit rate,
+    /// grid refreshes). Deliberately outside [`Ctx::stats`]: these describe
+    /// *how* the run was computed, differ across index variants, and reset
+    /// on restore — see [`PerfCounters`].
+    #[inline]
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
     }
 
     /// Seeded RNG for protocol-level randomness (timer jitter etc.).
@@ -567,7 +608,7 @@ impl<M: Clone> Ctx<M> {
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+        self.queue.push(time, seq, kind);
     }
 
     fn enqueue_frame(
@@ -578,24 +619,20 @@ impl<M: Clone> Ctx<M> {
         payload_bytes: usize,
         flow: Option<u32>,
     ) {
-        let id = TxId(self.next_tx);
-        self.next_tx += 1;
-        self.pending.insert(
-            id.0,
-            PendingTx {
-                from,
-                dest,
-                frame,
-                payload_bytes,
-                backoffs: 0,
-                retries: 0,
-                flow,
-            },
-        );
+        let h = self.frames.insert(PendingTx {
+            from,
+            dest,
+            frame,
+            payload_bytes,
+            backoffs: 0,
+            retries: 0,
+            flow,
+            on_air: false,
+        });
         // Initial desynchronisation jitter.
         let jitter = self.random_backoff(0);
         let at = self.now + jitter;
-        self.schedule(at, EventKind::MacAttempt(id));
+        self.schedule(at, EventKind::MacAttempt(h));
     }
 
     fn random_backoff(&mut self, exponent: u32) -> SimDuration {
@@ -605,41 +642,103 @@ impl<M: Clone> Ctx<M> {
 
     // lint: hot-path (carrier sense + audibility run once per MAC attempt)
     /// True when `node` senses the channel busy: it is transmitting or is
-    /// within range of an ongoing transmission.
+    /// within range of an ongoing transmission. O(1): the SoA counters are
+    /// maintained by `start_transmission`/`finish_transmission` and count
+    /// exactly the memberships the old scan over `active` tested.
+    #[inline]
     fn channel_busy(&self, node: NodeId) -> bool {
-        self.active
-            .iter()
-            .any(|a| a.from == node || a.receivers.iter().any(|&(r, _)| r == node))
+        let i = node.index();
+        self.nodes.tx_count[i] > 0 || self.nodes.rx_cover[i] > 0
     }
 
-    /// Nodes within radio range of `from` right now, ascending by id.
-    fn audible_set(&self, from: NodeId) -> Vec<(NodeId, bool)> {
+    /// Append to `out` (which must be empty) the nodes within radio range
+    /// of `from` right now, ascending by id.
+    ///
+    /// With the grid index and `audible_cache` on, the node's grid
+    /// candidate list is reused across transmissions until the grid
+    /// refreshes or the padded query window moves to different cells.
+    /// Bucket contents only change on refresh (= epoch bump), so a cached
+    /// list over the same (epoch, window) is byte-identical to a fresh
+    /// query: same membership, same order, same downstream RNG draws.
+    fn fill_receivers(&mut self, from: NodeId, out: &mut Vec<(NodeId, bool)>) {
+        debug_assert!(out.is_empty());
         let origin = self.position(from);
         let range2 = self.cfg.radio_range * self.cfg.radio_range;
         let t = self.now.as_secs_f64();
+        let fi = from.index();
+        let Ctx {
+            cfg,
+            mobility,
+            nodes,
+            grid,
+            aud,
+            scratch,
+            perf,
+            now,
+            ..
+        } = self;
         let in_range = |i: usize| -> bool {
-            i != from.index()
-                && self.alive[i]
-                && origin.dist_sq(self.mobility[i].position_at(t)) <= range2
+            i != fi && nodes.alive[i] && origin.dist_sq(mobility[i].position_at(t)) <= range2
         };
-        let mut out = Vec::new();
-        if let Some(grid) = &self.grid {
-            let mut cand = Vec::new();
-            grid.candidates_near(origin, self.cfg.radio_range, self.now, &mut cand);
-            cand.sort_unstable();
-            for &i in &cand {
-                if in_range(i as usize) {
-                    out.push((NodeId(i), false));
+        let Some(grid) = grid.as_ref() else {
+            for i in 0..mobility.len() {
+                if in_range(i) {
+                    out.push((NodeId(i as u32), false));
                 }
             }
-            return out;
-        }
-        for i in 0..self.mobility.len() {
-            if in_range(i) {
-                out.push((NodeId(i as u32), false));
+            return;
+        };
+        let window = grid.cover_cells(origin, cfg.radio_range, *now);
+        let cand: &[u32] = if cfg.audible_cache {
+            if aud.epoch[fi] == grid.epoch() && aud.window[fi] == window {
+                perf.aud_cache_hits += 1;
+            } else {
+                let list = &mut aud.list[fi];
+                list.clear();
+                grid.collect_cells(window, list);
+                list.sort_unstable();
+                aud.epoch[fi] = grid.epoch();
+                aud.window[fi] = window;
+                perf.aud_cache_misses += 1;
             }
+            &aud.list[fi]
+        } else {
+            scratch.cand.clear();
+            grid.collect_cells(window, &mut scratch.cand);
+            scratch.cand.sort_unstable();
+            &scratch.cand
+        };
+        // Triage candidates against their grid anchors before paying for
+        // an exact mobility-plan evaluation. A candidate's true position
+        // is within `drift` of its anchor, so anchor distances outside
+        // `range ± drift` decide membership outright; only the ambiguity
+        // band needs the exact check. `ANCHOR_EPS` absorbs the few-ulp
+        // rounding slack between the anchor-distance and exact-distance
+        // computations, keeping both shortcuts conservative: any
+        // candidate the triage classifies would get the same answer from
+        // the exact predicate, so the receiver set — and every RNG draw
+        // downstream of it — is bit-identical to the brute-force scan.
+        const ANCHOR_EPS: f64 = 1e-6;
+        let drift = grid.drift_bound(*now);
+        let far = cfg.radio_range + drift + ANCHOR_EPS;
+        let far_sq = far * far;
+        let near = cfg.radio_range - drift - ANCHOR_EPS;
+        let near_sq = if near > 0.0 { near * near } else { -1.0 };
+        let anchors = grid.anchors();
+        for &i in cand {
+            let ix = i as usize;
+            if ix == fi || !nodes.alive[ix] {
+                continue;
+            }
+            let d0 = origin.dist_sq(anchors[ix]);
+            if d0 > far_sq {
+                continue; // definitely out of range
+            }
+            if d0 > near_sq && origin.dist_sq(mobility[ix].position_at(t)) > range2 {
+                continue; // ambiguity band: exact check says out
+            }
+            out.push((NodeId(i), false));
         }
-        out
     }
 
     /// Incrementally re-bucket the spatial grid once accumulated node
@@ -648,20 +747,27 @@ impl<M: Clone> Ctx<M> {
     /// scenarios (`vmax = 0` never drifts).
     fn refresh_grid_if_stale(&mut self) {
         let now = self.now;
-        let mobility = &self.mobility;
-        if let Some(grid) = self.grid.as_mut() {
+        let Ctx {
+            mobility,
+            grid,
+            perf,
+            ..
+        } = self;
+        if let Some(grid) = grid.as_mut() {
             if grid.needs_refresh(now) {
                 let t = now.as_secs_f64();
                 grid.refresh(|i| mobility[i].position_at(t), now);
+                perf.grid_refreshes += 1;
             }
         }
     }
 
-    /// Begin transmitting pending frame `id`: mark collisions and schedule
-    /// the end-of-frame event.
-    fn start_transmission(&mut self, id: TxId) {
+    /// Begin transmitting pending frame `h`: mark collisions, bump the
+    /// carrier-sense counters, and schedule the end-of-frame event.
+    fn start_transmission(&mut self, h: Handle) {
         let (from, airtime, dest, beacon) = {
-            let p = self.pending.get(&id.0).expect("pending tx");
+            let p = self.frames.get_mut(h).expect("pending tx");
+            p.on_air = true;
             (
                 p.from,
                 self.cfg.packet_airtime(p.payload_bytes),
@@ -680,33 +786,48 @@ impl<M: Clone> Ctx<M> {
                 beacon,
             },
         );
-        let mut receivers = self.audible_set(from);
+        let mut receivers = self.scratch.recv.pop().unwrap_or_default();
+        self.fill_receivers(from, &mut receivers);
         if self.cfg.mac == MacMode::Contention {
             // Collision rule: a receiver hearing two overlapping
             // transmissions loses both copies; a transmitting node cannot
-            // receive.
+            // receive. The SoA counters stand in for the old scans over
+            // `active` (they count exactly the same memberships).
             for (r, corrupted) in receivers.iter_mut() {
-                if self.active.iter().any(|a| a.from == *r) {
+                if self.nodes.tx_count[r.index()] > 0 {
                     *corrupted = true;
                 }
             }
-            for other in self.active.iter_mut() {
-                for (r, corrupted) in other.receivers.iter_mut() {
-                    if let Some((_, mine)) = receivers.iter_mut().find(|(mr, _)| mr == r) {
-                        *corrupted = true;
-                        *mine = true;
-                        self.stats.collisions += 1;
+            // Walk the active list only when some receiver of mine is
+            // covered by another transmission (my own counters are not
+            // bumped yet, so `rx_cover` means "covered by someone else").
+            if receivers
+                .iter()
+                .any(|&(r, _)| self.nodes.rx_cover[r.index()] > 0)
+            {
+                for other in self.active.iter_mut() {
+                    for (r, corrupted) in other.receivers.iter_mut() {
+                        // `receivers` is sorted ascending with unique ids.
+                        if let Ok(at) = receivers.binary_search_by_key(r, |&(mr, _)| mr) {
+                            *corrupted = true;
+                            receivers[at].1 = true;
+                            self.stats.collisions += 1;
+                        }
                     }
                 }
             }
         }
+        self.nodes.tx_count[from.index()] += 1;
+        for &(r, _) in &receivers {
+            self.nodes.rx_cover[r.index()] += 1;
+        }
         self.active.push(ActiveTx {
-            id,
+            id: h,
             from,
             receivers,
             airtime,
         });
-        self.schedule(self.now + airtime, EventKind::TxEnd(id));
+        self.schedule(self.now + airtime, EventKind::TxEnd(h));
     }
     // lint: end-hot-path
 }
@@ -758,21 +879,21 @@ impl<P: Protocol> Simulator<P> {
             now: SimTime::ZERO,
             rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             stats: SimStats::default(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             seq: 0,
-            next_tx: 0,
             next_timer: 0,
-            pending: BTreeMap::new(),
+            frames: FramePool::new(),
             active: Vec::new(),
             cancelled_timers: BTreeSet::new(),
             stopped: false,
             started: false,
-            alive: vec![true; n],
-            lifecycle: vec![NodePhase::Up; n],
-            ge_bad: vec![false; n],
+            nodes: NodeSoA::new(n),
             grid: None,
             trace,
-            flow_energy: BTreeMap::new(),
+            flow_energy: FlowLedger::new(),
+            aud: AudCache::new(n),
+            scratch: Scratch::default(),
+            perf: PerfCounters::default(),
         };
         if ctx.cfg.neighbor_index == NeighborIndex::Grid {
             let vmax = ctx
@@ -994,30 +1115,34 @@ impl<P: Protocol> Simulator<P> {
             if self.ctx.stopped {
                 break;
             }
-            let Some(Reverse(head)) = self.ctx.queue.peek() else {
+            let Some((head_time, _)) = self.ctx.queue.peek_key() else {
                 break;
             };
-            if head.time > until {
+            if head_time > until {
                 break;
             }
-            let Some(Reverse(ev)) = self.ctx.queue.pop() else {
+            let Some((time, _seq, kind)) = self.ctx.queue.pop() else {
                 break;
             };
-            self.ctx.now = ev.time;
+            self.ctx.now = time;
             self.ctx.refresh_grid_if_stale();
             self.ctx.stats.events += 1;
-            match self.dispatch(ev.kind) {
+            match self.dispatch(kind) {
                 Callback::None => {}
                 Callback::Timer { node, key } => {
                     self.protocol.on_timer(node, key, &mut self.ctx);
                 }
                 Callback::Deliveries { from, msg, to } => {
-                    for node in to {
+                    for &node in &to {
                         self.protocol.on_message(node, from, &msg, &mut self.ctx);
                         if self.ctx.stopped {
                             break;
                         }
                     }
+                    // Delivery list consumed: recycle the allocation.
+                    let mut buf = to;
+                    buf.clear();
+                    self.ctx.scratch.succ.push(buf);
                 }
                 Callback::SendFailed { from, to, msg } => {
                     self.protocol.on_send_failed(from, to, &msg, &mut self.ctx);
@@ -1038,11 +1163,24 @@ impl<P: Protocol> Simulator<P> {
     /// callback.
     fn dispatch(&mut self, kind: EventKind) -> Callback<P::Msg> {
         let ctx = &mut self.ctx;
+        // Per-event-kind breakdown for the profiling harness. The counts
+        // are variant-invariant (the event sequence is bit-identical across
+        // index variants), so they are safe inside the fingerprinted stats.
+        match kind {
+            EventKind::MacAttempt(_) => ctx.stats.ev_mac_attempt += 1,
+            EventKind::TxEnd(_) => ctx.stats.ev_tx_end += 1,
+            EventKind::Timer { .. } => ctx.stats.ev_timer += 1,
+            EventKind::Beacon(_) => ctx.stats.ev_beacon += 1,
+            EventKind::Crash(_)
+            | EventKind::Recover(_)
+            | EventKind::Leave(_)
+            | EventKind::Rejoin(_) => ctx.stats.ev_lifecycle += 1,
+        }
         match kind {
             EventKind::Crash(node) => {
-                if ctx.alive[node.index()] {
-                    ctx.alive[node.index()] = false;
-                    ctx.lifecycle[node.index()] = NodePhase::Down;
+                if ctx.nodes.alive[node.index()] {
+                    ctx.nodes.alive[node.index()] = false;
+                    ctx.nodes.phase[node.index()] = NodePhase::Down;
                     ctx.stats.nodes_crashed += 1;
                     ctx.trace_event(node, TraceKind::Crash);
                 }
@@ -1056,18 +1194,18 @@ impl<P: Protocol> Simulator<P> {
                     .faults
                     .energy_budget_j
                     .is_some_and(|b| ctx.energy[node.index()].total_j() >= b);
-                if !ctx.alive[node.index()] && !exhausted {
-                    ctx.alive[node.index()] = true;
-                    ctx.lifecycle[node.index()] = NodePhase::Up;
+                if !ctx.nodes.alive[node.index()] && !exhausted {
+                    ctx.nodes.alive[node.index()] = true;
+                    ctx.nodes.phase[node.index()] = NodePhase::Up;
                     ctx.stats.nodes_recovered += 1;
                     ctx.trace_event(node, TraceKind::Recover);
                 }
                 Callback::None
             }
             EventKind::Leave(node) => {
-                if ctx.alive[node.index()] {
-                    ctx.alive[node.index()] = false;
-                    ctx.lifecycle[node.index()] = NodePhase::Down;
+                if ctx.nodes.alive[node.index()] {
+                    ctx.nodes.alive[node.index()] = false;
+                    ctx.nodes.phase[node.index()] = NodePhase::Down;
                     ctx.stats.nodes_left += 1;
                     ctx.trace_event(node, TraceKind::Leave);
                 }
@@ -1081,8 +1219,8 @@ impl<P: Protocol> Simulator<P> {
                     .faults
                     .energy_budget_j
                     .is_some_and(|b| ctx.energy[node.index()].total_j() >= b);
-                let dead = ctx.lifecycle[node.index()] == NodePhase::Dead;
-                if !ctx.alive[node.index()] && !exhausted && !dead {
+                let dead = ctx.nodes.phase[node.index()] == NodePhase::Dead;
+                if !ctx.nodes.alive[node.index()] && !exhausted && !dead {
                     if ctx.cfg.faults.churn.is_some_and(|c| c.state_loss) {
                         // Amnesiac rejoin: the node's own neighbour table
                         // is gone; it re-learns from beacons like a
@@ -1090,8 +1228,8 @@ impl<P: Protocol> Simulator<P> {
                         // old entry out on their own.
                         ctx.tables[node.index()].clear();
                     }
-                    ctx.alive[node.index()] = true;
-                    ctx.lifecycle[node.index()] = NodePhase::Up;
+                    ctx.nodes.alive[node.index()] = true;
+                    ctx.nodes.phase[node.index()] = NodePhase::Up;
                     ctx.stats.nodes_rejoined += 1;
                     ctx.trace_event(node, TraceKind::Rejoin);
                 }
@@ -1100,7 +1238,7 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Beacon(node) => {
                 // A dead node stays silent but keeps its beacon slot so it
                 // resumes advertising right after a recovery.
-                if ctx.alive[node.index()] {
+                if ctx.nodes.alive[node.index()] {
                     ctx.enqueue_frame(
                         node,
                         Destination::Broadcast,
@@ -1117,7 +1255,7 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Timer { node, id, key } => {
                 if ctx.cancelled_timers.remove(&id.0) {
                     Callback::None
-                } else if !ctx.alive[node.index()] {
+                } else if !ctx.nodes.alive[node.index()] {
                     // A dead node's CPU is off: its timers never fire. (If
                     // it recovers the timers stay lost — protocols must
                     // tolerate that, which is what the token watchdog and
@@ -1130,15 +1268,15 @@ impl<P: Protocol> Simulator<P> {
                     Callback::Timer { node, key }
                 }
             }
-            EventKind::MacAttempt(id) => {
-                let Some(from) = ctx.pending.get(&id.0).map(|p| p.from) else {
-                    return Callback::None;
+            EventKind::MacAttempt(h) => {
+                let Some((from, on_air)) = ctx.frames.get(h).map(|p| (p.from, p.on_air)) else {
+                    return Callback::None; // frame already resolved; handle is stale
                 };
-                if !ctx.alive[from.index()] {
+                if !ctx.nodes.alive[from.index()] {
                     // Sender died while the frame sat in the MAC queue: the
                     // frame vanishes. No SendFailed — a dead protocol
                     // instance cannot react, that is the point.
-                    ctx.pending.remove(&id.0);
+                    ctx.frames.remove(h);
                     ctx.stats.frames_dropped_dead += 1;
                     ctx.trace_verbose(
                         from,
@@ -1149,15 +1287,15 @@ impl<P: Protocol> Simulator<P> {
                     );
                     return Callback::None;
                 }
-                if ctx.active.iter().any(|a| a.id == id) {
+                if on_air {
                     return Callback::None; // already on the air
                 }
                 if ctx.channel_busy(from) {
-                    let p = ctx.pending.get_mut(&id.0).expect("pending tx");
+                    let p = ctx.frames.get_mut(h).expect("pending tx");
                     p.backoffs += 1;
                     if p.backoffs > ctx.cfg.max_backoffs {
                         ctx.stats.mac_drops += 1;
-                        let p = ctx.pending.remove(&id.0).expect("pending tx");
+                        let p = ctx.frames.remove(h).expect("pending tx");
                         ctx.trace_verbose(
                             p.from,
                             TraceKind::Drop {
@@ -1177,25 +1315,27 @@ impl<P: Protocol> Simulator<P> {
                     let backoffs = p.backoffs;
                     let delay = ctx.random_backoff(backoffs);
                     let at = ctx.now + delay;
-                    ctx.schedule(at, EventKind::MacAttempt(id));
+                    ctx.schedule(at, EventKind::MacAttempt(h));
                     Callback::None
                 } else {
-                    ctx.start_transmission(id);
+                    ctx.start_transmission(h);
                     Callback::None
                 }
             }
-            EventKind::TxEnd(id) => self.finish_transmission(id),
+            EventKind::TxEnd(h) => self.finish_transmission(h),
         }
     }
 
-    fn finish_transmission(&mut self, id: TxId) -> Callback<P::Msg> {
+    fn finish_transmission(&mut self, h: Handle) -> Callback<P::Msg> {
         let ctx = &mut self.ctx;
         let pos = ctx
             .active
             .iter()
-            .position(|a| a.id == id)
+            .position(|a| a.id == h)
             .expect("active tx");
-        let active = ctx.active.swap_remove(pos);
+        let ActiveTx {
+            receivers, airtime, ..
+        } = ctx.active.swap_remove(pos);
         let PendingTx {
             from,
             dest,
@@ -1204,8 +1344,14 @@ impl<P: Protocol> Simulator<P> {
             retries,
             flow,
             ..
-        } = ctx.pending.remove(&id.0).expect("pending tx");
-        if !ctx.alive[from.index()] {
+        } = ctx.frames.remove(h).expect("pending tx");
+        // The air went quiet either way: release the carrier-sense
+        // counters bumped at transmission start (dead-sender path too).
+        ctx.nodes.tx_count[from.index()] -= 1;
+        for &(r, _) in &receivers {
+            ctx.nodes.rx_cover[r.index()] -= 1;
+        }
+        if !ctx.nodes.alive[from.index()] {
             // Sender crashed mid-air: the frame is truncated garbage. No
             // energy is charged (the crash froze the radio) and nothing is
             // delivered or retried.
@@ -1217,6 +1363,9 @@ impl<P: Protocol> Simulator<P> {
                     reason: DropReason::DeadSender,
                 },
             );
+            let mut buf = receivers;
+            buf.clear();
+            ctx.scratch.recv.push(buf);
             return Callback::None;
         }
         let class = match frame {
@@ -1230,23 +1379,23 @@ impl<P: Protocol> Simulator<P> {
         // filtering), so they pay header airtime only. Broadcasts and
         // corrupted copies are received in full — the radio cannot know.
         let (tx_p, rx_p) = (ctx.cfg.tx_power_w, ctx.cfg.rx_power_w);
-        let mut flow_j = ctx.energy[from.index()].charge_tx(tx_p, active.airtime, class);
+        let mut flow_j = ctx.energy[from.index()].charge_tx(tx_p, airtime, class);
         ctx.trace_energy(from);
         let header_airtime =
-            SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(active.airtime);
-        for &(r, corrupted) in &active.receivers {
-            if !ctx.alive[r.index()] {
+            SimDuration::airtime(ctx.cfg.header_bytes, ctx.cfg.bits_per_sec).min(airtime);
+        for &(r, corrupted) in &receivers {
+            if !ctx.nodes.alive[r.index()] {
                 continue; // died mid-reception: radio already off
             }
             let rx_time = match dest {
                 Destination::Unicast(to) if r != to && !corrupted => header_airtime,
-                _ => active.airtime,
+                _ => airtime,
             };
             flow_j += ctx.energy[r.index()].charge_rx(rx_p, rx_time, class);
             ctx.trace_energy(r);
         }
         if let Some(flow) = flow {
-            *ctx.flow_energy.entry(flow).or_insert(0.0) += flow_j;
+            ctx.flow_energy.charge(flow, flow_j);
         }
         ctx.stats.tx_frames += 1;
         ctx.stats.tx_bytes += (ctx.cfg.header_bytes + payload_bytes) as u64;
@@ -1258,16 +1407,16 @@ impl<P: Protocol> Simulator<P> {
         // this frame (sender or any receiver) dies permanently, before any
         // delivery is processed.
         if let Some(budget) = ctx.cfg.faults.energy_budget_j {
-            if ctx.alive[from.index()] && ctx.energy[from.index()].total_j() >= budget {
-                ctx.alive[from.index()] = false;
-                ctx.lifecycle[from.index()] = NodePhase::Dead;
+            if ctx.nodes.alive[from.index()] && ctx.energy[from.index()].total_j() >= budget {
+                ctx.nodes.alive[from.index()] = false;
+                ctx.nodes.phase[from.index()] = NodePhase::Dead;
                 ctx.stats.energy_deaths += 1;
                 ctx.trace_event(from, TraceKind::EnergyDeath);
             }
-            for &(r, _) in &active.receivers {
-                if ctx.alive[r.index()] && ctx.energy[r.index()].total_j() >= budget {
-                    ctx.alive[r.index()] = false;
-                    ctx.lifecycle[r.index()] = NodePhase::Dead;
+            for &(r, _) in &receivers {
+                if ctx.nodes.alive[r.index()] && ctx.energy[r.index()].total_j() >= budget {
+                    ctx.nodes.alive[r.index()] = false;
+                    ctx.nodes.phase[r.index()] = NodePhase::Dead;
                     ctx.stats.energy_deaths += 1;
                     ctx.trace_event(r, TraceKind::EnergyDeath);
                 }
@@ -1280,38 +1429,10 @@ impl<P: Protocol> Simulator<P> {
         // `receivers` order (ascending id), so every RNG draw is
         // deterministic.
         let t_now = ctx.now.since(SimTime::ZERO);
-        // Jam-zone membership: with the grid index, pre-filter to nodes
-        // whose cell could overlap a time-active zone, then exact-check
-        // with `FaultRegion::contains`; without it, each receiver is
-        // checked against every zone. Membership and the max loss per
-        // node are identical either way (the grid query is a superset and
-        // the containment predicate is shared), so the per-receiver RNG
-        // draw sequence below is unchanged.
-        let jam_map: Option<BTreeMap<u32, f64>> = match &ctx.grid {
-            Some(grid) if !ctx.cfg.faults.jam_zones.is_empty() => {
-                let mut map = BTreeMap::new();
-                let mut cand: Vec<u32> = Vec::new();
-                let t = ctx.now.as_secs_f64();
-                for z in &ctx.cfg.faults.jam_zones {
-                    if !(z.from <= t_now && t_now <= z.until) {
-                        continue;
-                    }
-                    cand.clear();
-                    grid.candidates_in_rect(&z.region.bounding_rect(), ctx.now, &mut cand);
-                    for &i in &cand {
-                        if z.region.contains(ctx.mobility[i as usize].position_at(t)) {
-                            let e = map.entry(i).or_insert(0.0_f64);
-                            *e = e.max(z.loss);
-                        }
-                    }
-                }
-                Some(map)
-            }
-            _ => None,
-        };
-        let mut successes: Vec<NodeId> = Vec::with_capacity(active.receivers.len());
-        for &(r, corrupted) in &active.receivers {
-            if !ctx.alive[r.index()] {
+        let mut successes = ctx.scratch.succ.pop().unwrap_or_default();
+        debug_assert!(successes.is_empty());
+        for &(r, corrupted) in &receivers {
+            if !ctx.nodes.alive[r.index()] {
                 continue;
             }
             if corrupted {
@@ -1320,21 +1441,21 @@ impl<P: Protocol> Simulator<P> {
                 continue;
             }
             if !ctx.cfg.faults.jam_zones.is_empty() {
-                let jam = match &jam_map {
-                    Some(map) => map.get(&r.0).copied().unwrap_or(0.0),
-                    None => {
-                        let pos = ctx.position(r);
-                        ctx.cfg
-                            .faults
-                            .jam_zones
-                            .iter()
-                            .filter(|z| {
-                                z.from <= t_now && t_now <= z.until && z.region.contains(pos)
-                            })
-                            .map(|z| z.loss)
-                            .fold(0.0_f64, f64::max)
-                    }
-                };
+                // Max loss over the time-active zones containing the
+                // receiver, computed inline per receiver (allocation-free).
+                // The old grid-prefiltered map produced exactly this value
+                // for exactly these receivers — the grid candidate set was
+                // a superset sharing the same containment predicate — so
+                // the RNG draw sequence is unchanged.
+                let pos = ctx.position(r);
+                let jam = ctx
+                    .cfg
+                    .faults
+                    .jam_zones
+                    .iter()
+                    .filter(|z| z.from <= t_now && t_now <= z.until && z.region.contains(pos))
+                    .map(|z| z.loss)
+                    .fold(0.0_f64, f64::max);
                 if jam > 0.0 && ctx.rng.gen::<f64>() < jam {
                     ctx.stats.frames_jammed += 1;
                     ctx.trace_verbose(
@@ -1364,7 +1485,7 @@ impl<P: Protocol> Simulator<P> {
                 LinkLossModel::GilbertElliott(ge) => {
                     // Step this receiver's two-state chain, then draw the
                     // loss for the resulting state.
-                    let bad = &mut ctx.ge_bad[r.index()];
+                    let bad = &mut ctx.nodes.ge_bad[r.index()];
                     let flip = ctx.rng.gen::<f64>();
                     *bad = if *bad {
                         flip >= ge.p_bg
@@ -1388,6 +1509,10 @@ impl<P: Protocol> Simulator<P> {
             successes.push(r);
         }
         successes.sort_unstable();
+        // Receiver list fully consumed: recycle the allocation.
+        let mut recv_buf = receivers;
+        recv_buf.clear();
+        ctx.scratch.recv.push(recv_buf);
 
         match frame {
             Frame::Beacon => {
@@ -1396,7 +1521,7 @@ impl<P: Protocol> Simulator<P> {
                 // is sub-millisecond).
                 let entry_pos = ctx.position(from);
                 let entry_speed = ctx.speed(from);
-                for r in successes {
+                for &r in &successes {
                     ctx.stats.rx_deliveries += 1;
                     ctx.trace_verbose(r, TraceKind::RxDeliver { from });
                     ctx.tables[r.index()].record(Neighbor {
@@ -1406,6 +1531,8 @@ impl<P: Protocol> Simulator<P> {
                         heard_at: ctx.now,
                     });
                 }
+                successes.clear();
+                ctx.scratch.succ.push(successes);
                 Callback::None
             }
             Frame::Proto(msg) => match dest {
@@ -1415,6 +1542,7 @@ impl<P: Protocol> Simulator<P> {
                         ctx.trace_verbose(r, TraceKind::RxDeliver { from });
                     }
                     if successes.is_empty() {
+                        ctx.scratch.succ.push(successes);
                         Callback::None
                     } else {
                         Callback::Deliveries {
@@ -1438,26 +1566,25 @@ impl<P: Protocol> Simulator<P> {
                             to: successes,
                         }
                     } else if retries < ctx.cfg.unicast_retries {
-                        // ARQ: put the frame back and try again shortly.
+                        // ARQ: put the frame back (a fresh pool slot) and
+                        // try again shortly.
                         ctx.stats.arq_retries += 1;
                         let retries = retries + 1;
-                        let new_id = TxId(ctx.next_tx);
-                        ctx.next_tx += 1;
-                        ctx.pending.insert(
-                            new_id.0,
-                            PendingTx {
-                                from,
-                                dest,
-                                frame: Frame::Proto(msg),
-                                payload_bytes,
-                                backoffs: 0,
-                                retries,
-                                flow,
-                            },
-                        );
+                        let new_h = ctx.frames.insert(PendingTx {
+                            from,
+                            dest,
+                            frame: Frame::Proto(msg),
+                            payload_bytes,
+                            backoffs: 0,
+                            retries,
+                            flow,
+                            on_air: false,
+                        });
                         let delay = ctx.random_backoff(retries);
                         let at = ctx.now + delay;
-                        ctx.schedule(at, EventKind::MacAttempt(new_id));
+                        ctx.schedule(at, EventKind::MacAttempt(new_h));
+                        successes.clear();
+                        ctx.scratch.succ.push(successes);
                         Callback::None
                     } else {
                         ctx.stats.unicast_failures += 1;
@@ -1468,6 +1595,8 @@ impl<P: Protocol> Simulator<P> {
                                 reason: DropReason::UnicastFailed,
                             },
                         );
+                        successes.clear();
+                        ctx.scratch.succ.push(successes);
                         Callback::SendFailed { from, to, msg }
                     }
                 }
@@ -1543,23 +1672,24 @@ impl<M: Clone> Ctx<M> {
         self.energy.snap(w);
         self.rng.state().snap(w);
         self.stats.snap(w);
-        let mut events: Vec<&QueuedEvent> = self.queue.iter().map(|Reverse(e)| e).collect();
-        events.sort_unstable_by_key(|e| (e.time, e.seq));
+        // The heap's internal layout is not canonical; serialize events in
+        // (time, seq) order so equal states produce equal bytes.
+        let mut events: Vec<(SimTime, u64, &EventKind)> = self.queue.iter().collect();
+        events.sort_unstable_by_key(|&(t, s, _)| (t, s));
         w.put_u64(events.len() as u64);
-        for e in events {
-            e.snap(w);
+        for (t, s, k) in events {
+            t.snap(w);
+            s.snap(w);
+            k.snap(w);
         }
         self.seq.snap(w);
-        self.next_tx.snap(w);
         self.next_timer.snap(w);
-        self.pending.snap(w);
+        self.frames.snap(w);
         self.active.snap(w);
         self.cancelled_timers.snap(w);
         self.stopped.snap(w);
         self.started.snap(w);
-        self.alive.snap(w);
-        self.lifecycle.snap(w);
-        self.ge_bad.snap(w);
+        self.nodes.snap(w);
         self.trace.snap(w);
         self.flow_energy.snap(w);
     }
@@ -1575,35 +1705,41 @@ impl<M: Clone> Ctx<M> {
         self.rng = SmallRng::from_state(<[u64; 4]>::unsnap(r)?);
         self.stats = SimStats::unsnap(r)?;
         let n = r.take_len()?;
-        let mut queue = BinaryHeap::with_capacity(n);
+        let mut queue = EventQueue::with_capacity(n);
         for _ in 0..n {
-            queue.push(Reverse(QueuedEvent::unsnap(r)?));
+            let time = SimTime::unsnap(r)?;
+            let seq = u64::unsnap(r)?;
+            let kind = EventKind::unsnap(r)?;
+            queue.push(time, seq, kind);
         }
         self.queue = queue;
         self.seq = u64::unsnap(r)?;
-        self.next_tx = u64::unsnap(r)?;
         self.next_timer = u64::unsnap(r)?;
-        self.pending = BTreeMap::unsnap(r)?;
+        self.frames = FramePool::unsnap(r)?;
         self.active = Vec::unsnap(r)?;
         self.cancelled_timers = BTreeSet::unsnap(r)?;
         self.stopped = bool::unsnap(r)?;
         self.started = bool::unsnap(r)?;
-        self.alive = Vec::unsnap(r)?;
-        self.lifecycle = Vec::unsnap(r)?;
-        self.ge_bad = Vec::unsnap(r)?;
+        self.nodes = NodeSoA::unsnap(r)?;
         self.trace = EventTrace::unsnap(r)?;
-        self.flow_energy = BTreeMap::unsnap(r)?;
+        self.flow_energy = FlowLedger::unsnap(r)?;
         let n = self.mobility.len();
         if self.tables.len() != n
             || self.energy.len() != n
-            || self.alive.len() != n
-            || self.lifecycle.len() != n
-            || self.ge_bad.len() != n
+            || self.nodes.alive.len() != n
+            || self.nodes.phase.len() != n
+            || self.nodes.ge_bad.len() != n
+            || self.nodes.tx_count.len() != n
+            || self.nodes.rx_cover.len() != n
         {
             return Err(SnapError::Corrupt(
                 "snapshot node count disagrees with the supplied mobility plans",
             ));
         }
+        // Derived state: the audible cache is rebuilt lazily (epoch
+        // sentinel never matches a fresh grid), and perf counters restart.
+        self.aud = AudCache::new(n);
+        self.perf = PerfCounters::default();
         Ok(())
     }
 }

@@ -55,12 +55,24 @@ pub struct SpatialGrid {
     buckets: Vec<Vec<u32>>,
     /// Flat cell index each node currently sits in.
     node_cell: Vec<u32>,
+    /// Position each node was bucketed at (as of `built_at`). By the
+    /// drift bound, node `i`'s true position at `now` is within
+    /// `drift_bound(now)` metres of `anchors[i]` — a dense array callers
+    /// can use to triage candidates without touching the mobility plans
+    /// (see [`SpatialGrid::anchors`]).
+    anchors: Vec<Point>,
     /// Upper bound on any node's speed (m/s); drives query padding.
     vmax: f64,
     /// Time the bucket assignments were last computed.
     built_at: SimTime,
     /// Refresh once drift (`vmax · age`) exceeds this many metres.
     refresh_slack: f64,
+    /// Bumped on every [`SpatialGrid::refresh`]. Bucket contents are a pure
+    /// function of `(build inputs, epoch)`, so callers caching a query
+    /// answer can reuse it for as long as the epoch and the query window
+    /// are unchanged (the engine's incremental audible sets do exactly
+    /// this).
+    epoch: u64,
 }
 
 impl SpatialGrid {
@@ -86,9 +98,11 @@ impl SpatialGrid {
             rows,
             buckets: vec![Vec::new(); cols * rows],
             node_cell: vec![0; positions.len()],
+            anchors: positions.to_vec(),
             vmax: vmax.max(0.0),
             built_at: t,
             refresh_slack: refresh_slack.max(0.0),
+            epoch: 0,
         };
         for (i, &p) in positions.iter().enumerate() {
             let c = grid.cell_index(p);
@@ -167,7 +181,9 @@ impl SpatialGrid {
     /// bounded drift is a small fraction of the population.
     pub fn refresh<F: Fn(usize) -> Point>(&mut self, pos_of: F, now: SimTime) {
         for i in 0..self.node_cell.len() {
-            let new_cell = self.cell_index(pos_of(i));
+            let p = pos_of(i);
+            self.anchors[i] = p;
+            let new_cell = self.cell_index(p);
             let old_cell = self.node_cell[i];
             if new_cell == old_cell {
                 continue;
@@ -184,6 +200,25 @@ impl SpatialGrid {
             self.node_cell[i] = new_cell;
         }
         self.built_at = now;
+        self.epoch += 1;
+    }
+
+    /// Refresh generation: bumped each time [`SpatialGrid::refresh`] runs.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The position every node was last bucketed at (indexed by node id;
+    /// valid as of `built_at`). Combined with [`SpatialGrid::drift_bound`]
+    /// this bounds each node's true position: `|pos(now) - anchors[i]| <=
+    /// drift_bound(now)`, letting range queries resolve most candidates
+    /// definitively from this dense array and reserve the exact (and far
+    /// more expensive) mobility-plan evaluation for candidates inside the
+    /// ambiguity band around the range boundary.
+    #[inline]
+    pub fn anchors(&self) -> &[Point] {
+        &self.anchors
     }
 
     // lint: hot-path (radio-range queries run once per transmission; the
@@ -194,8 +229,35 @@ impl SpatialGrid {
     /// cell order, ascending by id within a cell; callers exact-check and
     /// sort. `out` is not cleared.
     pub fn candidates_near(&self, center: Point, radius: f64, now: SimTime, out: &mut Vec<u32>) {
+        let w = self.cover_cells(center, radius, now);
+        self.collect_cells(w, out);
+    }
+
+    /// The inclusive cell window `(col0, col1, row0, row1)` that a
+    /// [`SpatialGrid::candidates_near`] query with the same arguments
+    /// visits (drift padding included). Together with [`SpatialGrid::epoch`]
+    /// this keys cached query answers: equal window + equal epoch ⇒ the
+    /// candidate list is unchanged.
+    pub fn cover_cells(&self, center: Point, radius: f64, now: SimTime) -> (u32, u32, u32, u32) {
         let r = radius + self.drift_bound(now);
-        self.candidates_in_window(center.x - r, center.y - r, center.x + r, center.y + r, out);
+        (
+            self.col_of(center.x - r) as u32,
+            self.col_of(center.x + r) as u32,
+            self.row_of(center.y - r) as u32,
+            self.row_of(center.y + r) as u32,
+        )
+    }
+
+    /// Append the contents of every cell in `window` (as produced by
+    /// [`SpatialGrid::cover_cells`]) to `out`, row-major, ascending by id
+    /// within a cell. `out` is not cleared.
+    pub fn collect_cells(&self, window: (u32, u32, u32, u32), out: &mut Vec<u32>) {
+        let (c0, c1, r0, r1) = window;
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.extend_from_slice(&self.buckets[row as usize * self.cols + col as usize]);
+            }
+        }
     }
 
     /// Append to `out` every node whose bucketed position could place it
@@ -321,6 +383,22 @@ mod tests {
         out = Vec::new();
         g.candidates_near(Point::new(5.0, 5.0), 1.0, later, &mut out);
         assert_eq!(sorted(out), vec![1]);
+    }
+
+    #[test]
+    fn epoch_counts_refreshes_and_cover_cells_matches_candidates_near() {
+        let mut g = grid_of(&[(5.0, 5.0), (45.0, 45.0)], 20.0, 2.0);
+        assert_eq!(g.epoch(), 0);
+        let later = SimTime::ZERO + SimDuration::from_secs_f64(30.0);
+        let moved = [Point::new(5.0, 5.0), Point::new(45.0, 45.0)];
+        g.refresh(|i| moved[i], later);
+        assert_eq!(g.epoch(), 1);
+        let center = Point::new(20.0, 20.0);
+        let mut direct = Vec::new();
+        g.candidates_near(center, 25.0, later, &mut direct);
+        let mut via_window = Vec::new();
+        g.collect_cells(g.cover_cells(center, 25.0, later), &mut via_window);
+        assert_eq!(direct, via_window);
     }
 
     #[test]

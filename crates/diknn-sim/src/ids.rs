@@ -19,10 +19,6 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Identifier of an in-flight transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) struct TxId(pub u64);
-
 /// Handle returned by [`crate::Ctx::set_timer`]; can be used to cancel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
@@ -33,15 +29,6 @@ impl diknn_snap::Snap for NodeId {
     }
     fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
         Ok(NodeId(r.take_u32()?))
-    }
-}
-
-impl diknn_snap::Snap for TxId {
-    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
-        w.put_u64(self.0);
-    }
-    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
-        Ok(TxId(r.take_u64()?))
     }
 }
 

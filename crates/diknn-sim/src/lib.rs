@@ -70,6 +70,8 @@ mod ids;
 pub mod lifecycle;
 pub mod load;
 pub mod neighbors;
+pub mod queue;
+pub mod soa;
 mod stats;
 pub mod time;
 pub mod trace;
@@ -85,6 +87,8 @@ pub use ids::{NodeId, TimerId};
 pub use lifecycle::NodePhase;
 pub use load::LoadSignal;
 pub use neighbors::Neighbor;
-pub use stats::SimStats;
+pub use queue::{EventQueue, FramePool, Handle};
+pub use soa::{FlowLedger, NodeSoA};
+pub use stats::{PerfCounters, SimStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, EventTrace, ProtoEvent, TraceConfig, TraceEvent, TraceKind};

@@ -24,23 +24,36 @@ pub struct Neighbor {
 }
 
 /// A node's neighbour table.
+///
+/// Storage is two parallel vectors: `ids[i] == entries[i].id` always. The
+/// id column exists purely so the per-beacon upsert scan in
+/// [`NeighborTable::record`] walks a dense 4-byte-per-entry array (one or
+/// two cache lines at typical node degrees) instead of striding across
+/// full 40-byte [`Neighbor`] records — `record` runs once per receiver per
+/// beacon, which makes it the single hottest write in the simulator.
+/// Entries keep strict insertion order; observable behaviour is identical
+/// to a plain `Vec<Neighbor>` scan.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
+    ids: Vec<NodeId>,
     entries: Vec<Neighbor>,
 }
 
 impl NeighborTable {
     /// Record a heard beacon, replacing any previous entry for the sender.
     pub fn record(&mut self, n: Neighbor) {
-        match self.entries.iter_mut().find(|e| e.id == n.id) {
-            Some(e) => *e = n,
-            None => self.entries.push(n),
+        match self.ids.iter().position(|&id| id == n.id) {
+            Some(i) => self.entries[i] = n,
+            None => {
+                self.ids.push(n.id);
+                self.entries.push(n);
+            }
         }
     }
 
     /// Drop entries heard at or before `cutoff`; called lazily on reads.
     pub fn expire(&mut self, cutoff: SimTime) {
-        self.entries.retain(|e| e.heard_at > cutoff);
+        self.retain_in_place(|e| e.heard_at > cutoff);
     }
 
     /// Current (non-expired) entries, in insertion order.
@@ -57,15 +70,35 @@ impl NeighborTable {
     }
 
     pub fn get(&self, id: NodeId) -> Option<&Neighbor> {
-        self.entries.iter().find(|e| e.id == id)
+        self.ids
+            .iter()
+            .position(|&i| i == id)
+            .map(|i| &self.entries[i])
     }
 
     pub fn remove(&mut self, id: NodeId) {
-        self.entries.retain(|e| e.id != id);
+        self.retain_in_place(|e| e.id != id);
     }
 
     pub fn clear(&mut self) {
+        self.ids.clear();
         self.entries.clear();
+    }
+
+    /// `retain` over both columns in lockstep, preserving order.
+    fn retain_in_place<F: Fn(&Neighbor) -> bool>(&mut self, keep: F) {
+        let mut w = 0;
+        for i in 0..self.entries.len() {
+            if keep(&self.entries[i]) {
+                if w != i {
+                    self.entries[w] = self.entries[i];
+                    self.ids[w] = self.ids[i];
+                }
+                w += 1;
+            }
+        }
+        self.entries.truncate(w);
+        self.ids.truncate(w);
     }
 }
 
@@ -76,7 +109,19 @@ diknn_snap::snap_struct!(Neighbor {
     heard_at
 });
 
-diknn_snap::snap_struct!(NeighborTable { entries });
+// Wire format: the entry list only (byte-identical to the former
+// single-vector layout); the id column is derived state and is rebuilt on
+// decode.
+impl diknn_snap::Snap for NeighborTable {
+    fn snap(&self, w: &mut diknn_snap::SnapWriter) {
+        diknn_snap::Snap::snap(&self.entries, w);
+    }
+    fn unsnap(r: &mut diknn_snap::SnapReader<'_>) -> Result<Self, diknn_snap::SnapError> {
+        let entries: Vec<Neighbor> = diknn_snap::Snap::unsnap(r)?;
+        let ids = entries.iter().map(|e| e.id).collect();
+        Ok(NeighborTable { ids, entries })
+    }
+}
 
 #[cfg(test)]
 mod tests {

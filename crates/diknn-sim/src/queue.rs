@@ -1,0 +1,429 @@
+//! Slab-backed event scheduling: an inline d-ary event heap and a
+//! generation-checked frame pool.
+//!
+//! PR 9's hot-path overhaul replaces the engine's
+//! `BinaryHeap<Reverse<QueuedEvent>>` and the `BTreeMap<u64, PendingTx>`
+//! frame table with the two structures here (the classic ns-2 scheduler +
+//! packet free-list shape):
+//!
+//! * [`EventQueue`] — a 4-ary min-heap over `(SimTime, u64)` keys with the
+//!   event payload stored **inline** in the heap array. No per-event boxing,
+//!   no node allocation: pushing into spare capacity is a couple of moves
+//!   along one branch of a shallow tree.
+//! * [`FramePool`] — a slab with a LIFO free list. Frames are addressed by
+//!   a [`Handle`] carrying the slot index *and* a generation counter, so a
+//!   stale handle (its frame was freed, the slot reused) is detected
+//!   instead of silently reading the new occupant.
+//!
+//! # Determinism contract
+//!
+//! * The heap pops strictly in `(time, seq)` order. Since the engine's
+//!   sequence numbers make every key unique, the pop *sequence* is a pure
+//!   function of the pushed set — independent of internal arity or layout —
+//!   and therefore bit-identical to the `BinaryHeap` it replaced
+//!   (`crates/diknn-sim/tests/queue_pool.rs` proptests this equivalence).
+//! * The pool's free list is LIFO and fully serialized by its [`Snap`]
+//!   impl, so a restored pool hands out exactly the slot/generation
+//!   sequence the original would have — snapshot/restore cannot perturb
+//!   frame identity.
+
+use diknn_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+use crate::time::SimTime;
+
+/// Heap arity. Four keeps the tree shallow (fewer cache-missing levels
+/// than binary) while sift-down still scans few children.
+const ARITY: usize = 4;
+
+/// One scheduled entry: key `(time, seq)` plus the inline payload.
+#[derive(Debug, Clone, Copy)]
+struct Entry<K> {
+    time: SimTime,
+    seq: u64,
+    kind: K,
+}
+
+/// A 4-ary min-heap of `(SimTime, u64, K)` with inline storage.
+///
+/// `K` is the event payload (the engine uses its `EventKind`, a small
+/// `Copy` enum). Keys must be unique for deterministic pop order; the
+/// engine guarantees this with its monotone sequence counter.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<K> {
+    heap: Vec<Entry<K>>,
+}
+
+impl<K: Copy> EventQueue<K> {
+    pub fn new() -> Self {
+        EventQueue { heap: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    // lint: hot-path (push/pop run once per simulated event; no
+    // allocation beyond amortized Vec growth)
+    /// Schedule `kind` at `(time, seq)`.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, seq: u64, kind: K) {
+        self.heap.push(Entry { time, seq, kind });
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Key of the earliest entry without removing it.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.first().map(|e| (e.time, e.seq))
+    }
+
+    /// Remove and return the earliest entry.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, K)> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        self.heap.swap(0, n - 1);
+        let out = self.heap.pop().map(|e| (e.time, e.seq, e.kind));
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> (SimTime, u64) {
+        let e = &self.heap[i];
+        (e.time, e.seq)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.key(i) >= self.key(parent) {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let mut best = first_child;
+            let last_child = (first_child + ARITY).min(n);
+            for c in (first_child + 1)..last_child {
+                if self.key(c) < self.key(best) {
+                    best = c;
+                }
+            }
+            if self.key(best) >= self.key(i) {
+                break;
+            }
+            self.heap.swap(i, best);
+            i = best;
+        }
+    }
+    // lint: end-hot-path
+
+    /// Visit every queued entry in unspecified (heap) order. Snapshot code
+    /// sorts by `(time, seq)` before serializing so the byte stream stays
+    /// canonical.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64, &K)> {
+        self.heap.iter().map(|e| (e.time, e.seq, &e.kind))
+    }
+}
+
+/// Generation-checked reference to a [`FramePool`] slot.
+///
+/// Two handles are equal only if they name the same slot *and* the same
+/// occupancy generation, so a handle outlives its frame safely: after the
+/// frame is freed (and even after the slot is reused) the old handle
+/// resolves to `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Handle {
+    slot: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// Slot index (stable for the lifetime of the referenced frame).
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+impl Snap for Handle {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.slot);
+        w.put_u32(self.gen);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Handle {
+            slot: r.take_u32()?,
+            gen: r.take_u32()?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// A slab of `T` with a LIFO free list and generation-checked handles.
+///
+/// Frames (MAC-queued transmissions) are inserted when enqueued and
+/// removed when the transmission completes or is dropped; the freed slot
+/// is reused by the next insert, so steady-state operation performs no
+/// allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct FramePool<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> FramePool<T> {
+    pub fn new() -> Self {
+        FramePool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live frames.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    // lint: hot-path (frame insert/lookup/remove run per MAC attempt and
+    // per delivery; slot reuse keeps this allocation-free at steady state)
+    /// Store `val`, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, val: T) -> Handle {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.val.is_none(), "free list pointed at a live slot");
+            s.val = Some(val);
+            return Handle { slot, gen: s.gen };
+        }
+        let slot = self.slots.len() as u32;
+        self.slots.push(Slot {
+            gen: 0,
+            val: Some(val),
+        });
+        Handle { slot, gen: 0 }
+    }
+
+    /// The frame behind `h`, or `None` if it was removed (or the slot has
+    /// since been reused by a newer frame).
+    #[inline]
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        match self.slots.get(h.slot as usize) {
+            Some(s) if s.gen == h.gen => s.val.as_ref(),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        match self.slots.get_mut(h.slot as usize) {
+            Some(s) if s.gen == h.gen => s.val.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the frame behind `h`; the slot's generation is
+    /// bumped so `h` (and any copy of it) goes permanently stale.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        let s = self.slots.get_mut(h.slot as usize)?;
+        if s.gen != h.gen {
+            return None;
+        }
+        let val = s.val.take()?;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(h.slot);
+        self.live -= 1;
+        Some(val)
+    }
+    // lint: end-hot-path
+
+    /// Visit every live frame in ascending slot order (deterministic;
+    /// used by tests and diagnostics, not the hot path).
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.val.as_ref().map(|v| {
+                (
+                    Handle {
+                        slot: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+// The pool is part of the engine snapshot: slots (generation + occupant)
+// and the free list are serialized verbatim so a restored pool reproduces
+// the exact slot/generation allocation sequence of the original. Changing
+// this layout requires a `SNAP_VERSION` bump.
+impl<T: Snap> Snap for FramePool<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.slots.len() as u64);
+        for s in &self.slots {
+            w.put_u32(s.gen);
+            s.val.snap(w);
+        }
+        self.free.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.take_len()?;
+        let mut slots: Vec<Slot<T>> = Vec::with_capacity(n);
+        let mut live = 0usize;
+        for _ in 0..n {
+            let gen = r.take_u32()?;
+            let val = Option::<T>::unsnap(r)?;
+            if val.is_some() {
+                live += 1;
+            }
+            slots.push(Slot { gen, val });
+        }
+        let free = Vec::<u32>::unsnap(r)?;
+        if free.len() != n - live && !(n == 0 && free.is_empty()) {
+            return Err(SnapError::Corrupt("frame pool free list length mismatch"));
+        }
+        for &f in &free {
+            match slots.get(f as usize) {
+                Some(s) if s.val.is_none() => {}
+                _ => return Err(SnapError::Corrupt("frame pool free list names a live slot")),
+            }
+        }
+        Ok(FramePool { slots, free, live })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_pops_in_key_order() {
+        let mut q = EventQueue::new();
+        let keys = [(5u64, 0u64), (1, 1), (5, 2), (0, 3), (3, 4), (1, 5)];
+        for &(t, s) in &keys {
+            q.push(SimTime::from_nanos(t), s, s as u32);
+        }
+        assert_eq!(q.len(), keys.len());
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for &(t, s) in &sorted {
+            assert_eq!(q.peek_key(), Some((SimTime::from_nanos(t), s)));
+            let (pt, ps, kind) = q.pop().expect("entry");
+            assert_eq!((pt.as_nanos(), ps), (t, s));
+            assert_eq!(kind, s as u32);
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_slots_lifo_and_staleness_is_detected() {
+        let mut p: FramePool<&'static str> = FramePool::new();
+        let a = p.insert("a");
+        let b = p.insert("b");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.remove(a), Some("a"));
+        // Stale handle: same slot, old generation.
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.remove(a), None);
+        // LIFO reuse: the freed slot comes back first, with a new gen.
+        let c = p.insert("c");
+        assert_eq!(c.slot(), a.slot());
+        assert_ne!(c, a);
+        assert_eq!(p.get(c), Some(&"c"));
+        assert_eq!(p.get(a), None, "old handle must not see the new frame");
+        assert_eq!(p.get(b), Some(&"b"));
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn pool_snapshot_roundtrip_is_byte_stable() {
+        let mut p: FramePool<u32> = FramePool::new();
+        let a = p.insert(10);
+        let _b = p.insert(20);
+        let c = p.insert(30);
+        p.remove(a);
+        p.remove(c);
+        let mut w = SnapWriter::new();
+        p.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let q = FramePool::<u32>::unsnap(&mut r).expect("unsnap");
+        r.finish().expect("consumed");
+        assert_eq!(q.len(), p.len());
+        let mut w2 = SnapWriter::new();
+        q.snap(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "snapshot bytes must be stable");
+        // The restored pool must hand out the same slots the original would.
+        let mut p2 = p.clone();
+        let mut q2 = q;
+        for v in [7u32, 8, 9] {
+            assert_eq!(p2.insert(v), q2.insert(v));
+        }
+    }
+
+    #[test]
+    fn corrupt_free_list_is_rejected() {
+        let mut p: FramePool<u32> = FramePool::new();
+        let a = p.insert(1);
+        p.insert(2);
+        p.remove(a);
+        let mut w = SnapWriter::new();
+        p.snap(&mut w);
+        let mut bytes = w.into_bytes();
+        // The free list is the trailing Vec<u32>: [len=1, slot=0]. Point it
+        // at the live slot 1 instead.
+        let last = bytes.len() - 4;
+        bytes[last..].copy_from_slice(&1u32.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            FramePool::<u32>::unsnap(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
+    }
+}

@@ -63,6 +63,19 @@ pub struct SimStats {
     pub nodes_left: u64,
     /// Churned-out nodes that rejoined the network.
     pub nodes_rejoined: u64,
+
+    // ----- per-event-kind breakdown (profiling; sums to `events`) -------
+    /// MAC attempt events dispatched (initial, backoff, and ARQ attempts).
+    pub ev_mac_attempt: u64,
+    /// End-of-transmission (delivery fan-out) events dispatched.
+    pub ev_tx_end: u64,
+    /// Protocol timer events dispatched (fired, cancelled, or suppressed).
+    pub ev_timer: u64,
+    /// Beacon-slot events dispatched.
+    pub ev_beacon: u64,
+    /// Fault/churn lifecycle events dispatched (crash, recover, leave,
+    /// rejoin).
+    pub ev_lifecycle: u64,
 }
 
 diknn_snap::snap_struct!(SimStats {
@@ -88,8 +101,35 @@ diknn_snap::snap_struct!(SimStats {
     query_retries,
     trace_events,
     nodes_left,
-    nodes_rejoined
+    nodes_rejoined,
+    ev_mac_attempt,
+    ev_tx_end,
+    ev_timer,
+    ev_beacon,
+    ev_lifecycle
 });
+
+/// Implementation-side performance counters, maintained alongside
+/// [`SimStats`] but deliberately **not** part of it.
+///
+/// `SimStats` is a behavioural fingerprint: it is serialized into
+/// snapshots and compared bit-for-bit across index variants (grid vs
+/// brute force) and across snapshot/restore boundaries. The counters here
+/// describe *how* the engine computed the run — cache hits, index
+/// refreshes — which legitimately differ between variants (brute force
+/// has no grid to refresh; a restored run starts with a cold cache). They
+/// therefore live outside the snapshot stream and outside every
+/// equivalence oracle, and reset to zero on restore.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerfCounters {
+    /// Audible-set queries answered from the per-node candidate cache.
+    pub aud_cache_hits: u64,
+    /// Audible-set queries that had to re-query the grid (cache cold,
+    /// grid refreshed, or query window moved).
+    pub aud_cache_misses: u64,
+    /// Incremental spatial-grid refreshes performed by the run loop.
+    pub grid_refreshes: u64,
+}
 
 #[cfg(test)]
 mod tests {

@@ -110,7 +110,7 @@ mod tests {
             &[],
             &diknn_sim::SimStats::default(),
             0.0,
-            &std::collections::BTreeMap::new(),
+            &diknn_sim::FlowLedger::default(),
             &crate::GroundTruth::new(Vec::new(), 0),
         );
         a.queries = 10;

@@ -2,10 +2,8 @@
 //! quantities (§5.1): query latency, energy consumption, pre-/post-
 //! accuracy — plus completion rate and traffic diagnostics.
 
-use std::collections::BTreeMap;
-
 use diknn_core::{QueryOutcome, QueryStatus};
-use diknn_sim::SimStats;
+use diknn_sim::{FlowLedger, SimStats};
 
 use crate::oracle::GroundTruth;
 
@@ -132,7 +130,7 @@ impl RunMetrics {
         outcomes: &[QueryOutcome],
         stats: &SimStats,
         energy_j: f64,
-        flow_energy_j: &BTreeMap<u32, f64>,
+        flow_energy_j: &FlowLedger,
         oracle: &GroundTruth,
     ) -> Self {
         let queries = outcomes.len();
@@ -166,7 +164,7 @@ impl RunMetrics {
                 qid: o.qid,
                 status: o.status,
                 latency_s: lat,
-                energy_j: flow_energy_j.get(&o.qid).copied().unwrap_or(0.0),
+                energy_j: flow_energy_j.get(o.qid),
                 pre_accuracy: pre,
                 post_accuracy: post,
             });

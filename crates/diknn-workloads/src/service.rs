@@ -294,7 +294,7 @@ impl ServiceRun {
             }
             sorted[((sorted.len() - 1) as f64 * q).round() as usize]
         };
-        let energy: f64 = self.sim.ctx().flow_energy_j().values().sum();
+        let energy: f64 = self.sim.ctx().flow_energy_j().total();
         let issued = self.sim.protocol().outcomes().len() as u64;
         ServiceMetrics {
             epoch: self.epoch,

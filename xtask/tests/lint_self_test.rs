@@ -187,6 +187,7 @@ fn engine_and_grid_actually_carry_hot_fences() {
     for rel in [
         "crates/diknn-sim/src/engine.rs",
         "crates/diknn-sim/src/grid.rs",
+        "crates/diknn-sim/src/queue.rs",
     ] {
         let src = std::fs::read_to_string(root.join(rel)).unwrap();
         let f = parse(rel, "diknn-sim", &src);
