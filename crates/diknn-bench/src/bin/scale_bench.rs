@@ -1,10 +1,11 @@
-//! `scale_bench` — node-count scaling of the radio hot path and the sweep
-//! harness (BENCH JSON emission).
+//! `scale_bench` — node-count scaling of the radio hot path, the sweep
+//! harness and the sharded engine (BENCH JSON emission).
 //!
 //! Sweeps node count × neighbor index {grid, brute-force} × sweep threads
-//! {1, all}. Every cell runs the same seeded DIKNN runs (constant node
-//! degree 20, so the field grows with the node count) and reports a
-//! per-phase wall-time breakdown:
+//! {1, all} × intra-run shards (`DIKNN_SHARDS`, default `1,4`). Every
+//! cell runs the same seeded DIKNN runs (constant node degree 20, so the
+//! field grows with the node count) and reports a per-phase wall-time
+//! breakdown:
 //!
 //! * `setup` — mobility-plan build + workload generation,
 //! * `warm`  — `Simulator::new` (includes the grid build) plus the warm
@@ -13,28 +14,31 @@
 //! * `run`   — the event loop proper,
 //!
 //! plus events/sec over the run phase and a behaviour fingerprint
-//! (`SimStats` + total energy bits) per run. The grid is a pure index:
+//! (`SimStats` + total energy bits) per run. The grid is a pure index,
+//! the sweep a pure executor, and the sharded loop a pure scheduler:
 //! every cell of the same node count must produce **bit-identical**
-//! fingerprints whatever the index or thread count; the binary exits
-//! non-zero if they diverge (CI's bench-smoke job relies on this).
+//! fingerprints whatever the index, thread count or shard count; the
+//! binary exits non-zero if they diverge (CI's bench-smoke job relies on
+//! this — it is the scale-size witness of DESIGN.md §15's bit-identity
+//! claim).
 //!
 //! Output: a human table on stdout and machine-readable
-//! `results/BENCH_scale.json`.
+//! `results/BENCH_scale.json` (schema 3, see `diknn_bench::report`:
+//! unmeasured ratios are `null`, a collapsed thread axis is flagged as
+//! `degenerate_parallel` instead of reporting a vacuous 1.000 column).
 //!
 //! The brute-force oracle is an O(n²) scan per transmission and exists
 //! only to witness equivalence; above [`BRUTE_MAX_NODES`] nodes it is
 //! skipped (with a printed note) so the grid curve can extend to 10k
-//! nodes without an hours-long oracle run. The JSON carries a dedicated
-//! `events_per_sec_series` (grid, single-thread) for plotting the
-//! engine's throughput curve across the population axis.
+//! nodes without an hours-long oracle run — its ratios are then `null`.
 //!
-//! Knobs (this binary defaults smaller than the paper bins — the default
-//! matrix is 6 node counts × up to 2 indexes × up to 2 thread counts):
+//! Knobs (this binary defaults smaller than the paper bins):
 //!
 //! * `DIKNN_RUNS`        — seeded runs per cell (default 3)
 //! * `DIKNN_SEED`        — base seed (default 1000)
 //! * `DIKNN_DURATION`    — simulated seconds per run (default 30)
 //! * `DIKNN_THREADS`     — "all threads" axis (default: available cores)
+//! * `DIKNN_SHARDS`      — intra-run shard axis (default `1,4`)
 //! * `DIKNN_SCALE_NODES` — comma-separated node counts
 //!   (default `250,500,1000,2000,5000,10000`)
 
@@ -45,10 +49,13 @@
 
 use std::time::Instant; // lint: wall-clock-ok (host-side benchmark timing)
 
-use diknn_bench::{base_seed, threads};
+use diknn_bench::report::{ratio, render_json, CellRow, ReportConfig, SpeedupRow};
+use diknn_bench::{base_seed, shard_counts, threads};
 use diknn_core::{Diknn, DiknnConfig};
 use diknn_sim::{NeighborIndex, SimStats, Simulator};
-use diknn_workloads::{workload, Experiment, ParallelSweep, ScenarioConfig, WorkloadConfig};
+use diknn_workloads::{
+    run_sharded_to_limit, workload, Experiment, ParallelSweep, ScenarioConfig, WorkloadConfig,
+};
 
 /// Radio range (m); matches `SimConfig::default` and sizes the grid cells.
 const RADIO_RANGE: f64 = 20.0;
@@ -73,11 +80,13 @@ struct RunOut {
     energy_bits: u64,
 }
 
-/// One benchmark cell: node count × index × thread count, `runs` seeds.
+/// One benchmark cell: node count × index × thread count × shard count,
+/// `runs` seeds.
 struct Cell {
     nodes: usize,
     index: NeighborIndex,
     threads: usize,
+    shards: usize,
     /// Wall time of the whole sweep (what parallelism improves).
     wall_s: f64,
     /// Per-phase times summed over runs (CPU-side cost of each phase).
@@ -98,6 +107,22 @@ impl Cell {
             self.events as f64 / self.run_s
         } else {
             0.0
+        }
+    }
+
+    fn row(&self) -> CellRow {
+        CellRow {
+            nodes: self.nodes,
+            index: self.index_name(),
+            threads: self.threads,
+            shards: self.shards,
+            runs: self.fingerprints.len(),
+            wall_s: self.wall_s,
+            setup_s: self.setup_s,
+            warm_s: self.warm_s,
+            run_s: self.run_s,
+            events: self.events,
+            events_per_sec: self.events_per_sec(),
         }
     }
 }
@@ -144,12 +169,14 @@ fn scale_nodes() -> Vec<usize> {
 }
 
 /// One seeded DIKNN run with per-phase timing. Identical inputs to the
-/// sequential experiment driver for the same `(scenario, workload, seed)`;
-/// only the neighbor index differs between grid and brute cells.
+/// sequential experiment driver for the same `(scenario, workload,
+/// seed)`; only the neighbor index and the intra-run shard count differ
+/// between cells — and neither is allowed to change the fingerprint.
 fn run_one(
     scenario: &ScenarioConfig,
     wl: &WorkloadConfig,
     index: NeighborIndex,
+    shards: usize,
     seed: u64,
 ) -> RunOut {
     let t0 = Instant::now(); // lint: wall-clock-ok
@@ -170,7 +197,11 @@ fn run_one(
     let warm_s = t1.elapsed().as_secs_f64();
 
     let t2 = Instant::now(); // lint: wall-clock-ok
-    sim.run();
+    if shards > 1 {
+        run_sharded_to_limit(&mut sim, shards);
+    } else {
+        sim.run();
+    }
     let run_s = t2.elapsed().as_secs_f64();
 
     let (_protocol, ctx) = sim.into_parts();
@@ -188,19 +219,21 @@ fn bench_cell(
     wl: &WorkloadConfig,
     index: NeighborIndex,
     thread_count: usize,
+    shards: usize,
     runs: usize,
     seed: u64,
 ) -> Cell {
     let sweep = ParallelSweep::new(thread_count);
     let t0 = Instant::now(); // lint: wall-clock-ok
     let outs = sweep.map(runs, |i| {
-        run_one(scenario, wl, index, Experiment::sweep_seed(seed, i))
+        run_one(scenario, wl, index, shards, Experiment::sweep_seed(seed, i))
     });
     let wall_s = t0.elapsed().as_secs_f64();
     Cell {
         nodes: scenario.nodes,
         index,
         threads: sweep.threads(),
+        shards,
         wall_s,
         setup_s: outs.iter().map(|o| o.setup_s).sum(),
         warm_s: outs.iter().map(|o| o.warm_s).sum(),
@@ -212,11 +245,12 @@ fn bench_cell(
 
 fn print_cell(cell: &Cell) {
     println!(
-        "scale nodes={:<5} index={:<5} threads={:<2} wall={:>8.3}s setup={:>7.3}s \
-         warm={:>7.3}s run={:>8.3}s events={:>9} ({:>9.0} ev/s)",
+        "scale nodes={:<5} index={:<5} threads={:<2} shards={:<2} wall={:>8.3}s \
+         setup={:>7.3}s warm={:>7.3}s run={:>8.3}s events={:>9} ({:>9.0} ev/s)",
         cell.nodes,
         cell.index_name(),
         cell.threads,
+        cell.shards,
         cell.wall_s,
         cell.setup_s,
         cell.warm_s,
@@ -226,126 +260,42 @@ fn print_cell(cell: &Cell) {
     );
 }
 
-fn cell_json(cell: &Cell) -> String {
-    format!(
-        "    {{\"nodes\": {}, \"index\": \"{}\", \"threads\": {}, \"runs\": {}, \
-         \"wall_s\": {:.6}, \"setup_s\": {:.6}, \"warm_s\": {:.6}, \"run_s\": {:.6}, \
-         \"events\": {}, \"events_per_sec\": {:.1}}}",
-        cell.nodes,
-        cell.index_name(),
-        cell.threads,
-        cell.fingerprints.len(),
-        cell.wall_s,
-        cell.setup_s,
-        cell.warm_s,
-        cell.run_s,
-        cell.events,
-        cell.events_per_sec(),
-    )
-}
-
-/// Grid-vs-brute and parallel-vs-serial ratios for one node count,
-/// computed from the finished cells.
-struct Speedup {
-    nodes: usize,
-    warm_grid_vs_brute: f64,
-    run_grid_vs_brute: f64,
-    wall_grid_vs_brute: f64,
-    sweep_parallel_vs_serial_grid: f64,
-}
-
-fn ratio(num: f64, den: f64) -> f64 {
-    if den > 0.0 {
-        num / den
-    } else {
-        0.0
-    }
-}
-
-fn compute_speedup(cells: &[Cell], nodes: usize, t_max: usize) -> Speedup {
-    let find = |index: NeighborIndex, threads: usize| {
-        cells
-            .iter()
-            .find(|c| c.nodes == nodes && c.index == index && c.threads == threads)
-    };
-    let grid_1 = find(NeighborIndex::Grid, 1);
-    let brute_1 = find(NeighborIndex::BruteForce, 1);
-    let grid_t = find(NeighborIndex::Grid, t_max);
-    match (grid_1, brute_1) {
-        (Some(g), Some(b)) => Speedup {
-            nodes,
-            warm_grid_vs_brute: ratio(b.warm_s, g.warm_s),
-            run_grid_vs_brute: ratio(b.run_s, g.run_s),
-            wall_grid_vs_brute: ratio(b.wall_s, g.wall_s),
-            sweep_parallel_vs_serial_grid: match grid_t {
-                Some(gt) if t_max > 1 => ratio(g.wall_s, gt.wall_s),
-                _ => 1.0,
-            },
-        },
-        _ => Speedup {
-            nodes,
-            warm_grid_vs_brute: 0.0,
-            run_grid_vs_brute: 0.0,
-            wall_grid_vs_brute: 0.0,
-            sweep_parallel_vs_serial_grid: 1.0,
-        },
-    }
-}
-
-fn speedup_json(s: &Speedup) -> String {
-    format!(
-        "    {{\"nodes\": {}, \"warm_grid_vs_brute\": {:.3}, \"run_grid_vs_brute\": {:.3}, \
-         \"wall_grid_vs_brute\": {:.3}, \"sweep_parallel_vs_serial_grid\": {:.3}}}",
-        s.nodes,
-        s.warm_grid_vs_brute,
-        s.run_grid_vs_brute,
-        s.wall_grid_vs_brute,
-        s.sweep_parallel_vs_serial_grid,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn render_json(
-    runs: usize,
-    seed: u64,
-    duration: f64,
-    t_max: usize,
-    node_counts: &[usize],
-    cells: &[Cell],
-    speedups: &[Speedup],
-    equivalent: bool,
-) -> String {
-    let nodes_list: Vec<String> = node_counts.iter().map(|n| n.to_string()).collect();
-    let cell_rows: Vec<String> = cells.iter().map(cell_json).collect();
-    let speedup_rows: Vec<String> = speedups.iter().map(speedup_json).collect();
-    // Schema 2 (PR 9): the throughput curve across the population axis,
-    // taken from the grid single-thread cells — the headline series the
-    // hot-path overhaul is judged against.
-    let series_rows: Vec<String> = cells
-        .iter()
-        .filter(|c| c.index == NeighborIndex::Grid && c.threads == 1)
-        .map(|c| {
-            format!(
-                "    {{\"nodes\": {}, \"events_per_sec\": {:.1}}}",
-                c.nodes,
-                c.events_per_sec()
-            )
+fn compute_speedup(cells: &[Cell], nodes: usize, t_max: usize, max_shards: usize) -> SpeedupRow {
+    let find = |index: NeighborIndex, threads: usize, shards: usize| {
+        cells.iter().find(|c| {
+            c.nodes == nodes && c.index == index && c.threads == threads && c.shards == shards
         })
-        .collect();
-    format!(
-        "{{\n  \"bench\": \"scale_bench\",\n  \"schema_version\": 2,\n  \"config\": {{\
-         \"runs\": {runs}, \"base_seed\": {seed}, \"duration_s\": {duration:.1}, \
-         \"node_degree\": {NODE_DEGREE:.1}, \"radio_range\": {RADIO_RANGE:.1}, \
-         \"max_speed\": {MAX_SPEED:.1}, \"threads_max\": {t_max}, \
-         \"brute_max_nodes\": {BRUTE_MAX_NODES}, \
-         \"node_counts\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \
-         \"events_per_sec_series\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ],\n  \
-         \"equivalence\": {{\"all_variants_bit_identical\": {equivalent}}}\n}}\n",
-        nodes_list.join(", "),
-        cell_rows.join(",\n"),
-        series_rows.join(",\n"),
-        speedup_rows.join(",\n"),
-    )
+    };
+    let grid_1 = find(NeighborIndex::Grid, 1, 1);
+    let brute_1 = find(NeighborIndex::BruteForce, 1, 1);
+    let grid_t = find(NeighborIndex::Grid, t_max, 1);
+    let grid_sharded = find(NeighborIndex::Grid, 1, max_shards);
+    let vs_brute = |f: fn(&Cell) -> f64| match (grid_1, brute_1) {
+        (Some(g), Some(b)) => ratio(f(b), f(g)),
+        _ => None,
+    };
+    SpeedupRow {
+        nodes,
+        warm_grid_vs_brute: vs_brute(|c| c.warm_s),
+        run_grid_vs_brute: vs_brute(|c| c.run_s),
+        wall_grid_vs_brute: vs_brute(|c| c.wall_s),
+        sweep_parallel_vs_serial_grid: match (grid_1, grid_t) {
+            (Some(g), Some(gt)) if t_max > 1 => ratio(g.wall_s, gt.wall_s),
+            // Single-thread axis (or missing cell): unmeasurable, not 1.0.
+            _ => None,
+        },
+        shard_wall_speedup: match (grid_1, grid_sharded) {
+            (Some(g), Some(gs)) if max_shards > 1 => ratio(g.wall_s, gs.wall_s),
+            _ => None,
+        },
+    }
+}
+
+fn opt_display(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}x"),
+        None => "n/a".to_string(),
+    }
 }
 
 fn main() {
@@ -353,16 +303,31 @@ fn main() {
     let seed = base_seed();
     let duration = env_f64("DIKNN_DURATION", 30.0).max(1.0);
     let t_max = threads();
+    let detected = ParallelSweep::available().threads();
     let node_counts = scale_nodes();
+    let shards_axis = shard_counts();
+    let max_shards = *shards_axis.last().unwrap_or(&1);
     // On a single-core box the {1, all} thread axis collapses to {1}; the
-    // JSON records threads_max so multicore runs carry the full matrix.
+    // JSON records threads_detected + degenerate_parallel so the missing
+    // comparison is flagged, never reported as a vacuous 1.000.
     let thread_counts: Vec<usize> = if t_max > 1 { vec![1, t_max] } else { vec![1] };
+    let degenerate_parallel = t_max <= 1;
 
-    println!("scale_bench: radio-index (grid vs brute) and sweep (1 vs {t_max} threads) scaling");
+    println!(
+        "scale_bench: radio-index (grid vs brute), sweep (1 vs {t_max} threads) and \
+         sharded-engine (shards {shards_axis:?}) scaling"
+    );
     println!(
         "runs={runs} base_seed={seed} duration={duration}s degree={NODE_DEGREE} \
-         range={RADIO_RANGE}m max_speed={MAX_SPEED}m/s nodes={node_counts:?}"
+         range={RADIO_RANGE}m max_speed={MAX_SPEED}m/s nodes={node_counts:?} \
+         threads_detected={detected}"
     );
+    if degenerate_parallel {
+        println!(
+            "note: sweep thread axis collapsed to {{1}} (threads_max={t_max}); the \
+             parallel-vs-serial column is unmeasurable here and will be null"
+        );
+    }
 
     let mut cells: Vec<Cell> = Vec::new();
     let mut equivalent = true;
@@ -384,62 +349,80 @@ fn main() {
         } else {
             println!(
                 "note: brute-force oracle skipped at nodes={n} \
-                 (O(n\u{b2}) scan; gated above {BRUTE_MAX_NODES})"
+                 (O(n\u{b2}) scan; gated above {BRUTE_MAX_NODES}) — its ratios are null"
             );
             &[NeighborIndex::Grid]
         };
         for &index in indexes {
             for &tc in &thread_counts {
-                let cell = bench_cell(&scenario, &wl, index, tc, runs, seed);
+                let cell = bench_cell(&scenario, &wl, index, tc, 1, runs, seed);
                 print_cell(&cell);
                 cells.push(cell);
             }
         }
-        // The index is a pure lookup structure and the sweep a pure
-        // executor: every variant must have produced the same runs.
+        // The sharded-engine axis: grid index, serial sweep (the intra-run
+        // workers are the parallelism being measured).
+        for &sc in shards_axis.iter().filter(|&&sc| sc > 1) {
+            let cell = bench_cell(&scenario, &wl, NeighborIndex::Grid, 1, sc, runs, seed);
+            print_cell(&cell);
+            cells.push(cell);
+        }
+        // The index is a pure lookup structure, the sweep a pure executor
+        // and the sharded loop a pure scheduler: every variant must have
+        // produced the same runs.
         let (reference, rest) = cells[group_start..].split_at(1);
         for cell in rest {
             if cell.fingerprints != reference[0].fingerprints {
                 equivalent = false;
                 eprintln!(
-                    "DIVERGENCE at nodes={n}: index={} threads={} disagrees with index={} \
-                     threads={}",
+                    "DIVERGENCE at nodes={n}: index={} threads={} shards={} disagrees with \
+                     index={} threads={} shards={}",
                     cell.index_name(),
                     cell.threads,
+                    cell.shards,
                     reference[0].index_name(),
                     reference[0].threads,
+                    reference[0].shards,
                 );
             }
         }
     }
 
-    let speedups: Vec<Speedup> = node_counts
+    let speedups: Vec<SpeedupRow> = node_counts
         .iter()
-        .map(|&n| compute_speedup(&cells, n, t_max))
+        .map(|&n| compute_speedup(&cells, n, t_max, max_shards))
         .collect();
     for s in &speedups {
         println!(
-            "speedup nodes={:<5} warm grid/brute={:>6.2}x run grid/brute={:>6.2}x \
-             wall grid/brute={:>6.2}x sweep 1->{} threads={:>5.2}x",
+            "speedup nodes={:<5} warm grid/brute={:>6} run grid/brute={:>6} \
+             wall grid/brute={:>6} sweep 1->{} threads={:>6} shards 1->{}={:>6}",
             s.nodes,
-            s.warm_grid_vs_brute,
-            s.run_grid_vs_brute,
-            s.wall_grid_vs_brute,
+            opt_display(s.warm_grid_vs_brute),
+            opt_display(s.run_grid_vs_brute),
+            opt_display(s.wall_grid_vs_brute),
             t_max,
-            s.sweep_parallel_vs_serial_grid,
+            opt_display(s.sweep_parallel_vs_serial_grid),
+            max_shards,
+            opt_display(s.shard_wall_speedup),
         );
     }
 
-    let json = render_json(
+    let report_cfg = ReportConfig {
         runs,
-        seed,
-        duration,
-        t_max,
-        &node_counts,
-        &cells,
-        &speedups,
-        equivalent,
-    );
+        base_seed: seed,
+        duration_s: duration,
+        node_degree: NODE_DEGREE,
+        radio_range: RADIO_RANGE,
+        max_speed: MAX_SPEED,
+        threads_max: t_max,
+        threads_detected: detected,
+        degenerate_parallel,
+        brute_max_nodes: BRUTE_MAX_NODES,
+        node_counts: node_counts.clone(),
+        shard_counts: shards_axis.clone(),
+    };
+    let cell_rows: Vec<CellRow> = cells.iter().map(Cell::row).collect();
+    let json = render_json(&report_cfg, &cell_rows, &speedups, equivalent);
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("warning: could not create results/: {e}");
     }
@@ -451,9 +434,9 @@ fn main() {
         }
     }
     if equivalent {
-        println!("OK: all index/thread variants produced bit-identical run fingerprints");
+        println!("OK: all index/thread/shard variants produced bit-identical run fingerprints");
     } else {
-        eprintln!("FAIL: neighbor-index or thread variants diverged — see above");
+        eprintln!("FAIL: neighbor-index, thread or shard variants diverged — see above");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,319 @@
+//! Space-partitioned parallel execution of a single run (DESIGN.md §15).
+//!
+//! One simulation run is one totally-ordered event stream: every MAC
+//! backoff, loss and jam draw comes from the single run RNG *at event
+//! commit time*, in `(time, seq)` order. That global RNG stream is the
+//! bit-identity contract every oracle in this repo pins, and it rules out
+//! running shards as autonomous event loops — any per-shard RNG would
+//! reorder draws and change every seeded outcome. What *can* leave the
+//! commit thread is the run's dominant pure computation: the audible set
+//! of a transmission (`fill_receivers`, ~40 % of run time per
+//! PROFILING.md) is a deterministic function of the mobility plans, the
+//! spatial grid at a given epoch, and the alive bitmap at a given
+//! version. This module makes that function explicit and shippable:
+//!
+//! * [`AudibleWorld`] — an immutable, cheaply-cloneable snapshot of
+//!   exactly the inputs the audible-set query reads (`Arc`s of the plans
+//!   and grid, an alive bitmap, the radio range), stamped with the grid
+//!   epoch and alive version it was taken at.
+//! * [`WorkItem`] — one future transmission start `(at, handle, from)`,
+//!   harvested from the engine's own schedule within a conservative
+//!   lookahead window (header airtime + one backoff slot — the minimum
+//!   delay between scheduling a MAC attempt and the attempt itself).
+//! * [`ShardMap`] — the spatial partition: the field is cut into
+//!   `shards` contiguous x-bands and a work item belongs to the band
+//!   containing its sender's position. Totality and edge determinism
+//!   (`x` exactly on a band boundary) are pinned by
+//!   `tests/shard_seams.rs`.
+//! * [`ShardExecutor`] — the engine-side abstraction over "compute these
+//!   items, possibly on shard workers". The engine never touches
+//!   `std::thread`; the only threaded implementation lives in the
+//!   sanctioned `diknn-workloads::parallel` module (enforced by the
+//!   `raw-thread` xtask lint).
+//!
+//! # Why bit-identity holds
+//!
+//! A precomputed receiver list is consumed only if its stamp still
+//! matches the engine's `(grid epoch, alive version)` at commit time;
+//! otherwise the commit thread recomputes inline. A valid stamp means
+//! the worker read byte-for-byte the inputs the inline query would have
+//! read, and [`AudibleWorld::compute`] mirrors the engine's query —
+//! same candidate enumeration (row-major cells, sorted ids), the same
+//! anchor triage with the same [`ANCHOR_EPS`], the same exact
+//! `dist_sq <= range²` predicate. The audible-set *cache* needs no
+//! mirroring: a cache hit is byte-identical to a fresh query over the
+//! same (epoch, window) by construction, so serving a fresh result where
+//! the sequential engine would have served a cached one changes nothing
+//! but `PerfCounters` (which are outside every behavioural fingerprint).
+//! All mutation — RNG draws, collision marking, energy, the trace —
+//! stays on the commit thread in `(time, seq)` order, so thread
+//! scheduling can change *when* a receiver list is computed, never what
+//! it contains nor where its consumption lands in the event order.
+
+use std::sync::Arc;
+
+use diknn_geom::{Point, Rect};
+
+use crate::engine::SharedMobility;
+use crate::grid::SpatialGrid;
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Conservative margin (metres) for the anchor triage: anchor distances
+/// within `range ± (drift + ANCHOR_EPS)` fall through to the exact
+/// check. Shared by the engine's inline query and [`AudibleWorld`] so
+/// the two paths classify identically by construction.
+pub(crate) const ANCHOR_EPS: f64 = 1e-6;
+
+/// One future transmission start the engine has already scheduled: the
+/// MAC attempt for `handle` at time `at`, sent by `from`. Ordered by
+/// `(at, handle)` — the same `(time, tie-break-id)` order the engine
+/// merges results back in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WorkItem {
+    /// When the MAC attempt fires (the time the audible set is taken at).
+    pub at: SimTime,
+    /// Frame handle — the tie-break id for deterministic merging.
+    pub handle: crate::queue::Handle,
+    /// Sending node.
+    pub from: NodeId,
+}
+
+/// The audible set computed for one [`WorkItem`].
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// The item this answers.
+    pub item: WorkItem,
+    /// Nodes within radio range of the sender at `item.at`, ascending by
+    /// id — exactly what the engine's inline query would produce from
+    /// the same world snapshot.
+    pub receivers: Vec<NodeId>,
+}
+
+/// Immutable snapshot of every input the audible-set query reads,
+/// stamped with the versions it was taken at. Cloning is cheap (`Arc`
+/// bumps); the snapshot is `Send + Sync` so shard workers can hold it
+/// across thread boundaries.
+#[derive(Clone)]
+pub struct AudibleWorld {
+    mobility: Arc<Vec<SharedMobility>>,
+    grid: Option<Arc<SpatialGrid>>,
+    alive: Arc<Vec<bool>>,
+    field: Rect,
+    radio_range: f64,
+    grid_epoch: u64,
+    alive_ver: u64,
+}
+
+impl std::fmt::Debug for AudibleWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AudibleWorld")
+            .field("nodes", &self.mobility.len())
+            .field("grid", &self.grid.is_some())
+            .field("field", &self.field)
+            .field("radio_range", &self.radio_range)
+            .field("grid_epoch", &self.grid_epoch)
+            .field("alive_ver", &self.alive_ver)
+            .finish()
+    }
+}
+
+impl AudibleWorld {
+    /// Snapshot a world. `grid_epoch`/`alive_ver` must be the engine's
+    /// current versions — they gate precomputed-result consumption.
+    pub fn new(
+        mobility: Arc<Vec<SharedMobility>>,
+        grid: Option<Arc<SpatialGrid>>,
+        alive: Arc<Vec<bool>>,
+        field: Rect,
+        radio_range: f64,
+        alive_ver: u64,
+    ) -> Self {
+        let grid_epoch = grid.as_ref().map_or(0, |g| g.epoch());
+        AudibleWorld {
+            mobility,
+            grid,
+            alive,
+            field,
+            radio_range,
+            grid_epoch,
+            alive_ver,
+        }
+    }
+
+    /// The `(grid epoch, alive version)` stamp results computed from this
+    /// snapshot carry.
+    #[inline]
+    pub fn stamp(&self) -> (u64, u64) {
+        (self.grid_epoch, self.alive_ver)
+    }
+
+    /// The simulation field (drives the [`ShardMap`] partition).
+    #[inline]
+    pub fn field(&self) -> Rect {
+        self.field
+    }
+
+    /// Exact position of `node` at time `at` under its mobility plan.
+    #[inline]
+    pub fn position(&self, node: NodeId, at: SimTime) -> Point {
+        self.mobility[node.index()].position_at(at.as_secs_f64())
+    }
+
+    /// Append to `out` (which must be empty) the nodes within radio range
+    /// of `item.from` at `item.at`, ascending by id — the pure core of
+    /// the engine's `fill_receivers`, computed against this snapshot.
+    pub fn compute(&self, item: &WorkItem, out: &mut Vec<NodeId>) {
+        debug_assert!(out.is_empty());
+        let t = item.at.as_secs_f64();
+        let fi = item.from.index();
+        let origin = self.mobility[fi].position_at(t);
+        let range2 = self.radio_range * self.radio_range;
+        let Some(grid) = self.grid.as_deref() else {
+            for i in 0..self.mobility.len() {
+                if i != fi
+                    && self.alive[i]
+                    && origin.dist_sq(self.mobility[i].position_at(t)) <= range2
+                {
+                    out.push(NodeId(i as u32));
+                }
+            }
+            return;
+        };
+        let window = grid.cover_cells(origin, self.radio_range, item.at);
+        let mut cand = Vec::new();
+        grid.collect_cells(window, &mut cand);
+        cand.sort_unstable();
+        // Anchor triage, mirroring the engine's inline query: candidates
+        // whose bucketed position is outside `range ± (drift + ε)` are
+        // classified without touching the mobility plan; the ambiguity
+        // band pays the exact check. Both paths share `ANCHOR_EPS`, so a
+        // triage answer here always equals the inline answer.
+        let drift = grid.drift_bound(item.at);
+        let far = self.radio_range + drift + ANCHOR_EPS;
+        let far_sq = far * far;
+        let near = self.radio_range - drift - ANCHOR_EPS;
+        let near_sq = if near > 0.0 { near * near } else { -1.0 };
+        let anchors = grid.anchors();
+        for &i in &cand {
+            let ix = i as usize;
+            if ix == fi || !self.alive[ix] {
+                continue;
+            }
+            let d0 = origin.dist_sq(anchors[ix]);
+            if d0 > far_sq {
+                continue;
+            }
+            if d0 > near_sq && origin.dist_sq(self.mobility[ix].position_at(t)) > range2 {
+                continue;
+            }
+            out.push(NodeId(i));
+        }
+    }
+}
+
+/// The spatial partition: `shards` contiguous, equal-width x-bands over
+/// the field. A point belongs to exactly one band; positions outside the
+/// field clamp into the edge bands (mirroring [`SpatialGrid`]'s
+/// clamping, so shard ownership and grid membership never disagree about
+/// out-of-field drifters).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    min_x: f64,
+    band: f64,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Partition `field` into `shards` x-bands (clamped to ≥ 1).
+    pub fn new(field: Rect, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardMap {
+            min_x: field.min_x,
+            band: (field.width() / shards as f64).max(f64::MIN_POSITIVE),
+            shards,
+        }
+    }
+
+    /// Number of bands.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The band owning `p` — total and deterministic: a pure function of
+    /// the bits of `p.x`. A point exactly on a band boundary belongs to
+    /// the upper band (like [`SpatialGrid`] cell edges); the last band
+    /// also owns everything at or beyond the field's max edge.
+    #[inline]
+    pub fn shard_of(&self, p: Point) -> usize {
+        let b = ((p.x - self.min_x) / self.band).floor();
+        if b <= 0.0 {
+            0
+        } else {
+            (b as usize).min(self.shards - 1)
+        }
+    }
+}
+
+/// Engine-side abstraction over "compute the audible sets of these
+/// items". Implementations must return one [`ShardResult`] per submitted
+/// item whose `receivers` equal [`AudibleWorld::compute`] for that item
+/// (any result order — the engine merges by `(at, handle)`). The
+/// threaded implementation (`ShardPool`) lives in
+/// `diknn-workloads::parallel`, the only module allowed to spawn
+/// threads; this crate provides the thread-free [`InlineExecutor`].
+pub trait ShardExecutor {
+    /// Compute every item against `world`.
+    fn compute_batch(&mut self, world: &AudibleWorld, items: Vec<WorkItem>) -> Vec<ShardResult>;
+}
+
+/// The trivial executor: computes every item on the calling thread.
+/// The 1-shard baseline and the reference implementation threaded
+/// executors are tested against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InlineExecutor;
+
+impl ShardExecutor for InlineExecutor {
+    fn compute_batch(&mut self, world: &AudibleWorld, items: Vec<WorkItem>) -> Vec<ShardResult> {
+        items
+            .into_iter()
+            .map(|item| {
+                let mut receivers = Vec::new();
+                world.compute(&item, &mut receivers);
+                ShardResult { item, receivers }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_is_total_and_contiguous() {
+        let field = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let map = ShardMap::new(field, 4);
+        assert_eq!(map.shards(), 4);
+        assert_eq!(map.shard_of(Point::new(0.0, 50.0)), 0);
+        assert_eq!(map.shard_of(Point::new(24.999, 1.0)), 0);
+        // Exactly on a boundary → upper band, deterministically.
+        assert_eq!(map.shard_of(Point::new(25.0, 1.0)), 1);
+        assert_eq!(map.shard_of(Point::new(99.999, 1.0)), 3);
+        // The max edge and beyond clamp into the last band.
+        assert_eq!(map.shard_of(Point::new(100.0, 1.0)), 3);
+        assert_eq!(map.shard_of(Point::new(1e9, 1.0)), 3);
+        assert_eq!(map.shard_of(Point::new(-5.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn degenerate_shard_counts_clamp() {
+        let field = Rect::new(0.0, 0.0, 100.0, 100.0);
+        assert_eq!(ShardMap::new(field, 0).shards(), 1);
+        assert_eq!(ShardMap::new(field, 1).shard_of(Point::new(99.0, 0.0)), 0);
+        // A zero-width field still yields a total map.
+        let thin = ShardMap::new(Rect::new(5.0, 0.0, 5.0, 10.0), 3);
+        assert_eq!(thin.shard_of(Point::new(5.0, 1.0)), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Seam audit for the sharded engine (ISSUE 10 bugfix sweep): every site
+//! where shard-local ownership could disagree with global geometry gets a
+//! constructed regression test *before* the sharded run loop relies on it.
+//!
+//! * [`ShardMap`] edges — a node exactly on a partition boundary must
+//!   belong to exactly one band, deterministically, and out-of-field
+//!   drifters must clamp the way [`SpatialGrid`] clamps them into edge
+//!   cells (so shard ownership and grid membership never disagree).
+//! * Drift padding across bands — a padded audible-set query whose window
+//!   spans two (or more) shard bands must see every candidate the global
+//!   brute-force scan sees, for senders parked exactly on the seam.
+//! * [`Sector::contains`] on a seam — the itinerary sectors partition the
+//!   disk with inclusive borders; a KNN boundary point that happens to lie
+//!   exactly on a shard boundary must still be claimed by at least one and
+//!   at most two (seam-adjacent) sectors, never zero.
+//! * [`AudibleWorld::compute`] ≡ engine oracle — the shard workers'
+//!   audible-set function must equal the brute-force scan for boundary
+//!   placements, with and without the spatial grid, including drifted
+//!   positions answered through a stale (padded) grid.
+
+use std::sync::Arc;
+
+use diknn_geom::{Point, Rect, Sector};
+use diknn_mobility::{StaticMobility, WaypointTrace};
+use diknn_sim::{
+    AudibleWorld, FramePool, Handle, NodeId, ShardMap, SharedMobility, SimTime, SpatialGrid,
+    WorkItem,
+};
+
+const FIELD: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
+const RANGE: f64 = 20.0;
+
+/// Mint a real (pool-issued) frame handle for test work items.
+fn handle() -> Handle {
+    FramePool::<u8>::new().insert(0)
+}
+
+/// Brute-force audible set: alive ids within `RANGE` of `origin`
+/// (excluding the sender), ascending.
+fn brute(positions: &[Point], alive: &[bool], from: usize, origin: Point) -> Vec<NodeId> {
+    (0..positions.len())
+        .filter(|&i| i != from && alive[i] && origin.dist_sq(positions[i]) <= RANGE * RANGE)
+        .map(|i| NodeId(i as u32))
+        .collect()
+}
+
+fn static_world(positions: &[Point], with_grid: bool) -> (AudibleWorld, Vec<bool>) {
+    let mobility: Vec<SharedMobility> = positions
+        .iter()
+        .map(|&p| Arc::new(StaticMobility::new(p)) as SharedMobility)
+        .collect();
+    let alive = vec![true; positions.len()];
+    let grid = with_grid.then(|| {
+        Arc::new(SpatialGrid::build(
+            FIELD,
+            RANGE,
+            positions,
+            0.0,
+            0.5 * RANGE,
+            SimTime::ZERO,
+        ))
+    });
+    let world = AudibleWorld::new(
+        Arc::new(mobility),
+        grid,
+        Arc::new(alive.clone()),
+        FIELD,
+        RANGE,
+        0,
+    );
+    (world, alive)
+}
+
+#[test]
+fn node_exactly_on_partition_edge_belongs_to_one_band() {
+    for shards in [2, 3, 4, 7] {
+        let map = ShardMap::new(FIELD, shards);
+        let band_w = FIELD.width() / shards as f64;
+        for b in 0..shards {
+            let edge = FIELD.min_x + b as f64 * band_w;
+            let owner = map.shard_of(Point::new(edge, 50.0));
+            // A boundary point goes to the upper band (the one starting at
+            // the edge) — same rule as `SpatialGrid` cell edges.
+            assert_eq!(owner, b, "{shards} shards, edge {edge}");
+            // Ownership is exclusive: a hair below the edge is the lower
+            // band (except at the field minimum, which has no lower band).
+            if b > 0 {
+                let below = map.shard_of(Point::new(edge - 1e-9, 50.0));
+                assert_eq!(below, b - 1, "{shards} shards, below edge {edge}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_clamping_matches_grid_clamping() {
+    // The grid clamps out-of-field positions into edge cells; the shard
+    // map must clamp the same drifters into edge bands, so a node the
+    // grid files in column 0 can never be owned by a middle shard.
+    let map = ShardMap::new(FIELD, 4);
+    for &(x, want) in &[
+        (-50.0, 0usize),
+        (-1e-9, 0),
+        (0.0, 0),
+        (100.0, 3),
+        (150.0, 3),
+        (f64::MAX, 3),
+    ] {
+        assert_eq!(map.shard_of(Point::new(x, 0.0)), want, "x = {x}");
+    }
+}
+
+#[test]
+fn padded_query_spanning_two_bands_sees_every_candidate() {
+    // Sender parked exactly on the 2-shard seam (x = 50) with receivers
+    // straddling it, including receivers exactly at range² distance and
+    // exactly on the seam themselves. The shard worker's grid-path answer
+    // must equal the global brute-force scan — the query window is a
+    // global-grid window, so band ownership must not leak into coverage.
+    let seam = 50.0;
+    let positions = vec![
+        Point::new(seam, 50.0),         // 0: sender, on the seam
+        Point::new(seam - 19.9, 50.0),  // 1: in range, left band
+        Point::new(seam + 19.9, 50.0),  // 2: in range, right band
+        Point::new(seam - RANGE, 50.0), // 3: exactly at range, left
+        Point::new(seam + RANGE, 50.0), // 4: exactly at range, right
+        Point::new(seam, 30.1),         // 5: in range, on the seam
+        Point::new(seam - 20.1, 50.0),  // 6: out of range, left
+        Point::new(seam + 25.0, 50.0),  // 7: out of range, right
+    ];
+    for with_grid in [false, true] {
+        let (world, alive) = static_world(&positions, with_grid);
+        let item = WorkItem {
+            at: SimTime::ZERO,
+            handle: handle(),
+            from: NodeId(0),
+        };
+        let mut got = Vec::new();
+        world.compute(&item, &mut got);
+        let want = brute(&positions, &alive, 0, positions[0]);
+        assert_eq!(got, want, "with_grid = {with_grid}");
+        assert_eq!(
+            got,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
+    }
+}
+
+#[test]
+fn drift_padding_covers_movers_crossing_a_band_seam() {
+    // Nodes race across the 2-band seam while the grid stays frozen at
+    // t = 0: the drift pad (vmax · Δt) must widen the worker's query
+    // window enough that a mover filed in the left band's cells is still
+    // found when it is audible from a right-band sender — and vice versa.
+    let vmax = 10.0;
+    let t = SimTime::from_secs_f64(1.0); // movers are 10 m from their anchors
+    let plan = |x0: f64, x1: f64| -> SharedMobility {
+        Arc::new(WaypointTrace::new(vec![
+            (0.0, Point::new(x0, 50.0)),
+            (1.0, Point::new(x1, 50.0)),
+        ])) as SharedMobility
+    };
+    // Sender static near the seam's right side; movers start deep in one
+    // band and end within range on the other side.
+    let mobility: Vec<SharedMobility> = vec![
+        Arc::new(StaticMobility::new(Point::new(55.0, 50.0))) as SharedMobility,
+        plan(34.0, 44.0), // left → still left band, enters range
+        plan(48.0, 58.0), // crosses the seam into the sender's band
+        plan(76.0, 66.0), // right → approaches from the right, enters range
+        plan(20.0, 30.0), // stays far out of range
+    ];
+    let t0_positions: Vec<Point> = mobility.iter().map(|m| m.position_at(0.0)).collect();
+    let grid = SpatialGrid::build(
+        FIELD,
+        RANGE,
+        &t0_positions,
+        vmax,
+        0.5 * RANGE,
+        SimTime::ZERO,
+    );
+    assert!(
+        grid.drift_bound(t) >= vmax * 1.0 - 1e-9,
+        "stale grid must pad by vmax·Δt"
+    );
+    let alive = vec![true; mobility.len()];
+    let at_t: Vec<Point> = mobility.iter().map(|m| m.position_at(1.0)).collect();
+    let world = AudibleWorld::new(
+        Arc::new(mobility),
+        Some(Arc::new(grid)),
+        Arc::new(alive.clone()),
+        FIELD,
+        RANGE,
+        0,
+    );
+    let item = WorkItem {
+        at: t,
+        handle: handle(),
+        from: NodeId(0),
+    };
+    let mut got = Vec::new();
+    world.compute(&item, &mut got);
+    let want = brute(&at_t, &alive, 0, at_t[0]);
+    assert_eq!(got, want);
+    assert_eq!(got, vec![NodeId(1), NodeId(2), NodeId(3)]);
+}
+
+#[test]
+fn sector_seams_on_shard_boundaries_leave_no_gaps() {
+    // An itinerary apex on the shard seam, sectors whose borders run
+    // straight up the seam: every probe point on the seam (and nudged a
+    // hair to either side — the other shard) must be claimed by at least
+    // one sector and at most two (only when it lies on a shared border).
+    let apex = Point::new(50.0, 50.0);
+    for sectors in [3usize, 4, 6] {
+        // origin = π/2 puts one border exactly on the vertical seam.
+        let parts = Sector::partition(apex, RANGE, sectors, std::f64::consts::FRAC_PI_2);
+        for &dy in &[1.0, 5.0, RANGE - 1e-9, -1.0, -RANGE + 1e-9] {
+            for &dx in &[0.0, 1e-9, -1e-9] {
+                let p = Point::new(apex.x + dx, apex.y + dy);
+                let claims = parts.iter().filter(|s| s.contains(p)).count();
+                assert!(
+                    (1..=2).contains(&claims),
+                    "{sectors} sectors: point ({}, {}) claimed by {claims}",
+                    p.x,
+                    p.y
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_heavy_placement_matches_brute_force_for_all_senders() {
+    // A lattice snapped onto shard-band edges for 2, 4 and 7 bands plus
+    // the grid's own cell edges: for *every* sender the worker's function
+    // (grid path) must equal the brute-force scan (no-grid path).
+    let mut positions = Vec::new();
+    for shards in [2usize, 4, 7] {
+        let band_w = FIELD.width() / shards as f64;
+        for b in 0..=shards {
+            let x = (FIELD.min_x + b as f64 * band_w).min(FIELD.max_x);
+            for &y in &[0.0, 33.0, 50.0, 66.0, 100.0] {
+                positions.push(Point::new(x, y));
+            }
+        }
+    }
+    let (grid_world, alive) = static_world(&positions, true);
+    let (brute_world, _) = static_world(&positions, false);
+    for from in 0..positions.len() {
+        let item = WorkItem {
+            at: SimTime::ZERO,
+            handle: handle(),
+            from: NodeId(from as u32),
+        };
+        let (mut via_grid, mut via_brute) = (Vec::new(), Vec::new());
+        grid_world.compute(&item, &mut via_grid);
+        brute_world.compute(&item, &mut via_brute);
+        let want = brute(&positions, &alive, from, positions[from]);
+        assert_eq!(via_grid, want, "grid path, sender {from}");
+        assert_eq!(via_brute, want, "brute path, sender {from}");
+    }
+}

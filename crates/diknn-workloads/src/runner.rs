@@ -55,6 +55,11 @@ pub struct Experiment {
     /// [`crate::invariants`]). On by default: every experiment doubles as a
     /// correctness check. Disable for benchmark timing runs.
     pub check_invariants: bool,
+    /// Spatial shards for the intra-run executor (see
+    /// [`crate::parallel::run_sharded`]). `1` (the default) runs the plain
+    /// sequential loop; any value is bit-identical to it — invariant
+    /// replay and metrics are unchanged by construction.
+    pub shards: usize,
 }
 
 impl Experiment {
@@ -66,6 +71,7 @@ impl Experiment {
             sim_tweak: None,
             fault_plan: None,
             check_invariants: true,
+            shards: 1,
         }
     }
 
@@ -96,6 +102,7 @@ impl Experiment {
             sim_cfg.trace = TraceConfig::enabled();
         }
         let check = self.check_invariants;
+        let shards = self.shards;
         match &self.protocol {
             ProtocolKind::Diknn(cfg) => execute(
                 sim_cfg,
@@ -104,6 +111,7 @@ impl Experiment {
                 seed,
                 &oracle,
                 check,
+                shards,
             ),
             ProtocolKind::Kpt(cfg) => execute(
                 sim_cfg,
@@ -112,6 +120,7 @@ impl Experiment {
                 seed,
                 &oracle,
                 check,
+                shards,
             ),
             ProtocolKind::PeerTree(cfg) => execute(
                 sim_cfg,
@@ -120,6 +129,7 @@ impl Experiment {
                 seed,
                 &oracle,
                 check,
+                shards,
             ),
             ProtocolKind::Flood(cfg) => execute(
                 sim_cfg,
@@ -128,6 +138,7 @@ impl Experiment {
                 seed,
                 &oracle,
                 check,
+                shards,
             ),
             ProtocolKind::Centralized(cfg) => execute(
                 sim_cfg,
@@ -136,6 +147,7 @@ impl Experiment {
                 seed,
                 &oracle,
                 check,
+                shards,
             ),
         }
     }
@@ -174,6 +186,7 @@ fn execute<P>(
     seed: u64,
     oracle: &GroundTruth,
     check: bool,
+    shards: usize,
 ) -> RunMetrics
 where
     P: Protocol + KnnProtocol,
@@ -182,7 +195,13 @@ where
     // Nodes have been in place before t=0: start with a warm beacon round,
     // as a long-running network would be.
     sim.warm_neighbor_tables();
-    sim.run();
+    if shards > 1 {
+        // Bit-identical to `sim.run()` for every shard count; the trace
+        // replay below therefore checks the sharded executor too.
+        crate::parallel::run_sharded_to_limit(&mut sim, shards);
+    } else {
+        sim.run();
+    }
     let (mut protocol, ctx) = sim.into_parts();
     // Classify queries that never finalised (dead sink, suppressed timer).
     protocol.finish(&ctx);

@@ -1,0 +1,228 @@
+//! Cross-shard equivalence: the space-partitioned parallel engine
+//! (`diknn_sim::shard`, `diknn_workloads::parallel::run_sharded`) must be
+//! **bit-identical** to the sequential engine for every shard count —
+//! same flight-recorder trace, same `SimStats`, same energy, same
+//! `RunMetrics`/`Aggregate` — under mobility, crashes, churn, and across
+//! a snapshot/restore cut taken mid-run on the sharded loop. This is the
+//! same oracle discipline `grid_equiv.rs` applies to the spatial grid and
+//! `parallel_equiv.rs` applies to the seed sweep: parallelism may change
+//! wall time, never results.
+
+use diknn_core::{Diknn, DiknnConfig};
+use diknn_sim::{Protocol, SimTime, Simulator, TraceConfig};
+use diknn_snap::{Snap, SnapWriter};
+use diknn_workloads::{
+    fault_sweep, run_sharded, run_sharded_to_limit, workload, Experiment, ProtocolKind,
+    ScenarioConfig, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// Shard counts every equivalence check sweeps (1 = the inline executor
+/// on the sharded loop; the rest use real `ShardPool` worker threads).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn scenario(nodes: usize, max_speed: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes,
+        duration: 25.0,
+        max_speed,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn workload_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        k: 10,
+        first_at: 2.0,
+        last_at: 10.0,
+        mean_interval: 4.0,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Build the exact simulator the experiment driver would run (warm
+/// tables, trace recorder on) so sharded and sequential starts are
+/// byte-identical.
+fn build_sim(scen: &ScenarioConfig, seed: u64) -> Simulator<Diknn> {
+    let plans = scen.build(seed);
+    let requests = workload::generate(scen, &workload_cfg(), seed);
+    let mut cfg = scen.sim_config();
+    cfg.trace = TraceConfig::enabled();
+    let mut sim = Simulator::new(
+        cfg,
+        plans,
+        Diknn::new(DiknnConfig::default(), requests),
+        seed,
+    );
+    sim.warm_neighbor_tables();
+    sim
+}
+
+/// FNV-1a fingerprint of the serialized flight recorder — bitwise trace
+/// equality, cheap to compare (the `ServiceRun` soak suite's oracle).
+fn trace_fp<P: Protocol>(sim: &Simulator<P>) -> u64 {
+    let mut w = SnapWriter::new();
+    sim.ctx().trace().snap(&mut w);
+    diknn_snap::fingerprint(&w.into_bytes())
+}
+
+#[test]
+fn sharded_run_is_bit_identical_to_sequential() {
+    let scen = scenario(120, 2.0);
+    let mut seq = build_sim(&scen, 42);
+    seq.run();
+    let seq_fp = trace_fp(&seq);
+    let seq_stats = *seq.ctx().stats();
+    let seq_energy = seq.ctx().total_protocol_energy_j();
+    for shards in SHARD_COUNTS {
+        let mut sim = build_sim(&scen, 42);
+        run_sharded_to_limit(&mut sim, shards);
+        // Not a vacuous pass: the sharded loop must actually plan and
+        // consume precomputed audible sets, not fall back to inline
+        // computation for everything.
+        let perf = sim.ctx().perf();
+        assert!(
+            perf.precomp_planned > 0 && perf.precomp_used > 0,
+            "{shards}-shard run never engaged the precompute path: {perf:?}"
+        );
+        assert_eq!(
+            trace_fp(&sim),
+            seq_fp,
+            "{shards}-shard trace diverged from sequential"
+        );
+        assert_eq!(*sim.ctx().stats(), seq_stats, "{shards}-shard stats");
+        assert_eq!(
+            sim.ctx().total_protocol_energy_j(),
+            seq_energy,
+            "{shards}-shard energy"
+        );
+    }
+}
+
+#[test]
+fn sharded_experiment_aggregate_matches_sequential() {
+    // Whole-driver equivalence: metrics, invariant replay (check_invariants
+    // stays on, so the merged trace is replayed against outcomes inside
+    // run_once) and aggregation across seeds.
+    let mut exp = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        scenario(120, 2.0),
+        workload_cfg(),
+    );
+    let sequential = exp.run(3, 42);
+    for shards in [2, 4, 7] {
+        exp.shards = shards;
+        assert_eq!(
+            exp.run(3, 42),
+            sequential,
+            "{shards}-shard aggregate diverged"
+        );
+    }
+}
+
+#[test]
+fn faulted_sharded_experiment_matches_sequential() {
+    // Churn + bursty links: liveness flips on every lifecycle event, so
+    // this exercises the alive-version stamp that invalidates precomputed
+    // audible sets.
+    let mut exp = Experiment::new(
+        ProtocolKind::Diknn(DiknnConfig::default()),
+        scenario(120, 2.0),
+        workload_cfg(),
+    );
+    exp.fault_plan = Some(fault_sweep::churn_and_bursts(25.0));
+    let sequential = exp.run(2, 7);
+    for shards in [2, 7] {
+        exp.shards = shards;
+        assert_eq!(
+            exp.run(2, 7),
+            sequential,
+            "{shards}-shard faulted aggregate diverged"
+        );
+    }
+}
+
+#[test]
+fn snapshot_restore_cut_mid_sharded_run_is_bit_identical() {
+    // run(T) sharded ≡ run(T/2) sharded + snapshot + restore + run(T)
+    // sharded ≡ run(T) sequential: the sharded loop's derived state
+    // (plan feed, precomputed sets, world snapshots) must never leak into
+    // the snapshot stream (SNAP_VERSION is unchanged), and a restored run
+    // must rebuild it from the queue alone.
+    let scen = scenario(100, 2.0);
+    let seed = 11;
+    let mut seq = build_sim(&scen, seed);
+    seq.run();
+    let seq_fp = trace_fp(&seq);
+    let seq_stats = *seq.ctx().stats();
+    let limit = SimTime::ZERO + scen.sim_config().time_limit;
+    let cut = SimTime::from_secs_f64(scen.duration / 2.0);
+    for shards in [2, 4] {
+        let mut head = build_sim(&scen, seed);
+        run_sharded(&mut head, cut, shards);
+        let bytes = head.snapshot();
+        drop(head);
+        let plans = scen.build(seed);
+        let requests = workload::generate(&scen, &workload_cfg(), seed);
+        let mut cfg = scen.sim_config();
+        cfg.trace = TraceConfig::enabled();
+        let mut tail = Simulator::restore(
+            &bytes,
+            cfg,
+            plans,
+            Diknn::new(DiknnConfig::default(), requests),
+        )
+        .expect("mid-sharded-run snapshot must restore");
+        run_sharded(&mut tail, limit, shards);
+        assert_eq!(
+            trace_fp(&tail),
+            seq_fp,
+            "{shards}-shard restore-cut trace diverged"
+        );
+        assert_eq!(
+            *tail.ctx().stats(),
+            seq_stats,
+            "{shards}-shard restore-cut stats"
+        );
+    }
+}
+
+proptest! {
+    // Each case runs one sequential and one sharded full simulation; keep
+    // the count modest (the pinned tests above cover the axes densely).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_scenarios_are_shard_count_invariant(
+        seed in 0u64..10_000,
+        nodes in 60usize..140,
+        mobile in any::<bool>(),
+        faulted in any::<bool>(),
+        shard_ix in 0usize..SHARD_COUNTS.len(),
+    ) {
+        let scen = scenario(nodes, if mobile { 4.0 } else { 0.0 });
+        let shards = SHARD_COUNTS[shard_ix];
+        let mut exp = Experiment::new(
+            ProtocolKind::Diknn(DiknnConfig::default()),
+            scen,
+            workload_cfg(),
+        );
+        if faulted {
+            exp.fault_plan = Some(fault_sweep::churn_and_bursts(25.0));
+        }
+        let sequential = exp.run_once(seed);
+        exp.shards = shards;
+        let sharded = exp.run_once(seed);
+        // Compare the lossless Debug rendering, not `PartialEq`: faulted
+        // runs can leave `latency_s: NaN` on unreachable queries, and
+        // NaN != NaN would fail two bit-identical runs.
+        prop_assert_eq!(
+            format!("{sharded:?}"),
+            format!("{sequential:?}"),
+            "seed {} nodes {} shards {} diverged",
+            seed,
+            nodes,
+            shards
+        );
+    }
+}
